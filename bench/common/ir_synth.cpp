@@ -1,0 +1,282 @@
+#include "common/ir_synth.hpp"
+
+#include <cctype>
+
+#include "support/log.hpp"
+
+namespace stats::benchx {
+
+namespace {
+
+using namespace stats::ir;
+
+/** First integer literal in a C++ method body; `fallback` if none. */
+std::int64_t
+firstInteger(const std::string &body, std::int64_t fallback)
+{
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        if (std::isdigit(static_cast<unsigned char>(body[i]))) {
+            std::int64_t value = 0;
+            while (i < body.size() &&
+                   std::isdigit(static_cast<unsigned char>(body[i]))) {
+                value = value * 10 + (body[i] - '0');
+                ++i;
+            }
+            return value;
+        }
+    }
+    return fallback;
+}
+
+Function
+intFunction(const std::string &name, std::int64_t value)
+{
+    Function fn;
+    fn.name = name;
+    fn.returnType = Type::I64;
+    BasicBlock block;
+    block.label = "entry";
+    Instruction ret;
+    ret.op = Opcode::Ret;
+    ret.type = Type::I64;
+    ret.operands.push_back(Operand::constInt(value));
+    block.instructions.push_back(ret);
+    fn.blocks.push_back(std::move(block));
+    return fn;
+}
+
+/** getValue(i) = i + 1 (canonical enumerable-value function). */
+Function
+getValueFunction(const std::string &name)
+{
+    Function fn;
+    fn.name = name;
+    fn.returnType = Type::I64;
+    fn.params.push_back({"i", Type::I64});
+    BasicBlock block;
+    block.label = "entry";
+    Instruction add;
+    add.op = Opcode::Add;
+    add.type = Type::I64;
+    add.result = "v";
+    add.operands = {Operand::temp("i"), Operand::constInt(1)};
+    block.instructions.push_back(add);
+    Instruction ret;
+    ret.op = Opcode::Ret;
+    ret.type = Type::I64;
+    ret.operands.push_back(Operand::temp("v"));
+    block.instructions.push_back(ret);
+    fn.blocks.push_back(std::move(block));
+    return fn;
+}
+
+/** f64 -> f64 function with `filler` extra arithmetic instructions. */
+Function
+floatChain(const std::string &name, std::size_t filler,
+           const std::vector<std::string> &placeholder_calls = {})
+{
+    Function fn;
+    fn.name = name;
+    fn.returnType = Type::F64;
+    fn.params.push_back({"x", Type::F64});
+    BasicBlock block;
+    block.label = "entry";
+
+    std::string current = "x";
+    int temp = 0;
+    for (const auto &callee : placeholder_calls) {
+        Instruction call;
+        call.op = Opcode::Call;
+        call.type = Type::F64;
+        call.callee = callee;
+        call.result = "t" + std::to_string(temp++);
+        call.operands.push_back(Operand::temp(current));
+        current = call.result;
+        block.instructions.push_back(std::move(call));
+    }
+    for (std::size_t i = 0; i < filler; ++i) {
+        Instruction add;
+        add.op = Opcode::Add;
+        add.type = Type::F64;
+        add.result = "t" + std::to_string(temp++);
+        add.operands = {Operand::temp(current),
+                        Operand::constFloat(1.0)};
+        current = add.result;
+        block.instructions.push_back(std::move(add));
+    }
+    Instruction ret;
+    ret.op = Opcode::Ret;
+    ret.type = Type::F64;
+    ret.operands.push_back(Operand::temp(current));
+    block.instructions.push_back(ret);
+    fn.blocks.push_back(std::move(block));
+    return fn;
+}
+
+} // namespace
+
+ir::Module
+synthesizeIr(const frontend::FrontendResult &frontend_result,
+             std::size_t kernel_instructions,
+             std::size_t program_instructions)
+{
+    Module module;
+    module.name = frontend_result.unitName;
+
+    std::vector<std::string> const_placeholders;
+    std::vector<std::string> wrap_placeholders; // f64 -> f64 shaped.
+
+    for (const auto &decl : frontend_result.tradeoffs) {
+        const std::string t = "T_" + std::to_string(decl.id);
+        TradeoffMeta meta;
+        meta.name = t;
+        meta.kind = decl.kind;
+        meta.placeholder = t;
+        meta.getValueFn = t + "_getValue";
+        meta.sizeFn = t + "_size";
+        meta.defaultIndexFn = t + "_getDefaultIndex";
+        meta.nameChoices = decl.choices;
+        // Map C++ type spellings to IR types.
+        for (auto &choice : meta.nameChoices) {
+            if (choice == "double")
+                choice = "f64";
+            else if (choice == "float")
+                choice = "f32";
+        }
+
+        const std::int64_t default_index =
+            firstInteger(decl.getDefaultIndexBody, 0);
+        const std::int64_t size = firstInteger(decl.getMaxIndexBody, 8);
+        module.functions.push_back(
+            getValueFunction(meta.getValueFn));
+        module.functions.push_back(intFunction(meta.sizeFn, size));
+        module.functions.push_back(
+            intFunction(meta.defaultIndexFn, default_index));
+
+        switch (decl.kind) {
+          case TradeoffKind::Constant:
+            module.functions.push_back(
+                intFunction(t, default_index + 1));
+            const_placeholders.push_back(t);
+            break;
+          case TradeoffKind::DataType:
+            module.functions.push_back(floatChain(t, 0));
+            wrap_placeholders.push_back(t);
+            break;
+          case TradeoffKind::FunctionChoice:
+            for (const auto &choice : meta.nameChoices) {
+                if (!module.findFunction(choice)) {
+                    module.functions.push_back(
+                        floatChain(choice, 2));
+                }
+            }
+            {
+                Function fn = floatChain(t, 0, {meta.nameChoices[0]});
+                module.functions.push_back(std::move(fn));
+            }
+            wrap_placeholders.push_back(t);
+            break;
+        }
+        module.tradeoffs.push_back(std::move(meta));
+    }
+
+    // A helper layer carrying half the wrap placeholders (call-graph
+    // depth for the cloning analysis).
+    std::vector<std::string> helper_calls, kernel_calls;
+    for (std::size_t i = 0; i < wrap_placeholders.size(); ++i) {
+        (i % 2 ? helper_calls : kernel_calls)
+            .push_back(wrap_placeholders[i]);
+    }
+    module.functions.push_back(
+        floatChain("kernelHelper", 6, helper_calls));
+
+    // computeOutput: references every tradeoff; sized like the kernel.
+    {
+        Function fn;
+        fn.name = "computeOutput";
+        fn.returnType = Type::F64;
+        fn.params.push_back({"input", Type::I64});
+        fn.params.push_back({"state", Type::F64});
+        BasicBlock block;
+        block.label = "entry";
+        int temp = 0;
+        std::string current = "state";
+        for (const auto &t : const_placeholders) {
+            Instruction call;
+            call.op = Opcode::Call;
+            call.type = Type::I64;
+            call.callee = t;
+            call.result = "c" + std::to_string(temp);
+            block.instructions.push_back(call);
+            Instruction cast;
+            cast.op = Opcode::Cast;
+            cast.type = Type::F64;
+            cast.result = "f" + std::to_string(temp);
+            cast.operands.push_back(
+                Operand::temp("c" + std::to_string(temp)));
+            block.instructions.push_back(cast);
+            Instruction add;
+            add.op = Opcode::Add;
+            add.type = Type::F64;
+            add.result = "s" + std::to_string(temp);
+            add.operands = {Operand::temp(current),
+                            Operand::temp("f" + std::to_string(temp))};
+            current = add.result;
+            block.instructions.push_back(add);
+            ++temp;
+        }
+        for (const auto &t : kernel_calls) {
+            Instruction call;
+            call.op = Opcode::Call;
+            call.type = Type::F64;
+            call.callee = t;
+            call.result = "w" + std::to_string(temp);
+            call.operands.push_back(Operand::temp(current));
+            current = call.result;
+            block.instructions.push_back(std::move(call));
+            ++temp;
+        }
+        {
+            Instruction call;
+            call.op = Opcode::Call;
+            call.type = Type::F64;
+            call.callee = "kernelHelper";
+            call.result = "h";
+            call.operands.push_back(Operand::temp(current));
+            current = "h";
+            block.instructions.push_back(std::move(call));
+        }
+        const std::size_t used = block.instructions.size() + 1;
+        for (std::size_t i = used; i < kernel_instructions; ++i) {
+            Instruction add;
+            add.op = Opcode::Add;
+            add.type = Type::F64;
+            add.result = "k" + std::to_string(i);
+            add.operands = {Operand::temp(current),
+                            Operand::constFloat(0.5)};
+            current = add.result;
+            block.instructions.push_back(add);
+        }
+        Instruction ret;
+        ret.op = Opcode::Ret;
+        ret.type = Type::F64;
+        ret.operands.push_back(Operand::temp(current));
+        block.instructions.push_back(ret);
+        fn.blocks.push_back(std::move(block));
+        module.functions.push_back(std::move(fn));
+    }
+
+    // Rest of the program (never cloned: no tradeoffs below it).
+    module.functions.push_back(
+        floatChain("restOfProgram", program_instructions));
+
+    for (std::size_t d = 0; d < frontend_result.stateDeps.size(); ++d) {
+        StateDepMeta dep;
+        dep.name = "SD" + std::to_string(d);
+        dep.computeFn = "computeOutput";
+        module.stateDeps.push_back(std::move(dep));
+    }
+    return module;
+}
+
+} // namespace stats::benchx

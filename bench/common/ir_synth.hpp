@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Synthesis of a benchmark-shaped IR module from a front-end result.
+ *
+ * The real benchmarks run through clang in the paper; our mini-IR has
+ * no C++ lowering (see DESIGN.md section 2), so the Table 1 compiler
+ * metrics (generated code, binary-size increase) are measured by
+ * running the *real* middle-end on a module whose structure mirrors
+ * the benchmark: its tradeoff placeholders and option functions (from
+ * the front-end metadata), a computeOutput kernel sized like the
+ * benchmark's kernel that references every tradeoff, a helper layer
+ * for call-graph depth, and a rest-of-program function sized from the
+ * benchmark's source LOC.
+ */
+
+#pragma once
+
+#include "frontend/frontend.hpp"
+#include "ir/ir.hpp"
+
+namespace stats::benchx {
+
+/**
+ * Build the module described above.
+ *
+ * @param kernel_instructions  size of the computeOutput body
+ * @param program_instructions size of the non-kernel program part
+ */
+ir::Module synthesizeIr(const frontend::FrontendResult &frontend_result,
+                        std::size_t kernel_instructions,
+                        std::size_t program_instructions);
+
+} // namespace stats::benchx

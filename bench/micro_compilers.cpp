@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the compiler pipeline:
+ * front-end translation, middle-end auxiliary-code generation, and —
+ * critically — back-end instantiation, which the paper requires to
+ * be cheap because "the autotuner must instantiate the same IR to
+ * multiple configurations" (section 3.4, design choices).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "backend/backend.hpp"
+#include "benchmarks/common/extended_sources.hpp"
+#include "common/ir_synth.hpp"
+#include "frontend/frontend.hpp"
+#include "midend/midend.hpp"
+
+namespace {
+
+using namespace stats;
+
+void
+BM_FrontendTranslation(benchmark::State &state)
+{
+    const std::string &source =
+        benchmarks::extendedSourceFor("fluidanimate");
+    for (auto _ : state) {
+        const auto result =
+            frontend::compileExtendedSource(source, "fluidanimate");
+        benchmark::DoNotOptimize(result.tradeoffs.size());
+    }
+}
+BENCHMARK(BM_FrontendTranslation);
+
+void
+BM_MiddleEndCloning(benchmark::State &state)
+{
+    const auto frontend_result = frontend::compileExtendedSource(
+        benchmarks::extendedSourceFor("fluidanimate"), "fluidanimate");
+    const ir::Module base =
+        benchx::synthesizeIr(frontend_result, 200, 2000);
+    for (auto _ : state) {
+        ir::Module module = base;
+        const auto report = midend::runMiddleEnd(module);
+        benchmark::DoNotOptimize(report.instructionsAdded);
+    }
+}
+BENCHMARK(BM_MiddleEndCloning);
+
+void
+BM_BackendInstantiation(benchmark::State &state)
+{
+    const auto frontend_result = frontend::compileExtendedSource(
+        benchmarks::extendedSourceFor("bodytrack"), "bodytrack");
+    ir::Module midend_ir =
+        benchx::synthesizeIr(frontend_result, 140, 1500);
+    midend::runMiddleEnd(midend_ir);
+
+    backend::BackendConfig config;
+    config.auxiliaryDeps.insert("SD0");
+    config.tradeoffIndices["aux::T_42"] = 2;
+    for (auto _ : state) {
+        const ir::Module binary =
+            backend::instantiate(midend_ir, config);
+        benchmark::DoNotOptimize(binary.instructionCount());
+    }
+}
+BENCHMARK(BM_BackendInstantiation);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the STATS runtime substrate:
+ * speculation-engine orchestration overhead, state cloning, thread
+ * pool dispatch, and the platform simulator's event throughput.
+ *
+ * These quantify the "low-level implementations of thread
+ * synchronization primitives" and "efficient thread pool" the paper's
+ * runtime relies on (section 3.4).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "exec/sim_executor.hpp"
+#include "sdi/matchers.hpp"
+#include "sdi/spec_engine.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace {
+
+using namespace stats;
+
+struct TinyState
+{
+    long long v = 0;
+    bool operator==(const TinyState &o) const { return v == o.v; }
+};
+struct TinyOutput
+{
+    long long v;
+};
+using Engine = sdi::SpecEngine<int, TinyState, TinyOutput>;
+
+Engine::ComputeFn
+tinyCompute()
+{
+    return [](const int &input, TinyState &state,
+              const sdi::ComputeContext &) -> Engine::Invocation {
+        state.v = input;
+        auto out = std::make_unique<TinyOutput>();
+        out->v = state.v;
+        return {std::move(out), exec::Work{1e-4, 0.0}};
+    };
+}
+
+/** Full engine run on the simulator: orchestration cost per input. */
+void
+BM_SpecEngineOrchestration(benchmark::State &bench_state)
+{
+    const auto n = static_cast<std::size_t>(bench_state.range(0));
+    std::vector<int> inputs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        inputs[i] = static_cast<int>(i);
+
+    for (auto _ : bench_state) {
+        sim::MachineConfig machine;
+        exec::SimExecutor ex(machine, 28);
+        sdi::SpecConfig config;
+        config.groupSize = 8;
+        config.auxWindow = 1;
+        config.sdThreads = 28;
+        Engine engine(ex, inputs, TinyState{}, tinyCompute(),
+                      tinyCompute(), sdi::alwaysMatch<TinyState>(),
+                      config);
+        engine.start();
+        engine.join();
+        benchmark::DoNotOptimize(engine.outputs().size());
+    }
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SpecEngineOrchestration)->Arg(64)->Arg(256)->Arg(1024);
+
+/** Simulator event throughput: tasks scheduled per second. */
+void
+BM_SimulatorDispatch(benchmark::State &bench_state)
+{
+    const auto tasks = static_cast<int>(bench_state.range(0));
+    for (auto _ : bench_state) {
+        sim::MachineConfig machine;
+        sim::Simulator simulator(machine, 28);
+        for (int i = 0; i < tasks; ++i) {
+            exec::Task task;
+            task.run = [] { return exec::Work{1e-5, 0.0}; };
+            simulator.submit(std::move(task));
+        }
+        simulator.run();
+        benchmark::DoNotOptimize(simulator.activity().tasksRun);
+    }
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) * tasks);
+}
+BENCHMARK(BM_SimulatorDispatch)->Arg(1000)->Arg(10000);
+
+/** Thread pool job dispatch latency. */
+void
+BM_ThreadPoolDispatch(benchmark::State &bench_state)
+{
+    threading::ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (auto _ : bench_state) {
+        constexpr int kJobs = 256;
+        for (int i = 0; i < kJobs; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+        pool.waitIdle();
+    }
+    benchmark::DoNotOptimize(counter.load());
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) * 256);
+}
+BENCHMARK(BM_ThreadPoolDispatch);
+
+/** Engine state-cloning path: copy cost of a particle-filter state. */
+void
+BM_StateCloning(benchmark::State &bench_state)
+{
+    struct BigState
+    {
+        std::vector<double> data;
+    };
+    BigState state;
+    state.data.resize(static_cast<std::size_t>(bench_state.range(0)));
+    for (auto _ : bench_state) {
+        BigState clone = state; // What the runtime does per group.
+        benchmark::DoNotOptimize(clone.data.data());
+    }
+}
+BENCHMARK(BM_StateCloning)->Arg(1000)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

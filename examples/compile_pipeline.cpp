@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Toolchain tour: extended C++ -> front-end -> middle-end -> back-end.
+ *
+ * Walks the paper's Figure 6 compilation flow on a small program:
+ *  1. the front-end translates the TI/SDI extensions to standard C++
+ *     (Figure 11) and emits the tradeoff metadata;
+ *  2. the middle-end generates auxiliary code on the IR: it clones
+ *     computeOutput and the tradeoffs it reaches, then freezes the
+ *     non-auxiliary tradeoffs to their defaults;
+ *  3. the back-end instantiates two different configurations from
+ *     the same IR — evaluating getValue(i) at compile time — and the
+ *     interpreter shows the auxiliary code's behaviour change while
+ *     the original code stays fixed.
+ */
+
+#include <cstdio>
+
+#include "backend/backend.hpp"
+#include "frontend/frontend.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/parser.hpp"
+#include "midend/midend.hpp"
+
+using namespace stats;
+
+namespace {
+
+/** Extended C++: one constant tradeoff + one state dependence. */
+const char *kExtendedSource = R"(
+class Iterations_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 6; }
+    auto getValue(int64_t i) { return i + 1; }
+    int64_t getDefaultIndex() { return 3; }
+};
+tradeoff TO_iterations {
+    { Iterations_options };
+};
+
+class Input { int id; };
+class Output { double refined; };
+class State { double estimate; };
+
+Output *computeOutput(Input *in, State *s) {
+    for (int i = 0; i < TO_iterations; ++i)
+        s->estimate = refine(s->estimate, in);
+    return new Output{s->estimate};
+}
+
+void run() {
+    vector<Input *> inputs(n);
+    State s;
+    StateDependence<Input, State, Output> dep(&inputs, &s, computeOutput);
+    dep.start();
+    dep.join();
+}
+)";
+
+/** The same program, hand-lowered to the mini-IR (the clang step). */
+const char *kLoweredIr = R"(
+module "demo"
+func @T_42() -> i64 {
+entry:
+  ret i64 4
+}
+func @T_42_getValue(i64 %i) -> i64 {
+entry:
+  %v = add i64 %i, 1
+  ret i64 %v
+}
+func @T_42_size() -> i64 {
+entry:
+  ret i64 6
+}
+func @T_42_getDefaultIndex() -> i64 {
+entry:
+  ret i64 3
+}
+func @computeOutput(i64 %input, f64 %state) -> f64 {
+entry:
+  %iters = call i64 @T_42()
+  jmp loop
+loop:
+  %i = phi i64 [0, entry], [%i2, loop]
+  %e = phi f64 [%state, entry], [%e2, loop]
+  %fi = cast f64 %input
+  %e2 = mul f64 %e, 0.9
+  %i2 = add i64 %i, 1
+  %more = cmplt i64 %i2, %iters
+  br %more, loop, done
+done:
+  %r = add f64 %e2, %fi
+  ret f64 %r
+}
+)";
+
+} // namespace
+
+int
+main()
+{
+    // 1. Front-end.
+    const auto fe = frontend::compileExtendedSource(kExtendedSource,
+                                                    "demo");
+    std::printf("== front-end ==\n");
+    std::printf("tradeoffs found: %zu, state dependences: %zu\n",
+                fe.tradeoffs.size(), fe.stateDeps.size());
+    std::printf("generated header (%zu LOC):\n%s\n", fe.generatedLoc,
+                fe.generatedHeader.c_str());
+
+    // 2. Middle-end: combine the lowered IR with the front-end's
+    // metadata, then generate auxiliary code.
+    ir::Module module = ir::parseModule(std::string(kLoweredIr) + "\n" +
+                                        fe.irMetadata);
+    const std::size_t before = module.instructionCount();
+    const auto report = midend::runMiddleEnd(module);
+    std::printf("== middle-end ==\n");
+    std::printf("cloned %zu function(s), %zu tradeoff(s); IR grew "
+                "%zu -> %zu instructions\n",
+                report.clonedFunctions.size(),
+                report.clonedTradeoffs.size(), before,
+                module.instructionCount());
+
+    // 3. Back-end: instantiate two configurations of the same IR.
+    std::printf("== back-end ==\n");
+    for (const std::int64_t index : {0, 5}) {
+        backend::BackendConfig config;
+        config.auxiliaryDeps.insert("SD0");
+        config.tradeoffIndices["aux::T_42"] = index;
+        const ir::Module binary = backend::instantiate(module, config);
+
+        ir::Interpreter interp(binary);
+        const double original =
+            interp
+                .call("computeOutput", {ir::RtValue::ofInt(3),
+                                        ir::RtValue::ofFloat(10.0)})
+                .asFloat();
+        const double auxiliary =
+            interp
+                .call("computeOutput__aux0",
+                      {ir::RtValue::ofInt(3), ir::RtValue::ofFloat(10.0)})
+                .asFloat();
+        std::printf("aux::iterations index %lld -> original %.4f, "
+                    "auxiliary %.4f\n",
+                    static_cast<long long>(index), original, auxiliary);
+    }
+    std::printf("(the original stays at the default tradeoff; only the "
+                "auxiliary code changes)\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+#include "autotuner/bandit.hpp"
+
+#include <cmath>
+
+#include "support/log.hpp"
+
+namespace stats::autotuner {
+
+AucBandit::AucBandit(std::size_t arms, std::size_t window,
+                     double exploration)
+    : _arms(arms), _window(window), _exploration(exploration)
+{
+    if (arms == 0)
+        support::panic("AucBandit: no arms");
+}
+
+double
+AucBandit::credit(std::size_t arm) const
+{
+    const auto &outcomes = _arms[arm].outcomes;
+    if (outcomes.empty())
+        return 0.0;
+    // AUC: a success at position i (oldest = 0) contributes i+1;
+    // normalize by the maximum possible area.
+    double area = 0.0;
+    double max_area = 0.0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        max_area += static_cast<double>(i + 1);
+        if (outcomes[i])
+            area += static_cast<double>(i + 1);
+    }
+    return area / max_area;
+}
+
+std::size_t
+AucBandit::select()
+{
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t a = 0; a < _arms.size(); ++a) {
+        if (_arms[a].uses == 0)
+            return a; // Play every arm once first.
+        const double exploration =
+            _exploration *
+            std::sqrt(2.0 * std::log(static_cast<double>(_totalUses)) /
+                      static_cast<double>(_arms[a].uses));
+        const double score = credit(a) + exploration;
+        if (score > best_score) {
+            best_score = score;
+            best = a;
+        }
+    }
+    return best;
+}
+
+void
+AucBandit::reward(std::size_t arm, bool new_best)
+{
+    Arm &a = _arms[arm];
+    a.outcomes.push_back(new_best);
+    if (a.outcomes.size() > _window)
+        a.outcomes.pop_front();
+    ++a.uses;
+    ++_totalUses;
+}
+
+} // namespace stats::autotuner

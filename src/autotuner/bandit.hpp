@@ -1,0 +1,55 @@
+/**
+ * @file
+ * AUC multi-armed bandit over search techniques (OpenTuner's
+ * technique-selection strategy).
+ *
+ * Each technique accumulates a sliding window of outcomes (1 when its
+ * proposal produced a new best, 0 otherwise). The bandit scores a
+ * technique by the area under that window's credit curve — weighting
+ * recent successes more — plus an exploration bonus, and picks the
+ * highest-scoring technique for each proposal.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace stats::autotuner {
+
+/** AUC bandit over a fixed set of arms. */
+class AucBandit
+{
+  public:
+    /**
+     * @param arms        number of techniques
+     * @param window      sliding-window length
+     * @param exploration exploration coefficient (UCB-style)
+     */
+    explicit AucBandit(std::size_t arms, std::size_t window = 50,
+                       double exploration = 0.25);
+
+    /** Choose the arm to play next. */
+    std::size_t select();
+
+    /** Report the outcome of the last play of `arm`. */
+    void reward(std::size_t arm, bool new_best);
+
+    /** Current AUC credit of an arm (for tests/inspection). */
+    double credit(std::size_t arm) const;
+
+  private:
+    struct Arm
+    {
+        std::deque<bool> outcomes;
+        std::size_t uses = 0;
+    };
+
+    std::vector<Arm> _arms;
+    std::size_t _window;
+    double _exploration;
+    std::size_t _totalUses = 0;
+};
+
+} // namespace stats::autotuner

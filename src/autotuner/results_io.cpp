@@ -1,0 +1,81 @@
+#include "autotuner/results_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/log.hpp"
+#include "support/string_utils.hpp"
+
+namespace stats::autotuner {
+
+void
+writeResults(std::ostream &out, const tradeoff::StateSpace &space,
+             const ResultsStore &results)
+{
+    out << "statsdb 1\n";
+    out << "space";
+    for (std::size_t i = 0; i < space.dimensionCount(); ++i) {
+        out << " " << space.dimension(i).name << ":"
+            << space.dimension(i).cardinality;
+    }
+    out << "\n";
+    out.precision(17);
+    for (const auto &[config, objective] : results) {
+        out << "point";
+        for (const auto index : config)
+            out << " " << index;
+        out << " = " << objective << "\n";
+    }
+}
+
+ResultsStore
+readResults(std::istream &in, const tradeoff::StateSpace &space)
+{
+    ResultsStore results;
+    std::string line;
+    bool header_seen = false;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        line = support::trim(line);
+        if (line.empty())
+            continue;
+        if (!header_seen) {
+            if (!support::startsWith(line, "statsdb "))
+                support::panic("results store: missing header");
+            header_seen = true;
+            continue;
+        }
+        if (support::startsWith(line, "space"))
+            continue; // Shape is informational; validity checked below.
+        if (!support::startsWith(line, "point "))
+            support::panic("results store: bad line ", line_no);
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            support::panic("results store: no '=' on line ", line_no);
+        const auto indices =
+            support::splitWhitespace(line.substr(5, eq - 5));
+        tradeoff::Configuration config;
+        config.reserve(indices.size());
+        bool ok = true;
+        for (const auto &word : indices) {
+            try {
+                config.push_back(std::stoll(word));
+            } catch (...) {
+                ok = false;
+            }
+        }
+        if (!ok)
+            support::panic("results store: bad index on line ", line_no);
+        const double objective =
+            std::stod(support::trim(line.substr(eq + 1)));
+        // Drop entries that no longer fit the (possibly changed) space.
+        if (space.valid(config))
+            results.emplace(std::move(config), objective);
+    }
+    return results;
+}
+
+} // namespace stats::autotuner

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Persistence of autotuner exploration results.
+ *
+ * "The autotuner stores the results of its exploration in the
+ * description of the state space, which allows them to be reused
+ * should the specific optimization objective change" (paper
+ * section 3.2). This module serializes a results store to a simple
+ * line-based text format and reads it back:
+ *
+ *   statsdb 1
+ *   space <dim-name>:<cardinality> ...
+ *   point <index> <index> ... = <objective>
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "tradeoff/state_space.hpp"
+
+namespace stats::autotuner {
+
+using ResultsStore = std::map<tradeoff::Configuration, double>;
+
+/** Write a store (with its space's shape) to a stream. */
+void writeResults(std::ostream &out, const tradeoff::StateSpace &space,
+                  const ResultsStore &results);
+
+/**
+ * Read a store written by writeResults. Panics on malformed input;
+ * entries that do not fit `space` (changed dimensions) are dropped,
+ * so stale stores degrade gracefully.
+ *
+ * @return the surviving entries.
+ */
+ResultsStore readResults(std::istream &in,
+                         const tradeoff::StateSpace &space);
+
+} // namespace stats::autotuner

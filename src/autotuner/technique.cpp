@@ -1,0 +1,135 @@
+#include "autotuner/technique.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stats::autotuner {
+
+namespace {
+
+std::int64_t
+clampIndex(std::int64_t value, std::int64_t cardinality)
+{
+    return std::max<std::int64_t>(0,
+                                  std::min(value, cardinality - 1));
+}
+
+} // namespace
+
+tradeoff::Configuration
+RandomSearch::propose(TuningContext &context)
+{
+    return context.space.randomConfiguration(context.rng);
+}
+
+tradeoff::Configuration
+GreedyMutation::propose(TuningContext &context)
+{
+    if (!context.best)
+        return context.space.randomConfiguration(context.rng);
+    tradeoff::Configuration config = context.best->config;
+    const std::size_t dims = context.space.dimensionCount();
+    const std::size_t mutations =
+        1 + static_cast<std::size_t>(context.rng.nextBelow(2));
+    for (std::size_t m = 0; m < mutations; ++m) {
+        const std::size_t d =
+            static_cast<std::size_t>(context.rng.nextBelow(dims));
+        const auto cardinality = context.space.dimension(d).cardinality;
+        config[d] = static_cast<std::int64_t>(context.rng.nextBelow(
+            static_cast<std::uint64_t>(cardinality)));
+    }
+    return config;
+}
+
+tradeoff::Configuration
+PatternSearch::propose(TuningContext &context)
+{
+    if (!context.best)
+        return context.space.randomConfiguration(context.rng);
+    tradeoff::Configuration config = context.best->config;
+    const std::size_t dims = context.space.dimensionCount();
+
+    // Cycle through (dimension, direction) pairs.
+    _dim = (_dim + (_direction < 0 ? 0 : 0)) % dims;
+    const auto cardinality = context.space.dimension(_dim).cardinality;
+    config[_dim] =
+        clampIndex(config[_dim] + _direction, cardinality);
+
+    if (_direction > 0) {
+        _direction = -1;
+    } else {
+        _direction = 1;
+        _dim = (_dim + 1) % dims;
+    }
+    return config;
+}
+
+tradeoff::Configuration
+DifferentialEvolution::propose(TuningContext &context)
+{
+    const std::size_t dims = context.space.dimensionCount();
+
+    // Fill the population with random individuals first.
+    if (_population.size() < _populationSize) {
+        _pending = context.space.randomConfiguration(context.rng);
+        _hasPending = true;
+        return _pending;
+    }
+
+    // DE/rand/1: candidate = a + F * (b - c), crossed with the target.
+    const auto pick = [&] {
+        return static_cast<std::size_t>(
+            context.rng.nextBelow(_population.size()));
+    };
+    const auto &a = _population[pick()].config;
+    const auto &b = _population[pick()].config;
+    const auto &c = _population[pick()].config;
+    const auto &target = _population[_target].config;
+
+    tradeoff::Configuration candidate(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+        const double mutated =
+            static_cast<double>(a[d]) +
+            _f * static_cast<double>(b[d] - c[d]);
+        const bool cross = context.rng.nextDouble() < _crossover;
+        const auto cardinality = context.space.dimension(d).cardinality;
+        candidate[d] = cross
+                           ? clampIndex(static_cast<std::int64_t>(
+                                            std::llround(mutated)),
+                                        cardinality)
+                           : target[d];
+    }
+    _pending = candidate;
+    _hasPending = true;
+    return candidate;
+}
+
+void
+DifferentialEvolution::feedback(const tradeoff::Configuration &config,
+                                double objective, bool /* new_best */)
+{
+    if (!_hasPending || config != _pending)
+        return;
+    _hasPending = false;
+
+    if (_population.size() < _populationSize) {
+        _population.push_back({config, objective});
+        return;
+    }
+    if (objective <= _population[_target].objective)
+        _population[_target] = {config, objective};
+    _target = (_target + 1) % _population.size();
+}
+
+std::vector<std::unique_ptr<SearchTechnique>>
+defaultTechniques()
+{
+    std::vector<std::unique_ptr<SearchTechnique>> techniques;
+    techniques.push_back(std::make_unique<RandomSearch>());
+    techniques.push_back(std::make_unique<GreedyMutation>());
+    techniques.push_back(std::make_unique<PatternSearch>());
+    techniques.push_back(std::make_unique<DifferentialEvolution>());
+    return techniques;
+}
+
+} // namespace stats::autotuner

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Search techniques for the autotuner.
+ *
+ * The paper's autotuner is built on OpenTuner (section 3.5), which
+ * ensembles several search techniques under a multi-armed bandit.
+ * This module provides the same architecture: a `SearchTechnique`
+ * interface with random search, greedy mutation, pattern search, and
+ * differential evolution, orchestrated by the AUC bandit in
+ * bandit.hpp. Every tradeoff is an enumerable integer parameter
+ * (OpenTuner's "IntegerParamsTuner" extension in the paper).
+ */
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "tradeoff/state_space.hpp"
+
+namespace stats::autotuner {
+
+/** One evaluated point. Lower objective is better. */
+struct EvalRecord
+{
+    tradeoff::Configuration config;
+    double objective = 0.0;
+};
+
+/** Read-only view of the search state given to techniques. */
+class TuningContext
+{
+  public:
+    TuningContext(const tradeoff::StateSpace &space,
+                  support::Xoshiro256 &rng,
+                  const std::vector<EvalRecord> &history,
+                  const EvalRecord *best)
+        : space(space), rng(rng), history(history), best(best)
+    {
+    }
+
+    const tradeoff::StateSpace &space;
+    support::Xoshiro256 &rng;
+    const std::vector<EvalRecord> &history;
+    const EvalRecord *best; ///< Null until the first evaluation.
+};
+
+/** A configuration proposer with optional feedback. */
+class SearchTechnique
+{
+  public:
+    virtual ~SearchTechnique() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Propose the next configuration to evaluate. */
+    virtual tradeoff::Configuration propose(TuningContext &context) = 0;
+
+    /** Learn from the evaluation of a proposed configuration. */
+    virtual void
+    feedback(const tradeoff::Configuration &config, double objective,
+             bool new_best)
+    {
+        (void)config;
+        (void)objective;
+        (void)new_best;
+    }
+};
+
+/** Uniform random sampling of the space. */
+class RandomSearch : public SearchTechnique
+{
+  public:
+    std::string name() const override { return "random"; }
+    tradeoff::Configuration propose(TuningContext &context) override;
+};
+
+/** Mutate a few dimensions of the best known configuration. */
+class GreedyMutation : public SearchTechnique
+{
+  public:
+    std::string name() const override { return "greedy-mutation"; }
+    tradeoff::Configuration propose(TuningContext &context) override;
+};
+
+/** Coordinate descent: step one dimension of the best by +-1. */
+class PatternSearch : public SearchTechnique
+{
+  public:
+    std::string name() const override { return "pattern"; }
+    tradeoff::Configuration propose(TuningContext &context) override;
+
+  private:
+    std::size_t _dim = 0;
+    int _direction = 1;
+};
+
+/** Classic DE/rand/1 with integer rounding and clamping. */
+class DifferentialEvolution : public SearchTechnique
+{
+  public:
+    explicit DifferentialEvolution(std::size_t population = 10,
+                                   double f = 0.7,
+                                   double crossover = 0.6)
+        : _populationSize(population), _f(f), _crossover(crossover)
+    {
+    }
+
+    std::string name() const override { return "diff-evolution"; }
+    tradeoff::Configuration propose(TuningContext &context) override;
+    void feedback(const tradeoff::Configuration &config, double objective,
+                  bool new_best) override;
+
+  private:
+    std::size_t _populationSize;
+    double _f;
+    double _crossover;
+    std::vector<EvalRecord> _population;
+    std::size_t _target = 0;
+    tradeoff::Configuration _pending;
+    bool _hasPending = false;
+};
+
+/** The default ensemble, in OpenTuner's spirit. */
+std::vector<std::unique_ptr<SearchTechnique>> defaultTechniques();
+
+} // namespace stats::autotuner

@@ -1,0 +1,100 @@
+#include "autotuner/tuner.hpp"
+
+#include "support/log.hpp"
+
+namespace stats::autotuner {
+
+Autotuner::Autotuner(tradeoff::StateSpace space, std::uint64_t seed)
+    : _space(std::move(space)), _rng(seed),
+      _techniques(defaultTechniques()), _bandit(_techniques.size())
+{
+}
+
+void
+Autotuner::preload(
+    const std::map<tradeoff::Configuration, double> &store)
+{
+    for (const auto &[config, objective] : store) {
+        if (_space.valid(config))
+            _results.emplace(config, objective);
+    }
+}
+
+TuneResult
+Autotuner::tune(const Objective &objective, int budget,
+                const std::vector<tradeoff::Configuration> &seeds)
+{
+    TuneResult result;
+    std::vector<EvalRecord> history;
+    EvalRecord best;
+    bool has_best = false;
+
+    const auto evaluate = [&](const tradeoff::Configuration &config,
+                              std::size_t technique) {
+        auto cached = _results.find(config);
+        double value = 0.0;
+        if (cached != _results.end()) {
+            value = cached->second;
+        } else {
+            value = objective(config);
+            _results.emplace(config, value);
+            ++result.evaluations;
+        }
+        history.push_back({config, value});
+        const bool new_best = !has_best || value < best.objective;
+        if (new_best) {
+            best = {config, value};
+            has_best = true;
+        }
+        result.trace.push_back(best.objective);
+        if (technique < _techniques.size()) {
+            _techniques[technique]->feedback(config, value, new_best);
+            _bandit.reward(technique, new_best);
+        }
+    };
+
+    // Always profile the default configuration first (the baseline
+    // "tradeoffs at default, dependences satisfied conventionally" is
+    // configuration-representable too), then any caller seeds.
+    evaluate(_space.defaultConfiguration(), _techniques.size());
+    for (const auto &seed : seeds) {
+        if (_space.valid(seed))
+            evaluate(seed, _techniques.size());
+    }
+
+    int stale_retries = 0;
+    while (result.evaluations < budget &&
+           static_cast<double>(_results.size()) < _space.totalPoints()) {
+        const std::size_t arm = _bandit.select();
+        TuningContext context(_space, _rng, history,
+                              has_best ? &best : nullptr);
+        tradeoff::Configuration config =
+            _techniques[arm]->propose(context);
+        if (!_space.valid(config))
+            support::panic("technique '", _techniques[arm]->name(),
+                           "' proposed an invalid configuration");
+        if (_results.count(config)) {
+            // Already evaluated: feed the cached outcome back to the
+            // technique a few times, then inject pure exploration.
+            if (++stale_retries >= 3) {
+                stale_retries = 0;
+                config = _space.randomConfiguration(_rng);
+                if (!_results.count(config))
+                    evaluate(config, _techniques.size());
+                continue;
+            }
+            evaluate(config, arm);
+            continue;
+        }
+        stale_retries = 0;
+        evaluate(config, arm);
+    }
+
+    if (!has_best)
+        support::panic("Autotuner: no evaluations performed");
+    result.best = best.config;
+    result.bestObjective = best.objective;
+    return result;
+}
+
+} // namespace stats::autotuner

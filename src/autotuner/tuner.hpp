@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The autotuner driver (paper section 3.5).
+ *
+ * Explores the state space with an ensemble of techniques under the
+ * AUC bandit, caches evaluated configurations (the paper's reusable
+ * "description of the state space" store), and records the
+ * convergence trace used by Figure 20. The space averages ~1.3M
+ * points in the paper, so exploration is budgeted, not exhaustive;
+ * the paper finds 88 evaluations suffice.
+ */
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "autotuner/bandit.hpp"
+#include "autotuner/technique.hpp"
+#include "tradeoff/state_space.hpp"
+
+namespace stats::autotuner {
+
+/** Outcome of a tuning session. */
+struct TuneResult
+{
+    tradeoff::Configuration best;
+    double bestObjective = 0.0;
+
+    /** Best objective after each evaluation (Figure 20's trace). */
+    std::vector<double> trace;
+
+    /** Evaluations actually performed (cache hits excluded). */
+    int evaluations = 0;
+};
+
+/** Budgeted search over one state space. */
+class Autotuner
+{
+  public:
+    /** Objective: maps a configuration to a cost (lower is better). */
+    using Objective =
+        std::function<double(const tradeoff::Configuration &)>;
+
+    /**
+     * @param space the space to explore
+     * @param seed  PRVG seed; the paper notes the autotuner itself
+     *              "uses nondeterminism for better exploration", so
+     *              different seeds may find different best points
+     */
+    explicit Autotuner(tradeoff::StateSpace space,
+                       std::uint64_t seed = 1);
+
+    /**
+     * Evaluate up to `budget` configurations (always including the
+     * default configuration first) and return the best.
+     *
+     * @param seeds configurations evaluated up front — e.g. the best
+     *              of a previous search with a different objective
+     *              (the paper's reusable state-space store,
+     *              section 3.2)
+     */
+    TuneResult tune(const Objective &objective, int budget,
+                    const std::vector<tradeoff::Configuration> &seeds =
+                        {});
+
+    /**
+     * Objective values of every configuration evaluated by this
+     * tuner. The cache is *per objective*: reuse one Autotuner for
+     * one objective only (cross-objective reuse happens one level
+     * down, in the profiler's measurement store — paper sec. 3.2).
+     */
+    const std::map<tradeoff::Configuration, double> &results() const
+    {
+        return _results;
+    }
+
+    /**
+     * Merge previously-saved exploration results into the store
+     * (see results_io.hpp); entries must fit this tuner's space.
+     */
+    void preload(const std::map<tradeoff::Configuration, double> &store);
+
+    const tradeoff::StateSpace &space() const { return _space; }
+
+  private:
+    tradeoff::StateSpace _space;
+    support::Xoshiro256 _rng;
+    std::vector<std::unique_ptr<SearchTechnique>> _techniques;
+    AucBandit _bandit;
+    std::map<tradeoff::Configuration, double> _results;
+};
+
+} // namespace stats::autotuner

@@ -1,0 +1,56 @@
+#include "backend/backend.hpp"
+
+#include <algorithm>
+
+#include "midend/substitute.hpp"
+#include "support/log.hpp"
+
+namespace stats::backend {
+
+ir::Module
+instantiate(const ir::Module &midend_ir, const BackendConfig &config)
+{
+    ir::Module module = midend_ir; // Instantiate a copy.
+
+    for (const auto &[name, index] : config.tradeoffIndices) {
+        if (!module.findTradeoff(name))
+            support::panic("back-end: unknown tradeoff '", name, "'");
+    }
+    for (const auto &dep_name : config.auxiliaryDeps) {
+        ir::StateDepMeta *dep = module.findStateDep(dep_name);
+        if (!dep)
+            support::panic("back-end: unknown state dependence '",
+                           dep_name, "'");
+        if (dep->auxFn.empty())
+            support::panic("back-end: state dependence '", dep_name,
+                           "' has no auxiliary code");
+        // Link the runtime, specialized for this dependence.
+        dep->runtimeLinked = true;
+    }
+
+    // Set every remaining (auxiliary) tradeoff: the configured index
+    // if given, its default otherwise.
+    std::vector<std::string> names;
+    for (const auto &meta : module.tradeoffs)
+        names.push_back(meta.name);
+    for (const auto &name : names) {
+        const ir::TradeoffMeta meta = *module.findTradeoff(name);
+        auto chosen = config.tradeoffIndices.find(name);
+        const std::int64_t index =
+            chosen != config.tradeoffIndices.end()
+                ? chosen->second
+                : midend::defaultIndexOf(module, meta);
+        const std::int64_t size = midend::sizeOf(module, meta);
+        if (index < 0 || index >= size) {
+            support::panic("back-end: index ", index,
+                           " out of range for tradeoff '", name,
+                           "' (size ", size, ")");
+        }
+        const midend::ChosenValue value =
+            midend::evaluateTradeoffValue(module, meta, index);
+        midend::applyTradeoff(module, meta, value);
+    }
+    return module;
+}
+
+} // namespace stats::backend

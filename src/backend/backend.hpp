@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The back-end compiler (paper section 3.4, "Generating a binary").
+ *
+ * Takes the middle-end's IR and one autotuner configuration, and
+ * produces the configured module: for every state dependence to be
+ * satisfied with auxiliary code it links the specialized runtime
+ * (marked in the metadata) and sets the auxiliary tradeoffs to the
+ * configuration's indices — fetching each value by executing the
+ * tradeoff's getValue() (the paper's LLVM-JIT step) and rewriting
+ * the placeholder references. Instantiation deliberately involves
+ * only simple code changes so the autotuner can re-instantiate the
+ * same IR cheaply (the paper's compile-time design choice).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace stats::backend {
+
+/** One point of the state space, as the back-end consumes it. */
+struct BackendConfig
+{
+    /** aux tradeoff name (e.g. "aux::T_42") -> value index. */
+    std::map<std::string, std::int64_t> tradeoffIndices;
+
+    /** State dependences to satisfy with auxiliary code. */
+    std::set<std::string> auxiliaryDeps;
+};
+
+/**
+ * Instantiate one configuration. The input module is copied — the
+ * middle-end IR stays reusable for the next configuration.
+ *
+ * Unmentioned auxiliary tradeoffs take their default index; unknown
+ * names in the configuration are an error.
+ */
+ir::Module instantiate(const ir::Module &midend_ir,
+                       const BackendConfig &config);
+
+} // namespace stats::backend

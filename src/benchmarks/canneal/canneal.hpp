@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reimplementation of PARSEC's canneal — the benchmark STATS cannot
+ * target (paper section 4.2).
+ *
+ * canneal places netlist elements on a grid with simulated annealing:
+ * random element swaps are accepted when they shorten the total wire
+ * length or, with temperature-dependent probability, even when they
+ * do not. It is nondeterministic (the paper's Figure 2 attributes its
+ * variability to race conditions between the swapping threads; here
+ * the randomized swap selection plays that role).
+ *
+ * Why STATS does not apply: "STATS needs to know the number of inputs
+ * that the code pattern of Figure 4 has to process at run time just
+ * before the first invocation of this code pattern. This information
+ * is unfortunately unavailable in the canneal benchmark: the number
+ * of inputs depends on the evolution of the computation state" — the
+ * annealing loop runs until the placement stops improving, so the
+ * input stream cannot be materialized up front for the SDI. This
+ * module exists to reproduce canneal's Figure 2 variability and to
+ * demonstrate that structural exclusion concretely (see
+ * stepsAreStateDependent in the tests).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace stats::benchmarks::canneal {
+
+/** A netlist: elements with connectivity, to be placed on a grid. */
+struct Netlist
+{
+    int gridSide = 16;
+    /** nets[i] lists the elements connected to element i. */
+    std::vector<std::vector<int>> nets;
+};
+
+/** A placement: grid slot per element. */
+struct Placement
+{
+    std::vector<int> slotOf;
+    int gridSide = 16;
+
+    /** Total Manhattan wire length of the placement. */
+    double wireLength(const Netlist &netlist) const;
+};
+
+/** Result of one annealing run. */
+struct AnnealResult
+{
+    Placement placement;
+    double finalCost = 0.0;
+    /**
+     * Temperature steps executed — *state-dependent*, which is
+     * exactly why the SDI cannot encode canneal's loop.
+     */
+    int temperatureSteps = 0;
+    long long swapsAttempted = 0;
+};
+
+/** Generate a random netlist (representative workload). */
+Netlist makeNetlist(std::uint64_t seed, int elements = 192,
+                    int avg_degree = 4);
+
+/**
+ * Run the full annealing: temperature ladder with a convergence-
+ * based stop (terminates when a temperature step yields too little
+ * improvement), like the original's `number_temp_steps == -1` mode.
+ */
+AnnealResult anneal(const Netlist &netlist, support::Xoshiro256 &rng,
+                    double initial_temperature = 2.0,
+                    double cooling = 0.85,
+                    int swaps_per_step = 2048);
+
+} // namespace stats::benchmarks::canneal

@@ -1,0 +1,497 @@
+#include "benchmarks/common/extended_sources.hpp"
+
+#include <map>
+
+#include "support/log.hpp"
+
+namespace stats::benchmarks {
+
+namespace {
+
+// Shared thread-count tradeoffs: "the number of original threads and
+// the number of threads to use for state dependences, which all
+// benchmarks naturally have" (paper section 4.2), expressed with TI.
+const char *kThreadTradeoffs = R"(
+class OriginalThreads_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 28; }
+    auto getValue(int64_t i) { return i + 1; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_originalThreads {
+    { OriginalThreads_options };
+};
+class SdThreads_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 28; }
+    auto getValue(int64_t i) { return i + 1; }
+    int64_t getDefaultIndex() { return 3; }
+};
+tradeoff TO_sdThreads {
+    { SdThreads_options };
+};
+)";
+
+std::string
+bodytrackSource()
+{
+    return std::string(R"(
+// bodytrack, ported to the STATS interface (paper Figures 8 and 10).
+#include <vector>
+
+class AnnealingLayers_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 10; }
+    auto getValue(int64_t i) { return i + 1; }
+    int64_t getDefaultIndex() { return 4; }
+};
+tradeoff TO_numAnnealingLayers {
+    { AnnealingLayers_options };
+};
+
+class Particles_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 8; }
+    auto getValue(int64_t i) { return 10 + i * 10; }
+    int64_t getDefaultIndex() { return 4; }
+};
+tradeoff TO_numParticles {
+    { Particles_options };
+};
+
+class Precision_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_precision {
+    { Precision_options };
+};
+)") + kThreadTradeoffs + R"(
+class Input { int frameId; };
+class Output { vector<BodyPart> positions; };
+class State {
+    vector<Particle> model;
+    State &operator=(State &);
+    bool doesSpecStateMatchAny(set<State *> originals) {
+        // Accept the speculative state if it is at most as far from
+        // an original state as the originals are from each other;
+        // distance is the sum of absolute part-position differences.
+        for (State *a : originals) {
+            double d = distanceTo(*a);
+            if (originals.size() == 1)
+                return d <= kMatchTolerance;
+            for (State *b : originals) {
+                if (b != a && d <= b->distanceTo(*a))
+                    return true;
+            }
+        }
+        return false;
+    }
+};
+
+Output *computeOutput(Input *i, State *s) {
+    Frame f = getFrame(i->frameId);
+    s->model = updateModel(TO_numAnnealingLayers, TO_numParticles,
+                           TO_precision, s->model, f);
+    Output *o = new Output();
+    o->positions = getPositions(s->model);
+    return o;
+}
+
+void estimateLocations() {
+    vector<Input *> i(numFrames);
+    vector<Particle> model(TO_numParticles);
+    State s;
+    s.model = model;
+    StateDependence<Input, State, Output>
+        stateDep(&i, &s, computeOutput);
+    stateDep.start();
+    stateDep.join();
+}
+)";
+}
+
+std::string
+facedetSource()
+{
+    return std::string(R"(
+// facedet (OpenCV face tracking), ported to the STATS interface.
+#include <vector>
+
+class FaceParticles_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 8; }
+    auto getValue(int64_t i) { return 10 + i * 10; }
+    int64_t getDefaultIndex() { return 4; }
+};
+tradeoff TO_numParticles {
+    { FaceParticles_options };
+};
+
+class NoiseRounds_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 8; }
+    auto getValue(int64_t i) { return i + 1; }
+    int64_t getDefaultIndex() { return 3; }
+};
+tradeoff TO_noiseRounds {
+    { NoiseRounds_options };
+};
+
+class NoiseSigma_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 4; }
+    auto getValue(int64_t i) { return 2.0 * (i + 1); }
+    int64_t getDefaultIndex() { return 2; }
+};
+tradeoff TO_noiseSigma {
+    { NoiseSigma_options };
+};
+
+class BoxPrecision_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_precision {
+    { BoxPrecision_options };
+};
+)") + kThreadTradeoffs + R"(
+class Input { int frameId; };
+class Output { FaceBox box; };
+class State {
+    vector<BoxParticle> particles;
+    State &operator=(State &);
+    bool doesSpecStateMatchAny(set<State *> originals) {
+        // Average Euclidean distance of the four face-box corners.
+        for (State *a : originals) {
+            double d = cornerDistanceTo(*a);
+            if (originals.size() == 1)
+                return d <= kMatchTolerance;
+            for (State *b : originals) {
+                if (b != a && d <= b->cornerDistanceTo(*a))
+                    return true;
+            }
+        }
+        return false;
+    }
+};
+
+Output *computeOutput(Input *i, State *s) {
+    Frame f = decodeFrame(i->frameId);
+    for (int round = 0; round < TO_noiseRounds; ++round)
+        addGaussianNoise(s->particles, TO_noiseSigma, TO_precision);
+    reweightAndResample(s->particles, f, TO_numParticles);
+    Output *o = new Output();
+    o->box = estimateBox(s->particles);
+    return o;
+}
+
+void trackFaces() {
+    vector<Input *> frames(numFrames);
+    State s;
+    s.particles = initialCloud(TO_numParticles);
+    StateDependence<Input, State, Output>
+        faceDep(&frames, &s, computeOutput);
+    faceDep.start();
+    faceDep.join();
+}
+)";
+}
+
+std::string
+swaptionsSource()
+{
+    return std::string(R"(
+// swaptions, ported to the STATS interface.
+#include <vector>
+
+class RatePathType_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_typeRatePath {
+    { RatePathType_options };
+};
+
+class DiscountType_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_typeDiscount {
+    { DiscountType_options };
+};
+)") + kThreadTradeoffs + R"(
+class Input { int swaption; int batch; };
+class Output { double runningPrice; };
+class State {
+    int swaption;
+    double sumPayoff;
+    long long trials;
+    State &operator=(State &);
+    // No comparison method: by construction of the state
+    // dependence, the speculative accumulator is a value the
+    // nondeterministic Monte-Carlo producer could have generated.
+};
+
+Output *computeOutput(Input *i, State *s) {
+    if (s->swaption != i->swaption)
+        resetAccumulator(s, i->swaption);
+    for (int t = 0; t < trialsPerBatch; ++t) {
+        TO_typeRatePath rate = simulatePath(i->swaption);
+        TO_typeDiscount discount = discountFactor(rate);
+        s->sumPayoff += payoff(rate, discount);
+        s->trials += 1;
+    }
+    Output *o = new Output();
+    o->runningPrice = s->sumPayoff / s->trials;
+    return o;
+}
+
+void priceSwaptions() {
+    vector<Input *> batches(numSwaptions * batchesPerSwaption);
+    State s;
+    StateDependence<Input, State, Output>
+        priceDep(&batches, &s, computeOutput);
+    priceDep.start();
+    priceDep.join();
+}
+)";
+}
+
+std::string
+streamSource(bool classifier)
+{
+    const std::string name =
+        classifier ? "streamclassifier" : "streamcluster";
+    return "// " + name + ", ported to the STATS interface.\n" +
+           std::string(R"(
+#include <vector>
+
+class MaxClusters_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 5; }
+    auto getValue(int64_t i) { return 8 + i * 4; }
+    int64_t getDefaultIndex() { return 2; }
+};
+tradeoff TO_maxClusters {
+    { MaxClusters_options };
+};
+
+class MinClusters_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 3; }
+    auto getValue(int64_t i) { return 2 + i * 2; }
+    int64_t getDefaultIndex() { return 1; }
+};
+tradeoff TO_minClusters {
+    { MinClusters_options };
+};
+
+class DistanceType_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_typeDistance {
+    { DistanceType_options };
+};
+
+class CostType_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_typeCost {
+    { CostType_options };
+};
+
+class WeightType_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_typeWeight {
+    { WeightType_options };
+};
+)") + kThreadTradeoffs + R"(
+class Input { vector<Point> candidates; };
+class Output { vector<int> labels; };
+class State {
+    vector<Centroid> solution;
+    double facilityCost;
+    State &operator=(State &);
+    // No comparison method: any solution the randomized local
+    // search could build over the (stationary) stream is acceptable
+    // by construction.
+};
+
+Output *computeOutput(Input *i, State *s) {
+    Output *o = new Output();
+    for (Point &p : i->candidates) {
+        TO_typeDistance d = distanceToSolution(p, s->solution);
+        TO_typeCost open = d / s->facilityCost;
+        if (shouldOpen(open, TO_minClusters))
+            s->solution.push_back(Centroid(p));
+        else {
+            TO_typeWeight w = assignToNearest(p, s->solution);
+            o->labels.push_back(nearest(p, s->solution, w));
+        }
+        enforceMaximum(s->solution, TO_maxClusters);
+    }
+    return o;
+}
+
+void clusterStream() {
+    vector<Input *> batches(numBatches);
+    State s;
+    StateDependence<Input, State, Output>
+        solutionDep(&batches, &s, computeOutput);
+    solutionDep.start();
+    solutionDep.join();
+    // Second state dependence: the evaluation/assignment stage that
+    // consumes the evolving solution.
+    State s2;
+    StateDependence<Input, State, Output>
+        assignDep(&batches, &s2, computeOutput);
+    assignDep.start();
+    assignDep.join();
+}
+)";
+}
+
+std::string
+fluidanimateSource()
+{
+    return std::string(R"(
+// fluidanimate, ported to the STATS interface. Included to test the
+// limits of STATS: the fluid state needs all previous inputs, so the
+// runtime always aborts the speculation (paper section 4.8).
+#include <vector>
+
+class SqrtImpl_options : Tradeoff_function_options {
+    const char *choices[3] = {"sqrt_exact", "sqrt_newton2", "sqrt_table"};
+    int64_t getMaxIndex() { return 3; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_sqrtImpl {
+    { SqrtImpl_options };
+};
+
+class DensityType_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_typeDensity {
+    { DensityType_options };
+};
+
+class PressureType_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_typePressure {
+    { PressureType_options };
+};
+
+class ViscosityType_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_typeViscosity {
+    { ViscosityType_options };
+};
+
+class PrismX_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 3; }
+    auto getValue(int64_t i) { return 1 + i; }
+    int64_t getDefaultIndex() { return 1; }
+};
+tradeoff TO_prismX {
+    { PrismX_options };
+};
+
+class PrismY_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 3; }
+    auto getValue(int64_t i) { return 1 + i; }
+    int64_t getDefaultIndex() { return 1; }
+};
+tradeoff TO_prismY {
+    { PrismY_options };
+};
+
+class PrismZ_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 3; }
+    auto getValue(int64_t i) { return 1 + i; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_prismZ {
+    { PrismZ_options };
+};
+)") + kThreadTradeoffs + R"(
+class Input { int frame; double dt; };
+class Output { vector<Vec3> positions; };
+class State {
+    vector<Vec3> positions;
+    vector<Vec3> velocities;
+    State &operator=(State &);
+    bool doesSpecStateMatchAny(set<State *> originals) {
+        // Average Euclidean distance between particle positions,
+        // bracketed by the originals' own spread.
+        for (State *a : originals) {
+            double d = distanceTo(*a);
+            if (originals.size() == 1)
+                return d <= kMatchTolerance;
+            for (State *b : originals) {
+                if (b != a && d <= b->distanceTo(*a))
+                    return true;
+            }
+        }
+        return false;
+    }
+};
+
+Output *computeOutput(Input *i, State *s) {
+    Grid grid = buildGrid(s->positions, TO_prismX, TO_prismY, TO_prismZ);
+    for (Pair pair : neighbourPairs(grid)) {
+        TO_typeDensity rho = density(pair, TO_sqrtImpl);
+        TO_typePressure p = pressure(rho);
+        TO_typeViscosity v = viscosity(pair);
+        accumulateForces(s, pair, rho, p, v);
+    }
+    integrate(s->positions, s->velocities, i->dt);
+    Output *o = new Output();
+    o->positions = s->positions;
+    return o;
+}
+
+void simulateFluid() {
+    vector<Input *> frames(numFrames);
+    State s;
+    initializeFluid(s.positions, s.velocities);
+    StateDependence<Input, State, Output>
+        fluidDep(&frames, &s, computeOutput);
+    fluidDep.start();
+    fluidDep.join();
+}
+)";
+}
+
+} // namespace
+
+const std::string &
+extendedSourceFor(const std::string &benchmark)
+{
+    static const std::map<std::string, std::string> sources{
+        {"bodytrack", bodytrackSource()},
+        {"facedet", facedetSource()},
+        {"swaptions", swaptionsSource()},
+        {"streamcluster", streamSource(false)},
+        {"streamclassifier", streamSource(true)},
+        {"fluidanimate", fluidanimateSource()},
+    };
+    auto it = sources.find(benchmark);
+    if (it == sources.end())
+        support::panic("no extended source for benchmark '", benchmark,
+                       "'");
+    return it->second;
+}
+
+} // namespace stats::benchmarks

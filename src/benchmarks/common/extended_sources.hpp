@@ -1,0 +1,23 @@
+/**
+ * @file
+ * The extended-C++ encodings (SDI + TI) of the six benchmarks.
+ *
+ * These are the sources a developer would write to port each
+ * benchmark to STATS (paper Figures 8 and 10 show bodytrack's). They
+ * are consumed by the front-end compiler to produce the Table 1
+ * developer-effort numbers and the per-benchmark IR metadata, and
+ * they document every tradeoff of paper section 4.2 in its
+ * programmable form.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stats::benchmarks {
+
+/** Extended-C++ source of a benchmark; panics on unknown names. */
+const std::string &extendedSourceFor(const std::string &benchmark);
+
+} // namespace stats::benchmarks

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Benchmark factory: name -> instance.
+ */
+
+#include "benchmarks/bodytrack/bodytrack.hpp"
+#include "benchmarks/common/benchmark.hpp"
+#include "benchmarks/facedet/facedet.hpp"
+#include "benchmarks/fluidanimate/fluidanimate.hpp"
+#include "benchmarks/streamcluster/streamcluster.hpp"
+#include "benchmarks/swaptions/swaptions.hpp"
+#include "support/log.hpp"
+
+namespace stats::benchmarks {
+
+std::unique_ptr<Benchmark>
+createBenchmark(const std::string &name)
+{
+    if (name == "bodytrack")
+        return std::make_unique<bodytrack::BodytrackBenchmark>();
+    if (name == "facedet")
+        return std::make_unique<facedet::FacedetBenchmark>();
+    if (name == "swaptions")
+        return std::make_unique<swaptions::SwaptionsBenchmark>();
+    if (name == "streamcluster")
+        return std::make_unique<streamcluster::StreamclusterBenchmark>();
+    if (name == "streamclassifier")
+        return std::make_unique<
+            streamcluster::StreamclassifierBenchmark>();
+    if (name == "fluidanimate")
+        return std::make_unique<fluidanimate::FluidanimateBenchmark>();
+    support::panic("unknown benchmark '", name, "'");
+}
+
+const std::vector<std::string> &
+allBenchmarkNames()
+{
+    // Paper figure order (Figures 12-19).
+    static const std::vector<std::string> names{
+        "swaptions",    "streamclassifier", "streamcluster",
+        "fluidanimate", "bodytrack",        "facedet",
+    };
+    return names;
+}
+
+} // namespace stats::benchmarks

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tiny fixed-dimension vector math used by the tracking and
+ * simulation benchmarks.
+ */
+
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace stats::benchmarks {
+
+/** 3-component vector (positions, velocities). */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    Vec3 operator+(const Vec3 &o) const { return {x + o.x, y + o.y, z + o.z}; }
+    Vec3 operator-(const Vec3 &o) const { return {x - o.x, y - o.y, z - o.z}; }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    double dot(const Vec3 &o) const { return x * o.x + y * o.y + z * o.z; }
+    double norm2() const { return dot(*this); }
+    double norm() const { return std::sqrt(norm2()); }
+
+    /** Sum of absolute component differences (L1). */
+    double
+    l1Distance(const Vec3 &o) const
+    {
+        return std::abs(x - o.x) + std::abs(y - o.y) + std::abs(z - o.z);
+    }
+};
+
+/** 2-component vector (image-plane positions). */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(double s) const { return {x * s, y * s}; }
+
+    Vec2 &
+    operator+=(const Vec2 &o)
+    {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+
+    double norm2() const { return x * x + y * y; }
+    double norm() const { return std::sqrt(norm2()); }
+};
+
+} // namespace stats::benchmarks

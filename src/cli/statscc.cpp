@@ -1,0 +1,333 @@
+/**
+ * @file
+ * statscc — the STATS command-line driver.
+ *
+ * Subcommands:
+ *   list                          benchmarks, tradeoffs, state spaces
+ *   run <benchmark> [options]     run one configuration
+ *   tune <benchmark> [options]    autotune; optional results store
+ *   frontend <file|benchmark>     run the front-end compiler
+ *   pipeline <ir-file> [options]  middle-end + back-end on an IR file
+ *
+ * Common options:
+ *   --mode=original|seq|par   parallelization mode      (default par)
+ *   --threads=N               hardware threads          (default 28)
+ *   --workload=rep|bad        input family              (default rep)
+ *   --budget=N                tuning evaluations        (default 60)
+ *   --objective=time|energy   tuning objective          (default time)
+ *   --db=FILE                 results store to reuse/update
+ *   --seed=N                  pin the program PRVGs (0 = entropy)
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "autotuner/results_io.hpp"
+#include "backend/backend.hpp"
+#include "benchmarks/common/benchmark.hpp"
+#include "benchmarks/common/extended_sources.hpp"
+#include "frontend/frontend.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "midend/midend.hpp"
+#include "profiler/profiler.hpp"
+#include "support/log.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace stats;
+using namespace stats::benchmarks;
+
+/** Parsed command line: positionals plus --key=value options. */
+struct Args
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> options;
+
+    std::string
+    option(const std::string &key, const std::string &fallback) const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+
+    int
+    intOption(const std::string &key, int fallback) const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : std::stoi(it->second);
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 2; i < argc; ++i) {
+        const std::string word = argv[i];
+        if (support::startsWith(word, "--")) {
+            const auto eq = word.find('=');
+            if (eq == std::string::npos)
+                args.options[word.substr(2)] = "true";
+            else
+                args.options[word.substr(2, eq - 2)] =
+                    word.substr(eq + 1);
+        } else {
+            args.positional.push_back(word);
+        }
+    }
+    return args;
+}
+
+Mode
+parseMode(const std::string &word)
+{
+    if (word == "original")
+        return Mode::Original;
+    if (word == "seq")
+        return Mode::SeqStats;
+    if (word == "par")
+        return Mode::ParStats;
+    support::fatal("unknown mode '", word,
+                   "' (expected original|seq|par)");
+}
+
+WorkloadKind
+parseWorkload(const std::string &word)
+{
+    if (word == "rep")
+        return WorkloadKind::Representative;
+    if (word == "bad")
+        return WorkloadKind::NonRepresentative;
+    support::fatal("unknown workload '", word, "' (expected rep|bad)");
+}
+
+int
+cmdList(const Args &)
+{
+    support::TextTable table({"benchmark", "tradeoffs", "state deps",
+                              "state-space points (28 threads)"});
+    for (const auto &name : allBenchmarkNames()) {
+        auto bench = createBenchmark(name);
+        const auto frontend_result = frontend::compileExtendedSource(
+            extendedSourceFor(name), name);
+        std::ostringstream points;
+        points << bench->stateSpace(28).totalPoints();
+        table.addRow({name, std::to_string(bench->tradeoffCount()),
+                      std::to_string(frontend_result.stateDeps.size()),
+                      points.str()});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    if (args.positional.empty())
+        support::fatal("usage: statscc run <benchmark> [options]");
+    auto bench = createBenchmark(args.positional[0]);
+
+    RunRequest request;
+    request.mode = parseMode(args.option("mode", "par"));
+    request.threads = args.intOption("threads", 28);
+    request.workload = parseWorkload(args.option("workload", "rep"));
+    request.runSeed =
+        static_cast<std::uint64_t>(args.intOption("seed", 0));
+
+    const RunResult result = bench->run(request);
+    const auto oracle =
+        bench->oracleSignature(request.workload, request.workloadSeed);
+
+    std::cout << bench->name() << " [" << modeName(request.mode) << ", "
+              << request.threads << " threads]\n";
+    std::cout << "  time:    " << result.virtualSeconds << " s\n";
+    std::cout << "  energy:  " << result.energyJoules << " J\n";
+    std::cout << "  quality: "
+              << bench->quality(result.signature, oracle)
+              << " (distance to oracle; lower is better)\n";
+    const auto &stats = result.engineStats;
+    std::cout << "  engine:  groups=" << stats.groups
+              << " commits=" << stats.validations
+              << " mismatches=" << stats.mismatches
+              << " re-execs=" << stats.reexecutions
+              << " aborts=" << stats.aborts
+              << " extra-work=" << 100.0 * stats.extraWorkFraction()
+              << "%\n";
+    return 0;
+}
+
+int
+cmdTune(const Args &args)
+{
+    if (args.positional.empty())
+        support::fatal("usage: statscc tune <benchmark> [options]");
+    auto bench = createBenchmark(args.positional[0]);
+
+    const Mode mode = parseMode(args.option("mode", "par"));
+    const int threads = args.intOption("threads", 28);
+    const int budget = args.intOption("budget", 60);
+    const auto objective = args.option("objective", "time") == "energy"
+                               ? profiler::Objective::Energy
+                               : profiler::Objective::Time;
+    const std::string db_path = args.option("db", "");
+
+    sim::MachineConfig machine;
+    profiler::Profiler profiler(*bench, mode, threads, machine,
+                                parseWorkload(args.option("workload",
+                                                          "rep")));
+    autotuner::Autotuner tuner(
+        bench->stateSpace(threads),
+        static_cast<std::uint64_t>(args.intOption("seed", 1)));
+
+    // Reuse a previous exploration of the same objective, if any.
+    if (!db_path.empty()) {
+        std::ifstream in(db_path);
+        if (in) {
+            tuner.preload(
+                autotuner::readResults(in, tuner.space()));
+            std::cout << "loaded " << tuner.results().size()
+                      << " profiled configurations from " << db_path
+                      << "\n";
+        }
+    }
+
+    const auto result =
+        tuner.tune(profiler.objectiveFunction(objective), budget);
+    const auto best = profiler.profile(result.best);
+
+    std::cout << "evaluated " << result.evaluations
+              << " new configurations (space: "
+              << tuner.space().totalPoints() << " points)\n";
+    std::cout << "best: " << tuner.space().describe(result.best) << "\n";
+    std::cout << "  time " << best.seconds << " s, energy "
+              << best.energyJoules << " J, quality " << best.quality
+              << "\n";
+
+    if (!db_path.empty()) {
+        std::ofstream out(db_path);
+        autotuner::writeResults(out, tuner.space(), tuner.results());
+        std::cout << "stored " << tuner.results().size()
+                  << " configurations to " << db_path << "\n";
+    }
+    return 0;
+}
+
+int
+cmdFrontend(const Args &args)
+{
+    if (args.positional.empty())
+        support::fatal("usage: statscc frontend <file|benchmark>");
+    const std::string &target = args.positional[0];
+
+    std::string source;
+    std::string unit = target;
+    std::ifstream in(target);
+    if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        source = buffer.str();
+        const auto slash = unit.find_last_of('/');
+        if (slash != std::string::npos)
+            unit = unit.substr(slash + 1);
+    } else {
+        source = extendedSourceFor(target); // Embedded encodings.
+    }
+
+    const auto result = frontend::compileExtendedSource(source, unit);
+    std::cout << "// " << result.tradeoffs.size() << " tradeoff(s), "
+              << result.stateDeps.size() << " state dependence(s), "
+              << result.originalLoc << " LOC in, "
+              << result.generatedLoc << " LOC generated\n\n";
+    std::cout << "// ---- generated header ----\n"
+              << result.generatedHeader << "\n";
+    std::cout << "// ---- IR metadata ----\n" << result.irMetadata;
+    return 0;
+}
+
+int
+cmdPipeline(const Args &args)
+{
+    if (args.positional.empty())
+        support::fatal("usage: statscc pipeline <ir-file> [options]");
+    std::ifstream in(args.positional[0]);
+    if (!in)
+        support::fatal("cannot open '", args.positional[0], "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    ir::Module module = ir::parseModule(buffer.str());
+    const auto problems = ir::verifyModule(module);
+    if (!problems.empty()) {
+        for (const auto &problem : problems)
+            std::cerr << "verify: " << problem << "\n";
+        return 1;
+    }
+
+    const std::size_t before = module.instructionCount();
+    const auto report = midend::runMiddleEnd(module);
+    std::cerr << "; middle-end: " << report.clonedFunctions.size()
+              << " function clone(s), " << report.clonedTradeoffs.size()
+              << " tradeoff clone(s), " << before << " -> "
+              << module.instructionCount() << " instructions\n";
+
+    backend::BackendConfig config;
+    for (const auto &dep : module.stateDeps)
+        config.auxiliaryDeps.insert(dep.name);
+    const std::string assignments = args.option("config", "");
+    if (!assignments.empty()) {
+        for (const auto &pair : support::split(assignments, ',')) {
+            const auto colon = pair.find(':');
+            if (colon == std::string::npos)
+                support::fatal("--config wants name:index pairs");
+            config.tradeoffIndices[pair.substr(0, colon)] =
+                std::stoll(pair.substr(colon + 1));
+        }
+    }
+    const ir::Module binary = backend::instantiate(module, config);
+    std::cout << ir::printModule(binary);
+    return 0;
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: statscc <command> [arguments]\n"
+        << "commands:\n"
+        << "  list                         benchmarks and state spaces\n"
+        << "  run <benchmark> [options]    run one configuration\n"
+        << "  tune <benchmark> [options]   autotune a benchmark\n"
+        << "  frontend <file|benchmark>    run the front-end compiler\n"
+        << "  pipeline <ir-file>           middle-end + back-end\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string command = argv[1];
+    const Args args = parseArgs(argc, argv);
+    if (command == "list")
+        return cmdList(args);
+    if (command == "run")
+        return cmdRun(args);
+    if (command == "tune")
+        return cmdTune(args);
+    if (command == "frontend")
+        return cmdFrontend(args);
+    if (command == "pipeline")
+        return cmdPipeline(args);
+    usage();
+    return 1;
+}

@@ -1,0 +1,34 @@
+#include "exec/sim_executor.hpp"
+
+namespace stats::exec {
+
+SimExecutor::SimExecutor(sim::MachineConfig config, int threads)
+    : _sim(std::make_unique<sim::Simulator>(config, threads))
+{
+}
+
+void
+SimExecutor::submit(Task task)
+{
+    _sim->submit(std::move(task));
+}
+
+void
+SimExecutor::drain()
+{
+    _sim->run();
+}
+
+double
+SimExecutor::now() const
+{
+    return _sim->now();
+}
+
+int
+SimExecutor::concurrency() const
+{
+    return _sim->threads();
+}
+
+} // namespace stats::exec

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Executor backed by the discrete-event platform simulator.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "exec/task.hpp"
+#include "sim/simulator.hpp"
+
+namespace stats::exec {
+
+/**
+ * Runs tasks on the simulated many-core machine. Real computation
+ * happens inline on the host; timing comes from the simulator.
+ */
+class SimExecutor : public Executor
+{
+  public:
+    SimExecutor(sim::MachineConfig config, int threads);
+
+    void submit(Task task) override;
+    void drain() override;
+    double now() const override;
+    int concurrency() const override;
+
+    const sim::Simulator &simulator() const { return *_sim; }
+
+  private:
+    std::unique_ptr<sim::Simulator> _sim;
+};
+
+} // namespace stats::exec

@@ -1,0 +1,11 @@
+#include "exec/task.hpp"
+
+namespace stats::exec {
+
+CancelToken
+makeCancelToken()
+{
+    return std::make_shared<std::atomic<bool>>(false);
+}
+
+} // namespace stats::exec

@@ -1,0 +1,53 @@
+#include "exec/thread_executor.hpp"
+
+namespace stats::exec {
+
+ThreadExecutor::ThreadExecutor(int threads) : _pool(threads) {}
+
+void
+ThreadExecutor::submit(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lock(_pendingMutex);
+        ++_pending;
+    }
+    _pool.submit([this, task = std::move(task)]() mutable {
+        const bool cancelled = task.cancel && task.cancel->load();
+        if (!cancelled)
+            task.run();
+        {
+            // Serialize completion callbacks: the speculation engine's
+            // commit protocol relies on this for lock-free bookkeeping.
+            std::lock_guard<std::mutex> lock(_completionMutex);
+            if (task.onComplete)
+                task.onComplete();
+        }
+        {
+            std::lock_guard<std::mutex> lock(_pendingMutex);
+            --_pending;
+            if (_pending == 0)
+                _pendingCv.notify_all();
+        }
+    });
+}
+
+void
+ThreadExecutor::drain()
+{
+    std::unique_lock<std::mutex> lock(_pendingMutex);
+    _pendingCv.wait(lock, [this] { return _pending == 0; });
+}
+
+double
+ThreadExecutor::now() const
+{
+    return _clock.elapsedSeconds();
+}
+
+int
+ThreadExecutor::concurrency() const
+{
+    return _pool.threadCount();
+}
+
+} // namespace stats::exec

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Executor backed by real OS threads.
+ *
+ * Used for functional execution on the host (and for wall-clock
+ * profiling when real cores are available). Task `width` is advisory
+ * here: a real task's inner parallelism lives inside its own code.
+ * Completion callbacks are serialized under one mutex, matching the
+ * simulator's semantics, so the speculation engine runs unmodified
+ * on either executor.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "exec/task.hpp"
+#include "support/timer.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace stats::exec {
+
+/** Executor running tasks on a shared thread pool, timed by the wall. */
+class ThreadExecutor : public Executor
+{
+  public:
+    explicit ThreadExecutor(int threads);
+
+    void submit(Task task) override;
+
+    /** Blocks until every submitted task (and its spawns) completed. */
+    void drain() override;
+
+    double now() const override;
+    int concurrency() const override;
+
+  private:
+    threading::ThreadPool _pool;
+    support::Timer _clock;
+    std::mutex _completionMutex;
+    std::mutex _pendingMutex;
+    std::condition_variable _pendingCv;
+    std::size_t _pending = 0;
+};
+
+} // namespace stats::exec

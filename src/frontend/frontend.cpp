@@ -1,0 +1,411 @@
+#include "frontend/frontend.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/log.hpp"
+#include "support/string_utils.hpp"
+
+namespace stats::frontend {
+
+namespace {
+
+using support::countLines;
+using support::trim;
+
+/** First generated tradeoff id (matches the paper's running example). */
+constexpr int kFirstTradeoffId = 42;
+
+/** Position after the matching close brace for `open_pos` ('{'). */
+std::size_t
+matchBrace(const std::string &source, std::size_t open_pos)
+{
+    if (source[open_pos] != '{')
+        support::panic("frontend: matchBrace not at '{'");
+    int depth = 0;
+    for (std::size_t i = open_pos; i < source.size(); ++i) {
+        if (source[i] == '{')
+            ++depth;
+        else if (source[i] == '}' && --depth == 0)
+            return i + 1;
+    }
+    support::panic("frontend: unbalanced braces");
+}
+
+/** Next non-whitespace position at or after `pos`. */
+std::size_t
+skipSpace(const std::string &source, std::size_t pos)
+{
+    while (pos < source.size() &&
+           std::isspace(static_cast<unsigned char>(source[pos]))) {
+        ++pos;
+    }
+    return pos;
+}
+
+/** Read an identifier at `pos`; empty when none. */
+std::string
+readIdentifier(const std::string &source, std::size_t pos)
+{
+    std::string out;
+    while (pos < source.size() &&
+           (std::isalnum(static_cast<unsigned char>(source[pos])) ||
+            source[pos] == '_')) {
+        out += source[pos++];
+    }
+    return out;
+}
+
+/** True if position `pos` starts a whole-word match of `word`. */
+bool
+wordAt(const std::string &source, std::size_t pos,
+       const std::string &word)
+{
+    if (source.compare(pos, word.size(), word) != 0)
+        return false;
+    const auto is_ident = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    if (pos > 0 && is_ident(source[pos - 1]))
+        return false;
+    const std::size_t end = pos + word.size();
+    return end >= source.size() || !is_ident(source[end]);
+}
+
+/** Extract the body of `method` inside a class body; "" if absent. */
+std::string
+extractMethodBody(const std::string &class_body,
+                  const std::string &method)
+{
+    std::size_t pos = 0;
+    while ((pos = class_body.find(method, pos)) != std::string::npos) {
+        if (!wordAt(class_body, pos, method)) {
+            pos += method.size();
+            continue;
+        }
+        const std::size_t paren = class_body.find('(', pos);
+        if (paren == std::string::npos)
+            return "";
+        const std::size_t open = class_body.find('{', paren);
+        if (open == std::string::npos)
+            return "";
+        const std::size_t end = matchBrace(class_body, open);
+        return trim(class_body.substr(open + 1, end - open - 2));
+    }
+    return "";
+}
+
+/** Parse `{"a", "b", ...}` initializer lists for choices. */
+std::vector<std::string>
+extractChoices(const std::string &class_body)
+{
+    std::vector<std::string> choices;
+    const std::size_t pos = class_body.find("choices");
+    if (pos == std::string::npos)
+        return choices;
+    const std::size_t open = class_body.find('{', pos);
+    if (open == std::string::npos)
+        return choices;
+    const std::size_t end = matchBrace(class_body, open);
+    std::string inner = class_body.substr(open + 1, end - open - 2);
+    for (auto &part : support::split(inner, ',')) {
+        part = trim(part);
+        if (part.size() >= 2 && part.front() == '"')
+            part = part.substr(1, part.size() - 2);
+        if (!part.empty())
+            choices.push_back(part);
+    }
+    return choices;
+}
+
+struct OptionsClass
+{
+    std::string name;
+    ir::TradeoffKind kind;
+    std::string body;
+    std::size_t loc;
+};
+
+/** All `class X : ... Tradeoff*_options { ... };` definitions. */
+std::vector<OptionsClass>
+extractOptionsClasses(const std::string &source)
+{
+    std::vector<OptionsClass> classes;
+    std::size_t pos = 0;
+    while ((pos = source.find("class", pos)) != std::string::npos) {
+        if (!wordAt(source, pos, "class")) {
+            ++pos;
+            continue;
+        }
+        std::size_t cursor = skipSpace(source, pos + 5);
+        const std::string name = readIdentifier(source, cursor);
+        cursor = source.find('{', cursor);
+        const std::size_t colon = source.find(':', pos);
+        if (cursor == std::string::npos || colon == std::string::npos ||
+            colon > cursor) {
+            pos += 5;
+            continue;
+        }
+        const std::string bases =
+            source.substr(colon + 1, cursor - colon - 1);
+        ir::TradeoffKind kind;
+        if (bases.find("Tradeoff_type_options") != std::string::npos) {
+            kind = ir::TradeoffKind::DataType;
+        } else if (bases.find("Tradeoff_function_options") !=
+                   std::string::npos) {
+            kind = ir::TradeoffKind::FunctionChoice;
+        } else if (bases.find("Tradeoff_options") != std::string::npos) {
+            kind = ir::TradeoffKind::Constant;
+        } else {
+            pos += 5;
+            continue;
+        }
+        const std::size_t end = matchBrace(source, cursor);
+        OptionsClass cls;
+        cls.name = name;
+        cls.kind = kind;
+        cls.body = source.substr(cursor + 1, end - cursor - 2);
+        std::size_t decl_end = end;
+        if (decl_end < source.size() && source[decl_end] == ';')
+            ++decl_end;
+        cls.loc = countLines(source.substr(pos, decl_end - pos));
+        classes.push_back(std::move(cls));
+        pos = end;
+    }
+    return classes;
+}
+
+struct RawTradeoff
+{
+    std::string name;
+    std::string optionsClass;
+    std::size_t begin;
+    std::size_t end;
+    std::size_t loc;
+};
+
+/** All `tradeoff NAME { { Options } ; };` declarations. */
+std::vector<RawTradeoff>
+extractTradeoffDecls(const std::string &source)
+{
+    std::vector<RawTradeoff> decls;
+    std::size_t pos = 0;
+    while ((pos = source.find("tradeoff", pos)) != std::string::npos) {
+        if (!wordAt(source, pos, "tradeoff")) {
+            pos += 8;
+            continue;
+        }
+        std::size_t cursor = skipSpace(source, pos + 8);
+        const std::string name = readIdentifier(source, cursor);
+        if (name.empty()) {
+            pos += 8;
+            continue;
+        }
+        cursor = skipSpace(source, cursor + name.size());
+        if (cursor >= source.size() || source[cursor] != '{') {
+            pos += 8;
+            continue;
+        }
+        const std::size_t end_brace = matchBrace(source, cursor);
+        std::string inner =
+            source.substr(cursor + 1, end_brace - cursor - 2);
+        // inner: `{ OptionsClass } ;`
+        std::string options;
+        const std::size_t inner_open = inner.find('{');
+        if (inner_open != std::string::npos) {
+            const std::size_t inner_end = matchBrace(inner, inner_open);
+            options = trim(
+                inner.substr(inner_open + 1, inner_end - inner_open - 2));
+        }
+        std::size_t decl_end = end_brace;
+        if (decl_end < source.size() && source[decl_end] == ';')
+            ++decl_end;
+
+        RawTradeoff decl;
+        decl.name = name;
+        decl.optionsClass = options;
+        decl.begin = pos;
+        decl.end = decl_end;
+        decl.loc = countLines(source.substr(pos, decl_end - pos));
+        decls.push_back(std::move(decl));
+        pos = decl_end;
+    }
+    return decls;
+}
+
+/** All `StateDependence<I, S, O> var(... , fn);` instantiations. */
+std::vector<StateDepDecl>
+extractStateDeps(const std::string &source)
+{
+    std::vector<StateDepDecl> deps;
+    std::size_t pos = 0;
+    while ((pos = source.find("StateDependence", pos)) !=
+           std::string::npos) {
+        if (!wordAt(source, pos, "StateDependence")) {
+            pos += 15;
+            continue;
+        }
+        std::size_t cursor = skipSpace(source, pos + 15);
+        if (cursor >= source.size() || source[cursor] != '<') {
+            pos += 15;
+            continue;
+        }
+        const std::size_t close = source.find('>', cursor);
+        if (close == std::string::npos)
+            support::panic("frontend: unterminated StateDependence<...>");
+        const auto args =
+            support::split(source.substr(cursor + 1, close - cursor - 1),
+                           ',');
+        if (args.size() != 3)
+            support::panic(
+                "frontend: StateDependence needs 3 template args");
+
+        cursor = skipSpace(source, close + 1);
+        const std::string variable = readIdentifier(source, cursor);
+        const std::size_t paren = source.find('(', cursor);
+        const std::size_t semi = source.find(';', cursor);
+        if (variable.empty() || paren == std::string::npos ||
+            semi == std::string::npos || paren > semi) {
+            pos = close;
+            continue; // A declaration (e.g. the template itself).
+        }
+        const auto ctor_args =
+            support::split(source.substr(paren + 1, semi - paren - 2),
+                           ',');
+        StateDepDecl dep;
+        dep.variable = variable;
+        dep.inputType = trim(args[0]);
+        dep.stateType = trim(args[1]);
+        dep.outputType = trim(args[2]);
+        dep.computeFunction =
+            ctor_args.empty() ? "" : trim(ctor_args.back());
+        deps.push_back(std::move(dep));
+        pos = semi;
+    }
+    return deps;
+}
+
+} // namespace
+
+FrontendResult
+compileExtendedSource(const std::string &source,
+                      const std::string &unit_name)
+{
+    FrontendResult result;
+    result.unitName = unit_name;
+
+    const auto options_classes = extractOptionsClasses(source);
+    const auto raw_tradeoffs = extractTradeoffDecls(source);
+    result.stateDeps = extractStateDeps(source);
+
+    // Join declarations with their options classes.
+    int next_id = kFirstTradeoffId;
+    for (const auto &raw : raw_tradeoffs) {
+        const OptionsClass *options = nullptr;
+        for (const auto &cls : options_classes) {
+            if (cls.name == raw.optionsClass)
+                options = &cls;
+        }
+        if (!options)
+            support::panic("frontend: tradeoff '", raw.name,
+                           "' references unknown options class '",
+                           raw.optionsClass, "'");
+        TradeoffDecl decl;
+        decl.name = raw.name;
+        decl.optionsClass = raw.optionsClass;
+        decl.id = next_id++;
+        decl.kind = options->kind;
+        decl.getValueBody = extractMethodBody(options->body, "getValue");
+        decl.getMaxIndexBody =
+            extractMethodBody(options->body, "getMaxIndex");
+        decl.getDefaultIndexBody =
+            extractMethodBody(options->body, "getDefaultIndex");
+        decl.choices = extractChoices(options->body);
+        decl.declaredLoc = raw.loc + options->loc;
+        if (decl.kind != ir::TradeoffKind::Constant &&
+            decl.choices.empty()) {
+            support::panic("frontend: type/function tradeoff '",
+                           raw.name, "' has no choices list");
+        }
+        result.tradeoffs.push_back(std::move(decl));
+    }
+
+    // --- Generated header (paper Figure 11 shape). --------------------
+    std::ostringstream header;
+    header << "#pragma once\n";
+    header << "// Generated by the STATS front-end from " << unit_name
+           << " - do not edit.\n";
+    header << "#include <cstdint>\n\n";
+    std::ostringstream registry;
+    for (const auto &decl : result.tradeoffs) {
+        const std::string t = "T_" + std::to_string(decl.id);
+        header << "// tradeoff " << decl.name << " ("
+               << ir::tradeoffKindName(decl.kind) << ", from "
+               << decl.optionsClass << ")\n";
+        header << "inline int64_t " << t
+               << "(int64_t p) { return p; }\n";
+        header << "#define " << decl.name << " " << t << "(" << decl.id
+               << ")\n";
+        if (!decl.getValueBody.empty()) {
+            header << "inline auto " << t << "_getValue(int64_t i) { "
+                   << decl.getValueBody << " }\n";
+        }
+        if (!decl.getMaxIndexBody.empty()) {
+            header << "inline int64_t " << t << "_size() { "
+                   << decl.getMaxIndexBody << " }\n";
+        }
+        if (!decl.getDefaultIndexBody.empty()) {
+            header << "inline int64_t " << t << "_getDefaultIndex() { "
+                   << decl.getDefaultIndexBody << " }\n";
+        }
+        header << "\n";
+        registry << (registry.tellp() > 0 ? " " : "") << t
+                 << "_getValue " << t << "_size " << t
+                 << "_getDefaultIndex " << t;
+    }
+    header << "inline const char *TO[] = { \"" << registry.str()
+           << "\" };\n";
+    result.generatedHeader = header.str();
+
+    // --- Rewritten source: extensions removed. ------------------------
+    std::string rewritten = source;
+    // Erase tradeoff declarations back-to-front (positions stay valid).
+    for (auto it = raw_tradeoffs.rbegin(); it != raw_tradeoffs.rend();
+         ++it) {
+        rewritten.erase(it->begin, it->end - it->begin);
+    }
+    result.rewrittenSource = "#include \"" + unit_name +
+                             "_tradeoffs.hpp\"\n" + rewritten;
+
+    // --- Mini-IR metadata. ---------------------------------------------
+    std::ostringstream meta;
+    for (const auto &decl : result.tradeoffs) {
+        const std::string t = "T_" + std::to_string(decl.id);
+        meta << "tradeoff " << t << " kind="
+             << ir::tradeoffKindName(decl.kind) << " placeholder=@" << t
+             << " getValue=@" << t << "_getValue size=@" << t
+             << "_size default=@" << t << "_getDefaultIndex";
+        if (!decl.choices.empty()) {
+            meta << " choices=";
+            for (std::size_t i = 0; i < decl.choices.size(); ++i)
+                meta << (i ? "," : "") << decl.choices[i];
+        }
+        meta << "\n";
+    }
+    for (std::size_t i = 0; i < result.stateDeps.size(); ++i) {
+        meta << "statedep SD" << i << " compute=@"
+             << result.stateDeps[i].computeFunction << "\n";
+    }
+    result.irMetadata = meta.str();
+
+    // --- Table 1 accounting. --------------------------------------------
+    result.originalLoc = countLines(source);
+    result.generatedLoc = countLines(result.generatedHeader);
+    const std::string compare_body =
+        extractMethodBody(source, "doesSpecStateMatchAny");
+    result.stateComparisonLoc =
+        compare_body.empty() ? 0 : countLines(compare_body) + 2;
+    return result;
+}
+
+} // namespace stats::frontend

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The front-end compiler (paper section 3.4, "Generating standard
+ * C++ code").
+ *
+ * Translates C++ extended with the SDI and TI constructs (paper
+ * Figures 8-10) into standard C++ plus a tradeoff-description header
+ * (paper Figure 11). Like the paper's Racket implementation, it only
+ * *partially* parses C++: it scans for
+ *
+ *   - `tradeoff <name> { { <OptionsClass> } ; };` declarations,
+ *   - `class <X> : [public] Tradeoff_options { ... };` (and the
+ *     `Tradeoff_type_options` / `Tradeoff_function_options` variants
+ *     whose getValue selects from a `choices` list),
+ *   - `StateDependence<I, S, O> var(&inputs, &state, fn);`
+ *     instantiations, and
+ *   - `doesSpecStateMatchAny` definitions (for Table 1 accounting),
+ *
+ * leaving the rest of the program untouched. Placeholder functions
+ * are given generated `T_<id>` names "to avoid conflicts with the
+ * rest of the code" (paper footnote 2).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace stats::frontend {
+
+/** One parsed `tradeoff` declaration joined with its options class. */
+struct TradeoffDecl
+{
+    std::string name;         ///< e.g. "TO_numAnnealingLayers".
+    std::string optionsClass; ///< e.g. "AnnealingLayers_options".
+    int id = 0;               ///< Generated T_<id> identity.
+    ir::TradeoffKind kind = ir::TradeoffKind::Constant;
+
+    std::string getValueBody;
+    std::string getMaxIndexBody;
+    std::string getDefaultIndexBody;
+    std::vector<std::string> choices; ///< Type/function kinds.
+
+    /** Lines the developer wrote for this tradeoff (Table 1). */
+    std::size_t declaredLoc = 0;
+};
+
+/** One parsed SDI instantiation. */
+struct StateDepDecl
+{
+    std::string variable;
+    std::string inputType;
+    std::string stateType;
+    std::string outputType;
+    std::string computeFunction;
+};
+
+/** Output of one front-end run. */
+struct FrontendResult
+{
+    std::string unitName;
+    std::vector<TradeoffDecl> tradeoffs;
+    std::vector<StateDepDecl> stateDeps;
+
+    /** The Figure 11-style standard C++ header. */
+    std::string generatedHeader;
+
+    /** Input with extension constructs removed, header included. */
+    std::string rewrittenSource;
+
+    /** Metadata lines in the mini-IR's textual format. */
+    std::string irMetadata;
+
+    // Table 1 accounting.
+    std::size_t originalLoc = 0;        ///< LOC of the input program.
+    std::size_t generatedLoc = 0;       ///< LOC the compiler emitted.
+    std::size_t stateComparisonLoc = 0; ///< doesSpecStateMatchAny LOC.
+};
+
+/**
+ * Compile one extended-C++ translation unit.
+ * Panics with a description on malformed extension constructs.
+ */
+FrontendResult compileExtendedSource(const std::string &source,
+                                     const std::string &unit_name);
+
+} // namespace stats::frontend

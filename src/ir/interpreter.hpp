@@ -1,0 +1,81 @@
+/**
+ * @file
+ * IR interpreter.
+ *
+ * Stands in for the paper's use of LLVM's dynamic compiler: the
+ * back-end "generates machine code from the IR code of the function
+ * getValue() related to [a tradeoff], then invokes it with input i"
+ * (section 3.4). We interpret the same functions instead. The
+ * interpreter also executes whole configured modules in the compiler
+ * pipeline's end-to-end tests.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace stats::ir {
+
+/** A runtime value: integer or floating. */
+struct RtValue
+{
+    Type type = Type::I64;
+    std::int64_t i = 0;
+    double f = 0.0;
+
+    static RtValue ofInt(std::int64_t v);
+    static RtValue ofFloat(double v, Type type = Type::F64);
+
+    double asFloat() const { return isFloating(type) ? f : double(i); }
+    std::int64_t asInt() const
+    {
+        return isFloating(type) ? static_cast<std::int64_t>(f) : i;
+    }
+};
+
+/** Interprets functions of one module. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Module &module);
+
+    /**
+     * Call a function by name. Panics on unknown functions, arity
+     * mismatches, or when the step budget is exhausted (runaway
+     * loops).
+     */
+    RtValue call(const std::string &function,
+                 const std::vector<RtValue> &args);
+
+    /** Provide or override an external (builtin) function. */
+    void bindExternal(
+        const std::string &name,
+        std::function<RtValue(const std::vector<RtValue> &)> fn);
+
+    /** Instructions executed so far (committed-instruction counts). */
+    std::uint64_t executedInstructions() const { return _executed; }
+
+    /** Cap on executed instructions per top-level call. */
+    void setStepBudget(std::uint64_t budget) { _stepBudget = budget; }
+
+  private:
+    RtValue evalOperand(const Operand &operand,
+                        const std::map<std::string, RtValue> &env) const;
+
+    const Module &_module;
+    std::map<std::string,
+             std::function<RtValue(const std::vector<RtValue> &)>>
+        _externals;
+    std::uint64_t _executed = 0;
+    std::uint64_t _stepBudget = 10'000'000;
+    std::uint64_t _stepsUsed = 0;
+    int _depth = 0;
+};
+
+} // namespace stats::ir

@@ -1,0 +1,236 @@
+#include "ir/ir.hpp"
+
+#include <sstream>
+
+#include "support/log.hpp"
+
+namespace stats::ir {
+
+const char *
+typeName(Type type)
+{
+    switch (type) {
+      case Type::Void: return "void";
+      case Type::I64: return "i64";
+      case Type::F64: return "f64";
+      case Type::F32: return "f32";
+    }
+    return "?";
+}
+
+bool
+isFloating(Type type)
+{
+    return type == Type::F64 || type == Type::F32;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::Select: return "select";
+      case Opcode::Cast: return "cast";
+      case Opcode::Phi: return "phi";
+      case Opcode::Call: return "call";
+      case Opcode::Br: return "br";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Ret: return "ret";
+    }
+    return "?";
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::Jmp || op == Opcode::Ret;
+}
+
+Operand
+Operand::temp(std::string name)
+{
+    Operand o;
+    o.kind = Kind::Temp;
+    o.name = std::move(name);
+    return o;
+}
+
+Operand
+Operand::constInt(std::int64_t value)
+{
+    Operand o;
+    o.kind = Kind::ConstInt;
+    o.intValue = value;
+    return o;
+}
+
+Operand
+Operand::constFloat(double value)
+{
+    Operand o;
+    o.kind = Kind::ConstFloat;
+    o.floatValue = value;
+    return o;
+}
+
+std::string
+Operand::toString() const
+{
+    std::ostringstream out;
+    switch (kind) {
+      case Kind::Temp:
+        out << "%" << name;
+        break;
+      case Kind::ConstInt:
+        out << intValue;
+        break;
+      case Kind::ConstFloat:
+        out.setf(std::ios::showpoint);
+        out.precision(17);
+        out << floatValue;
+        break;
+    }
+    return out.str();
+}
+
+bool
+Operand::operator==(const Operand &other) const
+{
+    if (kind != other.kind)
+        return false;
+    switch (kind) {
+      case Kind::Temp: return name == other.name;
+      case Kind::ConstInt: return intValue == other.intValue;
+      case Kind::ConstFloat: return floatValue == other.floatValue;
+    }
+    return false;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream out;
+    if (!result.empty())
+        out << "%" << result << " = ";
+    out << opcodeName(op);
+    if (type != Type::Void)
+        out << " " << typeName(type);
+    if (op == Opcode::Call)
+        out << " @" << callee;
+
+    bool first = true;
+    if (op == Opcode::Phi) {
+        for (std::size_t i = 0; i < operands.size(); ++i) {
+            out << (first ? " " : ", ") << "["
+                << operands[i].toString() << ", " << labels[i] << "]";
+            first = false;
+        }
+        return out.str();
+    }
+    for (const auto &operand : operands) {
+        out << (first ? " " : ", ") << operand.toString();
+        first = false;
+    }
+    for (const auto &label : labels) {
+        out << (first ? " " : ", ") << label;
+        first = false;
+    }
+    return out.str();
+}
+
+const Instruction *
+BasicBlock::terminator() const
+{
+    if (instructions.empty() || !isTerminator(instructions.back().op))
+        return nullptr;
+    return &instructions.back();
+}
+
+std::size_t
+Function::instructionCount() const
+{
+    std::size_t count = 0;
+    for (const auto &block : blocks)
+        count += block.instructions.size();
+    return count;
+}
+
+BasicBlock *
+Function::findBlock(const std::string &label)
+{
+    for (auto &block : blocks) {
+        if (block.label == label)
+            return &block;
+    }
+    return nullptr;
+}
+
+const BasicBlock *
+Function::findBlock(const std::string &label) const
+{
+    return const_cast<Function *>(this)->findBlock(label);
+}
+
+const char *
+tradeoffKindName(TradeoffKind kind)
+{
+    switch (kind) {
+      case TradeoffKind::Constant: return "const";
+      case TradeoffKind::DataType: return "type";
+      case TradeoffKind::FunctionChoice: return "fn";
+    }
+    return "?";
+}
+
+Function *
+Module::findFunction(const std::string &fn_name)
+{
+    for (auto &fn : functions) {
+        if (fn.name == fn_name)
+            return &fn;
+    }
+    return nullptr;
+}
+
+const Function *
+Module::findFunction(const std::string &fn_name) const
+{
+    return const_cast<Module *>(this)->findFunction(fn_name);
+}
+
+TradeoffMeta *
+Module::findTradeoff(const std::string &meta_name)
+{
+    for (auto &meta : tradeoffs) {
+        if (meta.name == meta_name)
+            return &meta;
+    }
+    return nullptr;
+}
+
+StateDepMeta *
+Module::findStateDep(const std::string &meta_name)
+{
+    for (auto &meta : stateDeps) {
+        if (meta.name == meta_name)
+            return &meta;
+    }
+    return nullptr;
+}
+
+std::size_t
+Module::instructionCount() const
+{
+    std::size_t count = 0;
+    for (const auto &fn : functions)
+        count += fn.instructionCount();
+    return count;
+}
+
+} // namespace stats::ir

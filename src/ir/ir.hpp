@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The STATS intermediate representation (paper section 3.4).
+ *
+ * The paper's middle-end lowers C++ to LLVM IR "extended with extra
+ * metadata" that represents the state space explicitly; the back-end
+ * instantiates one configuration on that IR. Our self-contained
+ * mini-IR supports exactly the operations those passes need:
+ *
+ *  - typed SSA instructions in basic blocks, functions, a module;
+ *  - module-level metadata tables describing tradeoffs and state
+ *    dependences (inspired, like the paper, by the CIL metadata
+ *    encoding);
+ *  - a textual format with a parser/printer (round-trippable);
+ *  - a verifier, an interpreter (the substitute for LLVM's dynamic
+ *    compiler used to evaluate getValue(i) at compile time), and a
+ *    call graph for the bottom-up cloning analysis.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stats::ir {
+
+/** Scalar types; F32 exists for the data-type tradeoffs. */
+enum class Type
+{
+    Void,
+    I64,
+    F64,
+    F32,
+};
+
+const char *typeName(Type type);
+bool isFloating(Type type);
+
+/** Instruction opcodes. */
+enum class Opcode
+{
+    Add,
+    Sub,
+    Mul,
+    Div,
+    CmpEq, ///< Result I64 (0/1).
+    CmpLt,
+    CmpLe,
+    Select, ///< select cond, a, b
+    Cast,   ///< Value conversion to the instruction's type.
+    Phi,    ///< Operands paired with incoming block labels.
+    Call,
+    Br,  ///< br cond, thenLabel, elseLabel
+    Jmp, ///< jmp label
+    Ret, ///< ret [value]
+};
+
+const char *opcodeName(Opcode op);
+bool isTerminator(Opcode op);
+
+/** An instruction operand: a temporary or an immediate constant. */
+struct Operand
+{
+    enum class Kind
+    {
+        Temp,
+        ConstInt,
+        ConstFloat,
+    };
+
+    Kind kind = Kind::Temp;
+    std::string name;       ///< Temp name (no leading '%').
+    std::int64_t intValue = 0;
+    double floatValue = 0.0;
+
+    static Operand temp(std::string name);
+    static Operand constInt(std::int64_t value);
+    static Operand constFloat(double value);
+
+    std::string toString() const;
+    bool operator==(const Operand &other) const;
+};
+
+/** One instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Ret;
+    Type type = Type::Void;  ///< Result type (Void for none).
+    std::string result;      ///< Result temp name (may be empty).
+    std::vector<Operand> operands;
+
+    /** Call: callee name. */
+    std::string callee;
+
+    /** Br/Jmp: target labels. Phi: incoming block per operand. */
+    std::vector<std::string> labels;
+
+    std::string toString() const;
+};
+
+struct BasicBlock
+{
+    std::string label;
+    std::vector<Instruction> instructions;
+
+    const Instruction *terminator() const;
+};
+
+struct Parameter
+{
+    std::string name;
+    Type type = Type::I64;
+};
+
+struct Function
+{
+    std::string name;
+    Type returnType = Type::Void;
+    std::vector<Parameter> params;
+    std::vector<BasicBlock> blocks;
+
+    std::size_t instructionCount() const;
+    BasicBlock *findBlock(const std::string &label);
+    const BasicBlock *findBlock(const std::string &label) const;
+};
+
+/** Kind of program text a tradeoff substitutes (paper section 3.3). */
+enum class TradeoffKind
+{
+    Constant,
+    DataType,
+    FunctionChoice,
+};
+
+const char *tradeoffKindName(TradeoffKind kind);
+
+/** Metadata entry describing one tradeoff (paper Figure 11 table). */
+struct TradeoffMeta
+{
+    std::string name;          ///< e.g. "T_42" or "aux::T_42".
+    TradeoffKind kind = TradeoffKind::Constant;
+    std::string placeholder;   ///< Placeholder function name.
+    std::string getValueFn;    ///< IR function: index -> value.
+    std::string sizeFn;        ///< IR function: () -> count.
+    std::string defaultIndexFn;///< IR function: () -> default index.
+    bool auxClone = false;
+    std::string origin;        ///< Original tradeoff for clones.
+
+    /** Type names for DataType, callee names for FunctionChoice. */
+    std::vector<std::string> nameChoices;
+};
+
+/** Metadata entry describing one state dependence. */
+struct StateDepMeta
+{
+    std::string name;      ///< e.g. "SD0".
+    std::string computeFn; ///< The dependence's computeOutput().
+    std::string auxFn;     ///< Middle-end-generated clone (may be "").
+    bool runtimeLinked = false; ///< Back-end linked the runtime.
+};
+
+struct Module
+{
+    std::string name;
+    std::vector<Function> functions;
+    std::vector<TradeoffMeta> tradeoffs;
+    std::vector<StateDepMeta> stateDeps;
+
+    Function *findFunction(const std::string &name);
+    const Function *findFunction(const std::string &name) const;
+    TradeoffMeta *findTradeoff(const std::string &name);
+    StateDepMeta *findStateDep(const std::string &name);
+    std::size_t instructionCount() const;
+};
+
+} // namespace stats::ir

@@ -1,0 +1,392 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/log.hpp"
+#include "support/string_utils.hpp"
+
+namespace stats::ir {
+
+namespace {
+
+using support::split;
+using support::startsWith;
+using support::trim;
+
+[[noreturn]] void
+parseError(std::size_t line, const std::string &message)
+{
+    support::panic("IR parse error at line ", line, ": ", message);
+}
+
+Type
+parseType(const std::string &word, std::size_t line)
+{
+    if (word == "void")
+        return Type::Void;
+    if (word == "i64")
+        return Type::I64;
+    if (word == "f64")
+        return Type::F64;
+    if (word == "f32")
+        return Type::F32;
+    parseError(line, "unknown type '" + word + "'");
+}
+
+std::optional<Opcode>
+parseOpcode(const std::string &word)
+{
+    static const std::map<std::string, Opcode> table{
+        {"add", Opcode::Add},       {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},       {"div", Opcode::Div},
+        {"cmpeq", Opcode::CmpEq},   {"cmplt", Opcode::CmpLt},
+        {"cmple", Opcode::CmpLe},   {"select", Opcode::Select},
+        {"cast", Opcode::Cast},     {"phi", Opcode::Phi},
+        {"call", Opcode::Call},     {"br", Opcode::Br},
+        {"jmp", Opcode::Jmp},       {"ret", Opcode::Ret},
+    };
+    auto it = table.find(word);
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+Operand
+parseOperand(const std::string &raw, std::size_t line)
+{
+    const std::string text = trim(raw);
+    if (text.empty())
+        parseError(line, "empty operand");
+    if (text[0] == '%')
+        return Operand::temp(text.substr(1));
+    if (text.find('.') != std::string::npos ||
+        text.find('e') != std::string::npos ||
+        text.find("inf") != std::string::npos) {
+        return Operand::constFloat(std::stod(text));
+    }
+    try {
+        return Operand::constInt(std::stoll(text));
+    } catch (...) {
+        parseError(line, "bad operand '" + text + "'");
+    }
+}
+
+/** Split a comma-separated tail, respecting [..] phi groups. */
+std::vector<std::string>
+splitArgs(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    int depth = 0;
+    for (char c : text) {
+        if (c == '[')
+            ++depth;
+        if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            parts.push_back(trim(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!trim(current).empty())
+        parts.push_back(trim(current));
+    return parts;
+}
+
+/** key=value attributes on metadata lines. */
+std::map<std::string, std::string>
+parseAttributes(const std::vector<std::string> &words, std::size_t from,
+                std::size_t line)
+{
+    std::map<std::string, std::string> attrs;
+    for (std::size_t i = from; i < words.size(); ++i) {
+        const auto eq = words[i].find('=');
+        if (eq == std::string::npos)
+            parseError(line, "expected key=value, got '" + words[i] + "'");
+        attrs[words[i].substr(0, eq)] = words[i].substr(eq + 1);
+    }
+    return attrs;
+}
+
+std::string
+stripAt(const std::string &name)
+{
+    return startsWith(name, "@") ? name.substr(1) : name;
+}
+
+} // namespace
+
+Module
+parseModule(const std::string &text)
+{
+    Module module;
+    const auto lines = split(text, '\n');
+
+    Function *current_fn = nullptr;
+    BasicBlock *current_block = nullptr;
+
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::size_t line_no = li + 1;
+        std::string line = lines[li];
+        const auto comment = line.find(';');
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        if (startsWith(line, "module ")) {
+            std::string name = trim(line.substr(7));
+            if (name.size() >= 2 && name.front() == '"')
+                name = name.substr(1, name.size() - 2);
+            module.name = name;
+            continue;
+        }
+
+        if (startsWith(line, "tradeoff ")) {
+            const auto words = support::splitWhitespace(line);
+            if (words.size() < 2)
+                parseError(line_no, "tradeoff needs a name");
+            TradeoffMeta meta;
+            meta.name = words[1];
+            const auto attrs = parseAttributes(words, 2, line_no);
+            for (const auto &[key, value] : attrs) {
+                if (key == "kind") {
+                    meta.kind = value == "type" ? TradeoffKind::DataType
+                                : value == "fn"
+                                    ? TradeoffKind::FunctionChoice
+                                    : TradeoffKind::Constant;
+                } else if (key == "placeholder") {
+                    meta.placeholder = stripAt(value);
+                } else if (key == "getValue") {
+                    meta.getValueFn = stripAt(value);
+                } else if (key == "size") {
+                    meta.sizeFn = stripAt(value);
+                } else if (key == "default") {
+                    meta.defaultIndexFn = stripAt(value);
+                } else if (key == "aux") {
+                    meta.auxClone = value == "true";
+                } else if (key == "origin") {
+                    meta.origin = value;
+                } else if (key == "choices") {
+                    for (auto &choice : split(value, ','))
+                        meta.nameChoices.push_back(stripAt(choice));
+                } else {
+                    parseError(line_no, "unknown attribute '" + key + "'");
+                }
+            }
+            module.tradeoffs.push_back(std::move(meta));
+            continue;
+        }
+
+        if (startsWith(line, "statedep ")) {
+            const auto words = support::splitWhitespace(line);
+            if (words.size() < 2)
+                parseError(line_no, "statedep needs a name");
+            StateDepMeta meta;
+            meta.name = words[1];
+            const auto attrs = parseAttributes(words, 2, line_no);
+            for (const auto &[key, value] : attrs) {
+                if (key == "compute")
+                    meta.computeFn = stripAt(value);
+                else if (key == "aux")
+                    meta.auxFn = stripAt(value);
+                else if (key == "runtime")
+                    meta.runtimeLinked = value == "true";
+                else
+                    parseError(line_no, "unknown attribute '" + key + "'");
+            }
+            module.stateDeps.push_back(std::move(meta));
+            continue;
+        }
+
+        if (startsWith(line, "func ")) {
+            // func @name(type %p, ...) -> type {
+            Function fn;
+            const auto at = line.find('@');
+            const auto open = line.find('(', at);
+            const auto close = line.rfind(')');
+            const auto arrow = line.find("->", close);
+            if (at == std::string::npos || open == std::string::npos ||
+                close == std::string::npos || arrow == std::string::npos) {
+                parseError(line_no, "malformed func header");
+            }
+            fn.name = trim(line.substr(at + 1, open - at - 1));
+            const std::string params =
+                trim(line.substr(open + 1, close - open - 1));
+            if (!params.empty()) {
+                for (const auto &param : splitArgs(params)) {
+                    const auto words = support::splitWhitespace(param);
+                    if (words.size() != 2 || words[1][0] != '%')
+                        parseError(line_no, "malformed parameter");
+                    fn.params.push_back(
+                        {words[1].substr(1), parseType(words[0], line_no)});
+                }
+            }
+            std::string ret = trim(line.substr(arrow + 2));
+            if (!ret.empty() && ret.back() == '{')
+                ret = trim(ret.substr(0, ret.size() - 1));
+            fn.returnType = parseType(ret, line_no);
+            module.functions.push_back(std::move(fn));
+            current_fn = &module.functions.back();
+            current_block = nullptr;
+            continue;
+        }
+
+        if (line == "}") {
+            current_fn = nullptr;
+            current_block = nullptr;
+            continue;
+        }
+
+        if (!current_fn)
+            parseError(line_no, "instruction outside a function");
+
+        if (line.back() == ':') {
+            current_fn->blocks.push_back(
+                BasicBlock{line.substr(0, line.size() - 1), {}});
+            current_block = &current_fn->blocks.back();
+            continue;
+        }
+
+        if (!current_block)
+            parseError(line_no, "instruction before any block label");
+
+        // [%result =] opcode [type] [@callee] operands...
+        Instruction inst;
+        std::string rest = line;
+        if (rest[0] == '%') {
+            const auto eq = rest.find('=');
+            if (eq == std::string::npos)
+                parseError(line_no, "expected '=' after result temp");
+            inst.result = trim(rest.substr(1, eq - 1));
+            rest = trim(rest.substr(eq + 1));
+        }
+
+        std::istringstream words(rest);
+        std::string word;
+        words >> word;
+        const auto op = parseOpcode(word);
+        if (!op)
+            parseError(line_no, "unknown opcode '" + word + "'");
+        inst.op = *op;
+
+        std::string tail;
+        std::getline(words, tail);
+        tail = trim(tail);
+
+        // Optional leading type token.
+        if (inst.op != Opcode::Jmp && inst.op != Opcode::Br &&
+            !tail.empty()) {
+            std::istringstream peek(tail);
+            std::string maybe_type;
+            peek >> maybe_type;
+            if (maybe_type == "void" || maybe_type == "i64" ||
+                maybe_type == "f64" || maybe_type == "f32") {
+                inst.type = parseType(maybe_type, line_no);
+                std::getline(peek, tail);
+                tail = trim(tail);
+            }
+        }
+
+        // Optional @callee for calls.
+        if (inst.op == Opcode::Call) {
+            if (tail.empty() || tail[0] != '@')
+                parseError(line_no, "call needs @callee");
+            const auto end = tail.find_first_of(" (,", 1);
+            std::string callee_part =
+                end == std::string::npos ? tail : tail.substr(0, end);
+            inst.callee = callee_part.substr(1);
+            tail = end == std::string::npos ? "" : trim(tail.substr(end));
+            // Accept both "@f 1, 2" and "@f(1, 2)".
+            if (!tail.empty() && tail.front() == '(') {
+                const auto close_paren = tail.rfind(')');
+                if (close_paren == std::string::npos)
+                    parseError(line_no, "unbalanced call parentheses");
+                tail = trim(tail.substr(1, close_paren - 1));
+            }
+        }
+
+        for (const auto &arg : splitArgs(tail)) {
+            if (arg.empty())
+                continue;
+            if (arg.front() == '[') {
+                // Phi incoming: [value, label]
+                if (arg.back() != ']')
+                    parseError(line_no, "malformed phi incoming");
+                const auto inner = arg.substr(1, arg.size() - 2);
+                const auto parts = split(inner, ',');
+                if (parts.size() != 2)
+                    parseError(line_no, "phi incoming needs 2 parts");
+                inst.operands.push_back(parseOperand(parts[0], line_no));
+                inst.labels.push_back(trim(parts[1]));
+                continue;
+            }
+            const bool is_label =
+                (inst.op == Opcode::Br || inst.op == Opcode::Jmp) &&
+                arg[0] != '%' &&
+                !std::isdigit(static_cast<unsigned char>(arg[0])) &&
+                arg[0] != '-';
+            if (is_label)
+                inst.labels.push_back(arg);
+            else
+                inst.operands.push_back(parseOperand(arg, line_no));
+        }
+
+        current_block->instructions.push_back(std::move(inst));
+    }
+
+    return module;
+}
+
+std::string
+printModule(const Module &module)
+{
+    std::ostringstream out;
+    out << "module \"" << module.name << "\"\n";
+
+    for (const auto &meta : module.tradeoffs) {
+        out << "tradeoff " << meta.name
+            << " kind=" << tradeoffKindName(meta.kind)
+            << " placeholder=@" << meta.placeholder
+            << " getValue=@" << meta.getValueFn << " size=@"
+            << meta.sizeFn << " default=@" << meta.defaultIndexFn;
+        if (meta.auxClone)
+            out << " aux=true origin=" << meta.origin;
+        if (!meta.nameChoices.empty()) {
+            out << " choices=";
+            for (std::size_t i = 0; i < meta.nameChoices.size(); ++i)
+                out << (i ? "," : "") << meta.nameChoices[i];
+        }
+        out << "\n";
+    }
+    for (const auto &meta : module.stateDeps) {
+        out << "statedep " << meta.name << " compute=@" << meta.computeFn;
+        if (!meta.auxFn.empty())
+            out << " aux=@" << meta.auxFn;
+        if (meta.runtimeLinked)
+            out << " runtime=true";
+        out << "\n";
+    }
+
+    for (const auto &fn : module.functions) {
+        out << "\nfunc @" << fn.name << "(";
+        for (std::size_t i = 0; i < fn.params.size(); ++i) {
+            out << (i ? ", " : "") << typeName(fn.params[i].type) << " %"
+                << fn.params[i].name;
+        }
+        out << ") -> " << typeName(fn.returnType) << " {\n";
+        for (const auto &block : fn.blocks) {
+            out << block.label << ":\n";
+            for (const auto &inst : block.instructions)
+                out << "  " << inst.toString() << "\n";
+        }
+        out << "}\n";
+    }
+    return out.str();
+}
+
+} // namespace stats::ir

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Textual IR parser and printer (round-trippable).
+ *
+ * Format sketch:
+ *
+ *   module "toy"
+ *   tradeoff T_42 kind=const placeholder=@T_42 \
+ *       getValue=@T_42_getValue size=@T_42_size \
+ *       default=@T_42_getDefaultIndex
+ *   statedep SD0 compute=@computeOutput aux=@computeOutput__aux0
+ *
+ *   func @computeOutput(i64 %input, f64 %state) -> f64 {
+ *   entry:
+ *     %layers = call i64 @T_42()
+ *     %c = cmplt i64 %layers, 4
+ *     br %c, small, big
+ *   small:
+ *     %a = mul f64 %state, 2.0
+ *     jmp done
+ *   big:
+ *     %b = add f64 %state, 1.0
+ *     jmp done
+ *   done:
+ *     %r = phi f64 [%a, small], [%b, big]
+ *     ret f64 %r
+ *   }
+ *
+ * Comments start with ';' and run to end of line.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace stats::ir {
+
+/** Parse a module from text; panics with a line number on errors. */
+Module parseModule(const std::string &text);
+
+/** Print a module in the textual format parseModule accepts. */
+std::string printModule(const Module &module);
+
+} // namespace stats::ir

@@ -1,0 +1,161 @@
+#include "ir/verifier.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace stats::ir {
+
+bool
+isBuiltinCallee(const std::string &name)
+{
+    static const std::set<std::string> builtins{
+        "sqrt", "exp", "log", "sin", "cos", "fabs", "rand_uniform",
+    };
+    return builtins.count(name) > 0;
+}
+
+namespace {
+
+void
+verifyFunction(const Module &module, const Function &fn,
+               std::vector<std::string> &problems)
+{
+    const auto report = [&](const std::string &message) {
+        problems.push_back("@" + fn.name + ": " + message);
+    };
+
+    if (fn.blocks.empty()) {
+        report("has no blocks");
+        return;
+    }
+
+    std::set<std::string> labels;
+    for (const auto &block : fn.blocks) {
+        if (!labels.insert(block.label).second)
+            report("duplicate block label '" + block.label + "'");
+    }
+
+    std::set<std::string> defined;
+    for (const auto &param : fn.params)
+        defined.insert(param.name);
+    // Results are collected up front: phis may reference values from
+    // later blocks (loop back-edges).
+    std::set<std::string> all_results = defined;
+    for (const auto &block : fn.blocks) {
+        for (const auto &inst : block.instructions) {
+            if (!inst.result.empty())
+                all_results.insert(inst.result);
+        }
+    }
+
+    for (const auto &block : fn.blocks) {
+        if (!block.terminator())
+            report("block '" + block.label +
+                   "' does not end in a terminator");
+        for (std::size_t i = 0; i < block.instructions.size(); ++i) {
+            const Instruction &inst = block.instructions[i];
+            if (isTerminator(inst.op) &&
+                i + 1 != block.instructions.size()) {
+                report("terminator mid-block in '" + block.label + "'");
+            }
+
+            for (const auto &operand : inst.operands) {
+                if (operand.kind == Operand::Kind::Temp &&
+                    !all_results.count(operand.name)) {
+                    report("use of undefined temp %" + operand.name);
+                }
+            }
+
+            switch (inst.op) {
+              case Opcode::Br:
+                if (inst.operands.size() != 1 || inst.labels.size() != 2)
+                    report("br needs 1 operand and 2 labels");
+                break;
+              case Opcode::Jmp:
+                if (inst.labels.size() != 1)
+                    report("jmp needs 1 label");
+                break;
+              case Opcode::Phi:
+                if (inst.operands.size() != inst.labels.size() ||
+                    inst.operands.empty()) {
+                    report("phi needs paired incomings");
+                }
+                break;
+              case Opcode::Select:
+                if (inst.operands.size() != 3)
+                    report("select needs 3 operands");
+                break;
+              case Opcode::Cast:
+                if (inst.operands.size() != 1)
+                    report("cast needs 1 operand");
+                break;
+              case Opcode::Add:
+              case Opcode::Sub:
+              case Opcode::Mul:
+              case Opcode::Div:
+              case Opcode::CmpEq:
+              case Opcode::CmpLt:
+              case Opcode::CmpLe:
+                if (inst.operands.size() != 2)
+                    report(std::string(opcodeName(inst.op)) +
+                           " needs 2 operands");
+                break;
+              case Opcode::Ret:
+                if (fn.returnType == Type::Void
+                        ? !inst.operands.empty()
+                        : inst.operands.size() != 1) {
+                    report("ret arity does not match return type");
+                }
+                break;
+              case Opcode::Call:
+                if (!module.findFunction(inst.callee) &&
+                    !isBuiltinCallee(inst.callee)) {
+                    report("call to unknown function @" + inst.callee);
+                }
+                break;
+            }
+
+            for (const auto &label : inst.labels) {
+                if ((inst.op == Opcode::Br || inst.op == Opcode::Jmp ||
+                     inst.op == Opcode::Phi) &&
+                    !labels.count(label)) {
+                    report("reference to unknown label '" + label + "'");
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verifyModule(const Module &module)
+{
+    std::vector<std::string> problems;
+    std::set<std::string> names;
+    for (const auto &fn : module.functions) {
+        if (!names.insert(fn.name).second)
+            problems.push_back("duplicate function @" + fn.name);
+        verifyFunction(module, fn, problems);
+    }
+    for (const auto &meta : module.tradeoffs) {
+        for (const auto &ref :
+             {meta.getValueFn, meta.sizeFn, meta.defaultIndexFn}) {
+            if (!ref.empty() && !module.findFunction(ref)) {
+                problems.push_back("tradeoff " + meta.name +
+                                   " references unknown @" + ref);
+            }
+        }
+    }
+    for (const auto &meta : module.stateDeps) {
+        if (!module.findFunction(meta.computeFn))
+            problems.push_back("statedep " + meta.name +
+                               " references unknown @" + meta.computeFn);
+        if (!meta.auxFn.empty() && !module.findFunction(meta.auxFn))
+            problems.push_back("statedep " + meta.name +
+                               " references unknown aux @" + meta.auxFn);
+    }
+    return problems;
+}
+
+} // namespace stats::ir

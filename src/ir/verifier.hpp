@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Structural verifier for the mini-IR.
+ *
+ * Checks: every block ends in a terminator; branch/jump targets
+ * exist; temporaries are defined (as a parameter or instruction
+ * result) before use within the function; call targets exist in the
+ * module or are known builtins; phi incoming labels name existing
+ * blocks; metadata references existing functions.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace stats::ir {
+
+/** Names callable without a module definition (math builtins). */
+bool isBuiltinCallee(const std::string &name);
+
+/** Returns a list of problems; empty means the module verifies. */
+std::vector<std::string> verifyModule(const Module &module);
+
+} // namespace stats::ir

@@ -1,0 +1,169 @@
+#include "midend/midend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ir/call_graph.hpp"
+#include "midend/substitute.hpp"
+#include "support/log.hpp"
+
+namespace stats::midend {
+
+namespace {
+
+/** Suffix for clones belonging to state dependence `ordinal`. */
+std::string
+auxSuffix(std::size_t ordinal)
+{
+    return "__aux" + std::to_string(ordinal);
+}
+
+} // namespace
+
+CloneReport
+generateAuxiliaryCode(ir::Module &module, std::size_t max_instructions)
+{
+    CloneReport report;
+    const ir::CallGraph graph(module);
+    const auto carriers = graph.tradeoffCarriers();
+
+    for (std::size_t d = 0; d < module.stateDeps.size(); ++d) {
+        ir::StateDepMeta &dep = module.stateDeps[d];
+        if (!dep.auxFn.empty())
+            continue;
+        const ir::Function *compute = module.findFunction(dep.computeFn);
+        if (!compute)
+            support::panic("middle-end: statedep ", dep.name,
+                           " has no computeOutput @", dep.computeFn);
+
+        // Decide what to clone: computeOutput always; its reachable
+        // callees only when they carry a tradeoff (bottom-up
+        // analysis), stopping at the instruction budget.
+        std::vector<std::string> to_clone{dep.computeFn};
+        std::size_t budget = compute->instructionCount();
+        for (const auto &callee : graph.reachableFrom(dep.computeFn)) {
+            if (callee == dep.computeFn || !carriers.count(callee))
+                continue;
+            const ir::Function *fn = module.findFunction(callee);
+            if (budget + fn->instructionCount() > max_instructions) {
+                report.budgetReached = true;
+                continue;
+            }
+            budget += fn->instructionCount();
+            to_clone.push_back(callee);
+        }
+
+        // Tradeoffs included in the cloned code get cloned metadata
+        // (one new entry per cloned tradeoff) so auxiliary quality is
+        // controlled independently.
+        std::set<std::string> cloned_set(to_clone.begin(),
+                                         to_clone.end());
+        std::map<std::string, std::string> placeholder_map;
+        std::vector<ir::TradeoffMeta> new_tradeoffs;
+        for (const auto &meta : module.tradeoffs) {
+            if (meta.auxClone)
+                continue;
+            bool referenced = false;
+            for (const auto &fn_name : to_clone) {
+                const ir::Function *fn = module.findFunction(fn_name);
+                for (const auto &block : fn->blocks) {
+                    for (const auto &inst : block.instructions) {
+                        if (inst.op == ir::Opcode::Call &&
+                            inst.callee == meta.placeholder) {
+                            referenced = true;
+                        }
+                    }
+                }
+            }
+            if (!referenced)
+                continue;
+
+            ir::TradeoffMeta clone = meta;
+            clone.name = "aux::" + meta.name;
+            clone.placeholder = meta.placeholder + auxSuffix(d);
+            clone.auxClone = true;
+            clone.origin = meta.name;
+            placeholder_map[meta.placeholder] = clone.placeholder;
+            report.clonedTradeoffs.push_back(clone.name);
+            new_tradeoffs.push_back(std::move(clone));
+
+            // Clone the placeholder function itself.
+            if (const ir::Function *ph =
+                    module.findFunction(meta.placeholder)) {
+                ir::Function ph_clone = *ph;
+                ph_clone.name = meta.placeholder + auxSuffix(d);
+                module.functions.push_back(std::move(ph_clone));
+            }
+        }
+
+        // Deep-clone the selected functions, rewriting internal calls
+        // to cloned functions and tradeoff placeholders.
+        for (const auto &fn_name : to_clone) {
+            ir::Function clone = *module.findFunction(fn_name);
+            clone.name = fn_name + auxSuffix(d);
+            for (auto &block : clone.blocks) {
+                for (auto &inst : block.instructions) {
+                    if (inst.op != ir::Opcode::Call)
+                        continue;
+                    auto mapped = placeholder_map.find(inst.callee);
+                    if (mapped != placeholder_map.end()) {
+                        inst.callee = mapped->second;
+                    } else if (cloned_set.count(inst.callee)) {
+                        inst.callee = inst.callee + auxSuffix(d);
+                    }
+                }
+            }
+            report.instructionsAdded += clone.instructionCount();
+            report.clonedFunctions.push_back(clone.name);
+            module.functions.push_back(std::move(clone));
+        }
+
+        for (auto &meta : new_tradeoffs)
+            module.tradeoffs.push_back(std::move(meta));
+        module.findStateDep(dep.name)->auxFn =
+            dep.computeFn + auxSuffix(d);
+    }
+    return report;
+}
+
+std::vector<std::string>
+freezeDefaultTradeoffs(ir::Module &module)
+{
+    std::vector<std::string> frozen;
+    // Snapshot names first: applyTradeoff mutates the module.
+    std::vector<std::string> originals;
+    for (const auto &meta : module.tradeoffs) {
+        if (!meta.auxClone)
+            originals.push_back(meta.name);
+    }
+
+    for (const auto &name : originals) {
+        const ir::TradeoffMeta meta = *module.findTradeoff(name);
+        const std::int64_t index = defaultIndexOf(module, meta);
+        const ChosenValue value =
+            evaluateTradeoffValue(module, meta, index);
+        applyTradeoff(module, meta, value);
+        frozen.push_back(name);
+    }
+
+    // Delete the frozen entries: the middle-end's output "includes
+    // only tradeoffs that are part of auxiliary code".
+    module.tradeoffs.erase(
+        std::remove_if(module.tradeoffs.begin(), module.tradeoffs.end(),
+                       [](const ir::TradeoffMeta &meta) {
+                           return !meta.auxClone;
+                       }),
+        module.tradeoffs.end());
+    return frozen;
+}
+
+CloneReport
+runMiddleEnd(ir::Module &module, std::size_t max_instructions)
+{
+    CloneReport report = generateAuxiliaryCode(module, max_instructions);
+    freezeDefaultTradeoffs(module);
+    return report;
+}
+
+} // namespace stats::midend

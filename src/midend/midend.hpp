@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The middle-end compiler (paper section 3.4, "Generating IR with
+ * auxiliary code").
+ *
+ * For each state dependence the middle-end deep-clones its
+ * computeOutput() and links the clone to the dependence's metadata.
+ * Cloning follows the call graph bottom-up: a callee is cloned only
+ * if it (or one of its callees) includes a tradeoff, and cloning
+ * stops at a maximum number of instructions per clone. The included
+ * tradeoffs are cloned too (new metadata entries), so STATS can
+ * control the auxiliary code's quality independently. Finally, the
+ * middle-end sets the tradeoffs outside auxiliary code to their
+ * default value and deletes their metadata entries — the resulting
+ * IR "includes only tradeoffs that are part of auxiliary code".
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace stats::midend {
+
+/** What the auxiliary-code generation did. */
+struct CloneReport
+{
+    std::vector<std::string> clonedFunctions;
+    std::vector<std::string> clonedTradeoffs;
+    std::size_t instructionsAdded = 0;
+    bool budgetReached = false;
+};
+
+/**
+ * Generate auxiliary code for every state dependence without one.
+ *
+ * @param max_instructions cloning budget per computeOutput clone
+ */
+CloneReport generateAuxiliaryCode(ir::Module &module,
+                                  std::size_t max_instructions = 4096);
+
+/**
+ * Freeze every non-auxiliary tradeoff to its default value (constant
+ * folding / type setting / callee setting) and delete its metadata.
+ *
+ * @return names of the frozen tradeoffs.
+ */
+std::vector<std::string> freezeDefaultTradeoffs(ir::Module &module);
+
+/** Full middle-end pipeline: clone, then freeze. */
+CloneReport runMiddleEnd(ir::Module &module,
+                         std::size_t max_instructions = 4096);
+
+} // namespace stats::midend

@@ -1,0 +1,144 @@
+#include "midend/substitute.hpp"
+
+#include "support/log.hpp"
+
+namespace stats::midend {
+
+std::int64_t
+defaultIndexOf(const ir::Module &module, const ir::TradeoffMeta &meta)
+{
+    ir::Interpreter interp(module);
+    return interp.call(meta.defaultIndexFn, {}).asInt();
+}
+
+std::int64_t
+sizeOf(const ir::Module &module, const ir::TradeoffMeta &meta)
+{
+    ir::Interpreter interp(module);
+    return interp.call(meta.sizeFn, {}).asInt();
+}
+
+ChosenValue
+evaluateTradeoffValue(const ir::Module &module,
+                      const ir::TradeoffMeta &meta, std::int64_t index)
+{
+    ChosenValue value;
+    value.kind = meta.kind;
+    if (meta.kind == ir::TradeoffKind::Constant) {
+        ir::Interpreter interp(module);
+        value.constant =
+            interp.call(meta.getValueFn, {ir::RtValue::ofInt(index)});
+        return value;
+    }
+    if (index < 0 ||
+        index >= static_cast<std::int64_t>(meta.nameChoices.size())) {
+        support::panic("tradeoff ", meta.name, ": choice index ", index,
+                       " out of range");
+    }
+    value.name = meta.nameChoices[static_cast<std::size_t>(index)];
+    return value;
+}
+
+namespace {
+
+ir::Type
+typeFromName(const std::string &name)
+{
+    if (name == "f32")
+        return ir::Type::F32;
+    if (name == "f64")
+        return ir::Type::F64;
+    if (name == "i64")
+        return ir::Type::I64;
+    support::panic("unknown type-tradeoff choice '", name, "'");
+}
+
+} // namespace
+
+std::size_t
+applyTradeoff(ir::Module &module, const ir::TradeoffMeta &meta,
+              const ChosenValue &value)
+{
+    std::size_t rewritten = 0;
+    for (auto &fn : module.functions) {
+        for (auto &block : fn.blocks) {
+            for (std::size_t i = 0; i < block.instructions.size(); ++i) {
+                ir::Instruction &inst = block.instructions[i];
+                if (inst.op != ir::Opcode::Call ||
+                    inst.callee != meta.placeholder) {
+                    continue;
+                }
+                ++rewritten;
+
+                switch (value.kind) {
+                  case ir::TradeoffKind::Constant: {
+                    // Replace the call with the constant value.
+                    ir::Instruction replacement;
+                    replacement.op = ir::Opcode::Cast;
+                    replacement.type = inst.type;
+                    replacement.result = inst.result;
+                    if (ir::isFloating(inst.type)) {
+                        replacement.operands.push_back(
+                            ir::Operand::constFloat(
+                                value.constant.asFloat()));
+                    } else {
+                        replacement.operands.push_back(
+                            ir::Operand::constInt(
+                                value.constant.asInt()));
+                    }
+                    inst = std::move(replacement);
+                    break;
+                  }
+                  case ir::TradeoffKind::DataType: {
+                    // Retype the variable: round-trip the operand
+                    // through the chosen type, inserting extra casts
+                    // according to the use (the original result type).
+                    const ir::Type chosen = typeFromName(value.name);
+                    if (inst.operands.size() != 1) {
+                        support::panic(
+                            "type tradeoff placeholder @",
+                            meta.placeholder,
+                            " must take exactly one operand");
+                    }
+                    if (chosen == inst.type) {
+                        ir::Instruction identity;
+                        identity.op = ir::Opcode::Cast;
+                        identity.type = inst.type;
+                        identity.result = inst.result;
+                        identity.operands = inst.operands;
+                        inst = std::move(identity);
+                    } else {
+                        ir::Instruction narrow;
+                        narrow.op = ir::Opcode::Cast;
+                        narrow.type = chosen;
+                        narrow.result = inst.result + "__narrow";
+                        narrow.operands = inst.operands;
+
+                        ir::Instruction widen;
+                        widen.op = ir::Opcode::Cast;
+                        widen.type = inst.type;
+                        widen.result = inst.result;
+                        widen.operands.push_back(
+                            ir::Operand::temp(narrow.result));
+
+                        inst = widen;
+                        block.instructions.insert(
+                            block.instructions.begin() +
+                                static_cast<std::ptrdiff_t>(i),
+                            std::move(narrow));
+                        ++i; // Skip over the pair we just created.
+                    }
+                    break;
+                  }
+                  case ir::TradeoffKind::FunctionChoice:
+                    // Replace the callee with the chosen function.
+                    inst.callee = value.name;
+                    break;
+                }
+            }
+        }
+    }
+    return rewritten;
+}
+
+} // namespace stats::midend

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tradeoff substitution: the "setting a tradeoff" machinery of paper
+ * section 3.4, shared by the middle-end (freezing defaults) and the
+ * back-end (instantiating an autotuner configuration).
+ *
+ * A tradeoff reference in the IR is a call to the tradeoff's
+ * placeholder function. Setting the tradeoff:
+ *  - constant: the placeholder call is replaced with the constant;
+ *  - data type: the referenced variable is retyped and casts are
+ *    inserted according to its uses (a round-trip through the chosen
+ *    narrower type);
+ *  - function: the placeholder call's callee is replaced.
+ *
+ * The value identified by an index is fetched by *executing* the
+ * tradeoff's getValue() IR function (the paper JITs it with LLVM; we
+ * interpret it).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/interpreter.hpp"
+#include "ir/ir.hpp"
+
+namespace stats::midend {
+
+/** A fetched tradeoff value, ready to be set. */
+struct ChosenValue
+{
+    ir::TradeoffKind kind = ir::TradeoffKind::Constant;
+    ir::RtValue constant;  ///< Constant kind.
+    std::string name;      ///< Type or function name otherwise.
+};
+
+/** Run the tradeoff's defaultIndex function. */
+std::int64_t defaultIndexOf(const ir::Module &module,
+                            const ir::TradeoffMeta &meta);
+
+/** Run the tradeoff's size function (number of values). */
+std::int64_t sizeOf(const ir::Module &module,
+                    const ir::TradeoffMeta &meta);
+
+/** Fetch the value at `index` (compile-time getValue execution). */
+ChosenValue evaluateTradeoffValue(const ir::Module &module,
+                                  const ir::TradeoffMeta &meta,
+                                  std::int64_t index);
+
+/**
+ * Replace every reference to the tradeoff's placeholder in the
+ * module according to the chosen value.
+ *
+ * @return number of call sites rewritten.
+ */
+std::size_t applyTradeoff(ir::Module &module,
+                          const ir::TradeoffMeta &meta,
+                          const ChosenValue &value);
+
+} // namespace stats::midend

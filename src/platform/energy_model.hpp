@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Activity-based whole-system energy model.
+ *
+ * Substitute for the paper's Watts Up Pro AC-side meter (section 4.1):
+ * energy is integrated from the simulator's activity counters with
+ * Haswell-class constants. The paper uses energy only for *relative*
+ * comparisons (Figure 15), which an activity-based model preserves.
+ */
+
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace stats::platform {
+
+/** Power constants for the simulated platform. */
+struct EnergyModel
+{
+    /**
+     * Baseline AC power with all cores idle: chassis, fans, DRAM,
+     * uncore, and the idle fraction of both packages.
+     */
+    double platformIdleWatts = 140.0;
+
+    /** Incremental power of one busy logical core. */
+    double coreActiveWatts = 6.4;
+
+    /** Joules consumed by a run with the given activity. */
+    double energyJoules(const sim::ActivityStats &activity) const
+    {
+        return platformIdleWatts * activity.makespan +
+               coreActiveWatts * activity.busyCoreSeconds;
+    }
+};
+
+} // namespace stats::platform

@@ -1,0 +1,74 @@
+#include "profiler/profiler.hpp"
+
+namespace stats::profiler {
+
+Profiler::Profiler(benchmarks::Benchmark &benchmark,
+                   benchmarks::Mode mode, int threads,
+                   const sim::MachineConfig &machine,
+                   benchmarks::WorkloadKind workload,
+                   std::uint64_t workload_seed, int repetitions)
+    : _benchmark(benchmark), _mode(mode), _threads(threads),
+      _machine(machine), _workload(workload),
+      _workloadSeed(workload_seed), _repetitions(std::max(1, repetitions))
+{
+    _oracle = _benchmark.oracleSignature(_workload, _workloadSeed);
+}
+
+Measurement
+Profiler::profile(const tradeoff::Configuration &config)
+{
+    auto cached = _cache.find(config);
+    if (cached != _cache.end())
+        return cached->second;
+    ++_runs;
+    Measurement total;
+    for (int rep = 0; rep < _repetitions; ++rep) {
+        benchmarks::RunRequest request;
+        request.mode = _mode;
+        request.config = config;
+        request.threads = _threads;
+        request.machine = _machine;
+        request.workload = _workload;
+        request.workloadSeed = _workloadSeed;
+        const benchmarks::RunResult result = _benchmark.run(request);
+        total.seconds += result.virtualSeconds;
+        total.energyJoules += result.energyJoules;
+        total.quality += _benchmark.quality(result.signature, _oracle);
+    }
+    const double inv = 1.0 / _repetitions;
+    total.seconds *= inv;
+    total.energyJoules *= inv;
+    total.quality *= inv;
+    _cache.emplace(config, total);
+    return total;
+}
+
+autotuner::Autotuner::Objective
+Profiler::objectiveFunction(Objective objective)
+{
+    return [this, objective](const tradeoff::Configuration &config) {
+        const Measurement m = profile(config);
+        return objective == Objective::Time ? m.seconds
+                                            : m.energyJoules;
+    };
+}
+
+TunedRun
+tuneBenchmark(benchmarks::Benchmark &benchmark, benchmarks::Mode mode,
+              int threads, const sim::MachineConfig &machine,
+              Objective objective, int budget, std::uint64_t seed,
+              benchmarks::WorkloadKind workload,
+              std::uint64_t workload_seed)
+{
+    Profiler profiler(benchmark, mode, threads, machine, workload,
+                      workload_seed);
+    autotuner::Autotuner tuner(benchmark.stateSpace(threads), seed);
+    TunedRun run;
+    run.tuning =
+        tuner.tune(profiler.objectiveFunction(objective), budget);
+    run.config = run.tuning.best;
+    run.measurement = profiler.profile(run.config);
+    return run;
+}
+
+} // namespace stats::profiler

@@ -1,0 +1,176 @@
+#include "quality/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/log.hpp"
+
+namespace stats::quality {
+
+double
+relativeMeanSquareError(const std::vector<double> &a,
+                        const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        support::panic("relativeMeanSquareError: size mismatch ",
+                       a.size(), " vs ", b.size());
+    if (a.empty())
+        return 0.0;
+    double err = 0.0;
+    double ref = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        err += d * d;
+        ref += b[i] * b[i];
+    }
+    return ref > 0.0 ? err / ref : err;
+}
+
+double
+averageEuclideanDistance(const std::vector<double> &a,
+                         const std::vector<double> &b, std::size_t dim)
+{
+    if (a.size() != b.size() || dim == 0 || a.size() % dim != 0)
+        support::panic("averageEuclideanDistance: bad shapes");
+    if (a.empty())
+        return 0.0;
+    const std::size_t points = a.size() / dim;
+    double total = 0.0;
+    for (std::size_t p = 0; p < points; ++p) {
+        double sq = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            const double delta = a[p * dim + d] - b[p * dim + d];
+            sq += delta * delta;
+        }
+        total += std::sqrt(sq);
+    }
+    return total / static_cast<double>(points);
+}
+
+double
+averageRelativeDifference(const std::vector<double> &a,
+                          const std::vector<double> &b, double eps)
+{
+    if (a.size() != b.size())
+        support::panic("averageRelativeDifference: size mismatch");
+    if (a.empty())
+        return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        total += std::abs(a[i] - b[i]) / std::max(std::abs(b[i]), eps);
+    return total / static_cast<double>(a.size());
+}
+
+double
+daviesBouldinIndex(const std::vector<double> &points, std::size_t dim,
+                   const std::vector<int> &assignment, int clusters)
+{
+    if (dim == 0 || points.size() % dim != 0)
+        support::panic("daviesBouldinIndex: bad point shape");
+    const std::size_t n = points.size() / dim;
+    if (assignment.size() != n)
+        support::panic("daviesBouldinIndex: assignment size mismatch");
+    if (clusters <= 1)
+        return 0.0;
+
+    // Centroids and per-cluster mean scatter.
+    std::vector<double> centroid(static_cast<std::size_t>(clusters) * dim,
+                                 0.0);
+    std::vector<double> scatter(static_cast<std::size_t>(clusters), 0.0);
+    std::vector<std::size_t> count(static_cast<std::size_t>(clusters), 0);
+    for (std::size_t p = 0; p < n; ++p) {
+        const int c = assignment[p];
+        if (c < 0 || c >= clusters)
+            support::panic("daviesBouldinIndex: bad cluster id ", c);
+        ++count[static_cast<std::size_t>(c)];
+        for (std::size_t d = 0; d < dim; ++d)
+            centroid[static_cast<std::size_t>(c) * dim + d] +=
+                points[p * dim + d];
+    }
+    for (int c = 0; c < clusters; ++c) {
+        const auto k = static_cast<std::size_t>(c);
+        if (count[k] == 0)
+            continue;
+        for (std::size_t d = 0; d < dim; ++d)
+            centroid[k * dim + d] /= static_cast<double>(count[k]);
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+        const auto c = static_cast<std::size_t>(assignment[p]);
+        double sq = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            const double delta = points[p * dim + d] - centroid[c * dim + d];
+            sq += delta * delta;
+        }
+        scatter[c] += std::sqrt(sq);
+    }
+    for (int c = 0; c < clusters; ++c) {
+        const auto k = static_cast<std::size_t>(c);
+        if (count[k] > 0)
+            scatter[k] /= static_cast<double>(count[k]);
+    }
+
+    // DB = mean over clusters of the worst (Si + Sj) / Mij ratio.
+    double db = 0.0;
+    int populated = 0;
+    for (int i = 0; i < clusters; ++i) {
+        const auto ki = static_cast<std::size_t>(i);
+        if (count[ki] == 0)
+            continue;
+        ++populated;
+        double worst = 0.0;
+        for (int j = 0; j < clusters; ++j) {
+            const auto kj = static_cast<std::size_t>(j);
+            if (j == i || count[kj] == 0)
+                continue;
+            double sq = 0.0;
+            for (std::size_t d = 0; d < dim; ++d) {
+                const double delta =
+                    centroid[ki * dim + d] - centroid[kj * dim + d];
+                sq += delta * delta;
+            }
+            const double separation = std::sqrt(sq);
+            if (separation > 0.0) {
+                worst = std::max(worst,
+                                 (scatter[ki] + scatter[kj]) / separation);
+            }
+        }
+        db += worst;
+    }
+    return populated > 0 ? db / populated : 0.0;
+}
+
+BCubedScore
+bCubed(const std::vector<int> &predicted, const std::vector<int> &gold)
+{
+    if (predicted.size() != gold.size())
+        support::panic("bCubed: size mismatch");
+    const std::size_t n = predicted.size();
+    if (n == 0)
+        return {1.0, 1.0, 1.0};
+
+    // Cluster and class sizes.
+    std::map<int, double> pred_size, gold_size;
+    std::map<std::pair<int, int>, double> joint;
+    for (std::size_t i = 0; i < n; ++i) {
+        pred_size[predicted[i]] += 1.0;
+        gold_size[gold[i]] += 1.0;
+        joint[{predicted[i], gold[i]}] += 1.0;
+    }
+
+    double precision = 0.0;
+    double recall = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double overlap = joint[{predicted[i], gold[i]}];
+        precision += overlap / pred_size[predicted[i]];
+        recall += overlap / gold_size[gold[i]];
+    }
+    precision /= static_cast<double>(n);
+    recall /= static_cast<double>(n);
+    const double f1 = precision + recall > 0.0
+                          ? 2.0 * precision * recall / (precision + recall)
+                          : 0.0;
+    return {precision, recall, f1};
+}
+
+} // namespace stats::quality

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Domain-specific output-quality metrics (paper section 4.2,
+ * "Output quality").
+ *
+ * Every benchmark's output variability and quality-vs-oracle are
+ * measured with the metric the paper names for it:
+ *   bodytrack        relative mean square error of body-part vectors
+ *   fluidanimate     average Euclidean distance of particle positions
+ *   streamcluster    difference of Davies-Bouldin clustering indices
+ *   streamclassifier difference of B-cubed metrics
+ *   swaptions        average relative difference of prices
+ *   facedet          average Euclidean distance of face-box corners
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stats::quality {
+
+/**
+ * Relative mean square error: sum((a-b)^2) / sum(b^2).
+ * `b` is the reference (oracle).
+ */
+double relativeMeanSquareError(const std::vector<double> &a,
+                               const std::vector<double> &b);
+
+/**
+ * Average Euclidean distance between corresponding `dim`-dimensional
+ * points stored flattened in `a` and `b`.
+ */
+double averageEuclideanDistance(const std::vector<double> &a,
+                                const std::vector<double> &b,
+                                std::size_t dim);
+
+/** Mean of |a_i - b_i| / max(|b_i|, eps) over all elements. */
+double averageRelativeDifference(const std::vector<double> &a,
+                                 const std::vector<double> &b,
+                                 double eps = 1e-12);
+
+/**
+ * Davies-Bouldin index of a clustering: lower is better separated.
+ *
+ * @param points      flattened `dim`-dimensional points
+ * @param dim         point dimensionality
+ * @param assignment  cluster id per point (ids in [0, clusters))
+ * @param clusters    number of clusters
+ */
+double daviesBouldinIndex(const std::vector<double> &points,
+                          std::size_t dim,
+                          const std::vector<int> &assignment,
+                          int clusters);
+
+/** Precision/recall/F1 triple of the B-cubed metric. */
+struct BCubedScore
+{
+    double precision;
+    double recall;
+    double f1;
+};
+
+/**
+ * B-cubed extrinsic clustering/classification metric against a gold
+ * labeling. Labels are arbitrary integers.
+ */
+BCubedScore bCubed(const std::vector<int> &predicted,
+                   const std::vector<int> &gold);
+
+} // namespace stats::quality

@@ -1,0 +1,595 @@
+/**
+ * @file
+ * The STATS speculation engine: the execution model of paper
+ * section 3.1.
+ *
+ * Inputs are grouped into blocks of `G`. Group 0 runs from the
+ * initial state. Each subsequent group starts from a *speculative*
+ * state produced by auxiliary code (a clone of computeOutput with its
+ * own tradeoff settings) that consumes the `k` inputs preceding the
+ * group, starting from the initial state. When the previous group
+ * commits, its final state is compared against the speculative state
+ * (`doesSpecStateMatchAny`); on a mismatch the previous group rolls
+ * back `b` inputs and re-executes — its nondeterminism may produce a
+ * different final state — up to `R` times, the comparison set growing
+ * each time. If no match is found, all subsequent groups are squashed
+ * and execution restarts sequentially from the first original state,
+ * with no further speculation for the current inputs.
+ *
+ * The engine is written against the exec::Executor interface, so the
+ * same code runs on real threads and on the simulated many-core
+ * platform. All engine bookkeeping is mutated exclusively inside
+ * completion callbacks, which both executors serialize.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/task.hpp"
+#include "sdi/spec_config.hpp"
+#include "support/log.hpp"
+
+namespace stats::sdi {
+
+/** Extra information passed to every computeOutput invocation. */
+struct ComputeContext
+{
+    /** Threads available to the invocation's original (inner) TLP. */
+    int innerThreads = 1;
+
+    /** True when running as auxiliary code (cloned tradeoffs). */
+    bool auxiliary = false;
+};
+
+/**
+ * The speculation engine for one state dependence.
+ *
+ * @tparam Input  per-invocation input (paper Figure 4 `I`)
+ * @tparam State  the dependence-carried state; must be copyable
+ *                (the paper requires a developer-supplied
+ *                `operator=` for cloning)
+ * @tparam Output per-invocation output
+ */
+template <class Input, class State, class Output>
+class SpecEngine
+{
+  public:
+    /** Result of one computeOutput invocation. */
+    struct Invocation
+    {
+        std::unique_ptr<Output> output;
+        exec::Work cost;
+    };
+
+    using ComputeFn = std::function<Invocation(
+        const Input &, State &, const ComputeContext &)>;
+
+    /**
+     * State-comparison function: returns the index of the original
+     * state the speculative state is considered equivalent to, or -1
+     * for no match. Adapters exist for the paper's boolean
+     * `doesSpecStateMatchAny` form (see matchers.hpp).
+     */
+    using MatchFn = std::function<int(const State &spec,
+                                      const std::vector<State> &originals)>;
+
+    SpecEngine(exec::Executor &executor, const std::vector<Input> &inputs,
+               State initial_state, ComputeFn compute, ComputeFn auxiliary,
+               MatchFn match, SpecConfig config)
+        : _executor(executor), _inputs(inputs),
+          _initialState(std::move(initial_state)),
+          _compute(std::move(compute)), _auxiliary(std::move(auxiliary)),
+          _match(std::move(match)), _config(config)
+    {
+        if (!_compute)
+            support::panic("SpecEngine: computeOutput is required");
+        _config.groupSize = std::max(1, _config.groupSize);
+        _config.auxWindow = std::max(0, _config.auxWindow);
+        _config.maxReexecutions = std::max(0, _config.maxReexecutions);
+        _config.rollbackDepth = std::max(1, _config.rollbackDepth);
+        _config.sdThreads = std::max(1, _config.sdThreads);
+        _config.innerThreads = std::max(1, _config.innerThreads);
+    }
+
+    /** Begin processing; returns immediately (paper Figure 9). */
+    void
+    start()
+    {
+        if (_started)
+            support::panic("SpecEngine::start called twice");
+        _started = true;
+
+        buildGroups();
+
+        // All engine bookkeeping must happen in serialized completion
+        // callbacks; bootstrap via a zero-cost task.
+        exec::Task bootstrap;
+        bootstrap.width = 1;
+        bootstrap.run = [] { return exec::Work{0.0, 0.0}; };
+        bootstrap.onComplete = [this] { launchInitialTasks(); };
+        _executor.submit(std::move(bootstrap));
+    }
+
+    /** Wait for all inputs to be correctly processed. */
+    void
+    join()
+    {
+        if (!_started)
+            support::panic("SpecEngine::join before start");
+        _executor.drain();
+        assembleOutputs();
+    }
+
+    /** Outputs in input order; valid after join(). */
+    const std::vector<std::unique_ptr<Output>> &
+    outputs() const
+    {
+        return _finalOutputs;
+    }
+
+    const EngineStats &stats() const { return _stats; }
+    const SpecConfig &config() const { return _config; }
+
+  private:
+    enum class GroupStatus
+    {
+        Unsubmitted,
+        AuxRunning,
+        BodyRunning,
+        BodyDone,
+        Committed,
+        Squashed,
+    };
+
+    struct Group
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        GroupStatus status = GroupStatus::Unsubmitted;
+        exec::CancelToken cancel;
+
+        /** Auxiliary result; start state of this group (j > 0). */
+        std::optional<State> specStart;
+        bool startValidated = false;
+
+        /** Populated by the body task. */
+        std::vector<std::unique_ptr<Output>> outputs;
+        std::optional<State> finalState;
+
+        /** Rollback support. */
+        std::optional<State> checkpointState;
+        std::size_t checkpointPos = 0;
+
+        /**
+         * Final states this group has produced: the first execution's
+         * final, then one more per re-execution. This is the
+         * comparison set for the next group's speculative state.
+         */
+        std::vector<State> originalFinals;
+        /** Tail outputs of each re-execution (indexes originals 1..). */
+        std::vector<std::vector<std::unique_ptr<Output>>> reexecTails;
+        int reexecsDone = 0;
+    };
+
+    void
+    buildGroups()
+    {
+        const std::size_t n = _inputs.size();
+        const auto g = static_cast<std::size_t>(_config.groupSize);
+        const bool speculate = _config.useAuxiliary &&
+                               static_cast<bool>(_auxiliary) && n > g;
+        if (!speculate) {
+            _conventional = true;
+            return;
+        }
+        for (std::size_t begin = 0; begin < n; begin += g) {
+            Group group;
+            group.begin = begin;
+            group.end = std::min(begin + g, n);
+            group.cancel = exec::makeCancelToken();
+            const auto b = static_cast<std::size_t>(_config.rollbackDepth);
+            group.checkpointPos =
+                group.end - std::min(b, group.end - group.begin);
+            _groups.push_back(std::move(group));
+        }
+        _stats.groups = static_cast<std::int64_t>(_groups.size());
+    }
+
+    void
+    launchInitialTasks()
+    {
+        if (_conventional) {
+            submitConventional();
+            return;
+        }
+        submitBody(0);
+        _groups[0].status = GroupStatus::BodyRunning;
+        _nextToSubmit = 1;
+        const auto window = static_cast<std::size_t>(_config.sdThreads);
+        while (_nextToSubmit < _groups.size() &&
+               _nextToSubmit < 1 + window) {
+            submitAux(_nextToSubmit);
+            ++_nextToSubmit;
+        }
+    }
+
+    /** Process [begin, end) in `state`, accumulating outputs and cost. */
+    exec::Work
+    runRange(std::size_t begin, std::size_t end, State &state,
+             std::vector<std::unique_ptr<Output>> &outputs,
+             const ComputeContext &context,
+             std::optional<State> *checkpoint = nullptr,
+             std::size_t checkpoint_pos = 0)
+    {
+        double units = 0.0;
+        double mem_weighted = 0.0;
+        for (std::size_t pos = begin; pos < end; ++pos) {
+            if (checkpoint && pos == checkpoint_pos) {
+                *checkpoint = state; // Clone for rollback.
+                units += _config.stateCloneCost;
+            }
+            Invocation inv = _compute(_inputs[pos], state, context);
+            units += inv.cost.units;
+            mem_weighted += inv.cost.units * inv.cost.memBound;
+            outputs.push_back(std::move(inv.output));
+        }
+        const double mem_bound = units > 0.0 ? mem_weighted / units : 0.0;
+        return exec::Work{units, mem_bound};
+    }
+
+    void
+    submitConventional()
+    {
+        auto outputs =
+            std::make_shared<std::vector<std::unique_ptr<Output>>>();
+        exec::Task task;
+        task.width = _config.innerThreads;
+        auto work_done = std::make_shared<double>(0.0);
+        task.run = [this, outputs, work_done] {
+            State state = _initialState;
+            ComputeContext context{_config.innerThreads, false};
+            exec::Work work = runRange(0, _inputs.size(), state, *outputs,
+                                       context);
+            work.units += _config.stateCloneCost;
+            *work_done = work.units;
+            return work;
+        };
+        task.onComplete = [this, outputs, work_done] {
+            _stats.bodyWorkSeconds += *work_done;
+            _conventionalOutputs = std::move(*outputs);
+            _stats.invocations +=
+                static_cast<std::int64_t>(_inputs.size());
+        };
+        _executor.submit(std::move(task));
+    }
+
+    void
+    submitAux(std::size_t j)
+    {
+        Group &group = _groups[j];
+        group.status = GroupStatus::AuxRunning;
+        ++_stats.auxTasks;
+
+        auto result = std::make_shared<std::optional<State>>();
+        auto work_done = std::make_shared<double>(0.0);
+        exec::Task task;
+        task.width = 1;
+        task.cancel = group.cancel;
+        task.run = [this, j, result, work_done] {
+            // Auxiliary code: from the initial state, consume the k
+            // inputs preceding the group (paper section 3.1).
+            State state = _initialState;
+            const std::size_t begin_input = _groups[j].begin;
+            const auto k = static_cast<std::size_t>(_config.auxWindow);
+            const std::size_t window_begin =
+                begin_input - std::min(k, begin_input);
+            std::vector<std::unique_ptr<Output>> scratch;
+            ComputeContext context{1, true};
+            exec::Work work = runRange(window_begin, begin_input, state,
+                                       scratch, context);
+            work.units += _config.stateCloneCost;
+            *work_done = work.units;
+            *result = std::move(state);
+            return work;
+        };
+        task.onComplete = [this, j, result, work_done] {
+            Group &g = _groups[j];
+            if (g.status == GroupStatus::Squashed)
+                return;
+            if (!result->has_value())
+                return; // Cancelled before dispatch.
+            ++_stats.stateClones;
+            _stats.auxWorkSeconds += *work_done;
+            g.specStart = std::move(**result);
+            g.status = GroupStatus::BodyRunning;
+            submitBody(j);
+            // A validation may have been waiting for this aux result.
+            if (_pendingValidation == static_cast<std::ptrdiff_t>(j))
+                validate(j);
+        };
+        _executor.submit(std::move(task));
+    }
+
+    void
+    submitBody(std::size_t j)
+    {
+        Group &group = _groups[j];
+        auto outputs =
+            std::make_shared<std::vector<std::unique_ptr<Output>>>();
+        auto final_state = std::make_shared<std::optional<State>>();
+        auto checkpoint = std::make_shared<std::optional<State>>();
+        auto work_done = std::make_shared<double>(0.0);
+
+        exec::Task task;
+        task.width = _config.innerThreads;
+        task.cancel = group.cancel;
+        task.run = [this, j, outputs, final_state, checkpoint,
+                    work_done] {
+            Group &g = _groups[j];
+            State state = j == 0 ? _initialState : *g.specStart;
+            ComputeContext context{_config.innerThreads, false};
+            exec::Work work =
+                runRange(g.begin, g.end, state, *outputs, context,
+                         checkpoint.get(), g.checkpointPos);
+            work.units += _config.stateCloneCost;
+            *work_done = work.units;
+            *final_state = std::move(state);
+            return work;
+        };
+        task.onComplete = [this, j, outputs, final_state, checkpoint,
+                           work_done] {
+            Group &g = _groups[j];
+            if (g.status == GroupStatus::Squashed)
+                return;
+            if (!final_state->has_value())
+                return; // Cancelled before dispatch.
+            ++_stats.stateClones;
+            _stats.bodyWorkSeconds += *work_done;
+            g.outputs = std::move(*outputs);
+            g.finalState = std::move(*final_state);
+            g.checkpointState = std::move(*checkpoint);
+            g.status = GroupStatus::BodyDone;
+            _stats.invocations +=
+                static_cast<std::int64_t>(g.end - g.begin);
+            if (j == _frontier && (j == 0 || g.startValidated))
+                commitFrom(j);
+        };
+        _executor.submit(std::move(task));
+    }
+
+    /** Commit group j and cascade through already-finished groups. */
+    void
+    commitFrom(std::size_t j)
+    {
+        while (j < _groups.size()) {
+            Group &group = _groups[j];
+            if (group.status != GroupStatus::BodyDone ||
+                (j != 0 && !group.startValidated)) {
+                break;
+            }
+            group.status = GroupStatus::Committed;
+            group.originalFinals.push_back(*group.finalState);
+            _frontier = j + 1;
+            submitNextWindowGroup();
+            if (_frontier >= _groups.size())
+                return; // All inputs processed speculatively.
+            validate(_frontier);
+            // validate() may have cascaded into nested commits (when
+            // the frontier group was already BodyDone); re-read the
+            // frontier and only continue if there is fresh work.
+            if (_aborted || _frontier >= _groups.size())
+                return;
+            Group &next = _groups[_frontier];
+            if (!next.startValidated ||
+                next.status != GroupStatus::BodyDone) {
+                return; // Pending aux/body/mismatch, or already done.
+            }
+            j = _frontier;
+        }
+    }
+
+    void
+    submitNextWindowGroup()
+    {
+        if (_nextToSubmit < _groups.size() && !_aborted) {
+            submitAux(_nextToSubmit);
+            ++_nextToSubmit;
+        }
+    }
+
+    /**
+     * Check group j's speculative start against the committed
+     * predecessor's set of original final states.
+     */
+    void
+    validate(std::size_t j)
+    {
+        Group &group = _groups[j];
+        Group &producer = _groups[j - 1];
+        if (group.startValidated || _aborted)
+            return;
+        if (!group.specStart.has_value()) {
+            _pendingValidation = static_cast<std::ptrdiff_t>(j);
+            return; // Aux still running; retried on its completion.
+        }
+        _pendingValidation = -1;
+
+        const int matched =
+            _match ? _match(*group.specStart, producer.originalFinals)
+                   : 0; // No comparison fn: valid by construction.
+        if (matched >= 0) {
+            acceptSpeculation(j, static_cast<std::size_t>(matched));
+            return;
+        }
+
+        ++_stats.mismatches;
+        if (producer.reexecsDone < _config.maxReexecutions) {
+            submitReexecution(j - 1);
+        } else {
+            abortSpeculation(j);
+        }
+    }
+
+    void
+    acceptSpeculation(std::size_t j, std::size_t matched_index)
+    {
+        Group &producer = _groups[j - 1];
+        // If a re-execution's final state matched, that re-execution's
+        // tail outputs are the committed ones for the producer.
+        if (matched_index > 0) {
+            auto &tail = producer.reexecTails[matched_index - 1];
+            const std::size_t tail_begin =
+                producer.checkpointPos - producer.begin;
+            producer.outputs.resize(tail_begin);
+            for (auto &out : tail)
+                producer.outputs.push_back(std::move(out));
+        }
+        Group &group = _groups[j];
+        group.startValidated = true;
+        ++_stats.validations;
+        if (group.status == GroupStatus::BodyDone)
+            commitFrom(j);
+    }
+
+    /** Re-execute the last b inputs of committed group `p`. */
+    void
+    submitReexecution(std::size_t p)
+    {
+        Group &producer = _groups[p];
+        ++producer.reexecsDone;
+        ++_stats.reexecutions;
+
+        auto outputs =
+            std::make_shared<std::vector<std::unique_ptr<Output>>>();
+        auto final_state = std::make_shared<std::optional<State>>();
+        auto work_done = std::make_shared<double>(0.0);
+        exec::Task task;
+        task.width = _config.innerThreads;
+        task.run = [this, p, outputs, final_state, work_done] {
+            Group &g = _groups[p];
+            // Roll back to the checkpoint; nondeterminism may yield a
+            // different final state this time.
+            State state = g.checkpointPos == g.begin && p == 0
+                              ? _initialState
+                              : (g.checkpointPos == g.begin
+                                     ? *g.specStart
+                                     : *g.checkpointState);
+            ComputeContext context{_config.innerThreads, false};
+            exec::Work work = runRange(g.checkpointPos, g.end, state,
+                                       *outputs, context);
+            work.units += _config.stateCloneCost;
+            *work_done = work.units;
+            *final_state = std::move(state);
+            return work;
+        };
+        task.onComplete = [this, p, outputs, final_state, work_done] {
+            Group &g = _groups[p];
+            ++_stats.stateClones;
+            _stats.bodyWorkSeconds += *work_done;
+            _stats.invocations +=
+                static_cast<std::int64_t>(g.end - g.checkpointPos);
+            g.originalFinals.push_back(std::move(**final_state));
+            g.reexecTails.push_back(std::move(*outputs));
+            validate(p + 1);
+        };
+        _executor.submit(std::move(task));
+    }
+
+    /** Squash groups >= j and restart sequentially (paper sec. 3.1). */
+    void
+    abortSpeculation(std::size_t j)
+    {
+        _aborted = true;
+        _abortGroup = j;
+        ++_stats.aborts;
+        for (std::size_t g = j; g < _groups.size(); ++g) {
+            if (_groups[g].status != GroupStatus::Committed) {
+                _groups[g].status = GroupStatus::Squashed;
+                if (_groups[g].cancel)
+                    _groups[g].cancel->store(true);
+                ++_stats.squashedGroups;
+            }
+        }
+
+        // Restart from the *first* original state of the previous
+        // group; no further speculation for the current inputs.
+        const std::size_t restart_begin = _groups[j].begin;
+        const std::size_t n = _inputs.size();
+        _stats.sequentialInputs +=
+            static_cast<std::int64_t>(n - restart_begin);
+
+        auto outputs =
+            std::make_shared<std::vector<std::unique_ptr<Output>>>();
+        exec::Task task;
+        task.width = _config.innerThreads;
+        auto work_done = std::make_shared<double>(0.0);
+        task.run = [this, j, restart_begin, n, outputs, work_done] {
+            State state = _groups[j - 1].originalFinals.front();
+            ComputeContext context{_config.innerThreads, false};
+            exec::Work work =
+                runRange(restart_begin, n, state, *outputs, context);
+            work.units += _config.stateCloneCost;
+            *work_done = work.units;
+            return work;
+        };
+        task.onComplete = [this, outputs, work_done] {
+            ++_stats.stateClones;
+            _stats.bodyWorkSeconds += *work_done;
+            _recoveryOutputs = std::move(*outputs);
+            _stats.invocations +=
+                static_cast<std::int64_t>(_recoveryOutputs.size());
+        };
+        _executor.submit(std::move(task));
+    }
+
+    void
+    assembleOutputs()
+    {
+        _finalOutputs.clear();
+        if (_conventional) {
+            _finalOutputs = std::move(_conventionalOutputs);
+            return;
+        }
+        for (auto &group : _groups) {
+            if (group.status != GroupStatus::Committed)
+                break;
+            for (auto &out : group.outputs)
+                _finalOutputs.push_back(std::move(out));
+        }
+        for (auto &out : _recoveryOutputs)
+            _finalOutputs.push_back(std::move(out));
+        if (_finalOutputs.size() != _inputs.size()) {
+            support::panic("SpecEngine produced ", _finalOutputs.size(),
+                           " outputs for ", _inputs.size(), " inputs");
+        }
+    }
+
+    exec::Executor &_executor;
+    const std::vector<Input> &_inputs;
+    State _initialState;
+    ComputeFn _compute;
+    ComputeFn _auxiliary;
+    MatchFn _match;
+    SpecConfig _config;
+
+    std::vector<Group> _groups;
+    std::size_t _frontier = 0;
+    std::size_t _nextToSubmit = 0;
+    std::ptrdiff_t _pendingValidation = -1;
+    bool _aborted = false;
+    std::size_t _abortGroup = 0;
+    bool _started = false;
+    bool _conventional = false;
+
+    std::vector<std::unique_ptr<Output>> _conventionalOutputs;
+    std::vector<std::unique_ptr<Output>> _recoveryOutputs;
+    std::vector<std::unique_ptr<Output>> _finalOutputs;
+    EngineStats _stats;
+};
+
+} // namespace stats::sdi

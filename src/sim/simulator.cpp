@@ -1,0 +1,197 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/log.hpp"
+
+namespace stats::sim {
+
+Simulator::Simulator(MachineConfig config, int threads)
+    : _config(config), _placement(placeThreads(config, threads))
+{
+    _numaActive = spansSockets(_placement);
+    _coreBusy.assign(_placement.size(), false);
+
+    // Precompute HT sibling relations among *allocated* logical cores.
+    _siblingOf.assign(_placement.size(), -1);
+    for (std::size_t i = 0; i < _placement.size(); ++i) {
+        for (std::size_t j = i + 1; j < _placement.size(); ++j) {
+            if (_placement[i].physicalCore == _placement[j].physicalCore &&
+                _placement[i].hwThread != _placement[j].hwThread) {
+                _siblingOf[i] = static_cast<int>(j);
+                _siblingOf[j] = static_cast<int>(i);
+            }
+        }
+    }
+}
+
+double
+Simulator::coreSpeed(int core) const
+{
+    const int sibling = _siblingOf[static_cast<std::size_t>(core)];
+    if (sibling >= 0 && _coreBusy[static_cast<std::size_t>(sibling)])
+        return _config.htSpeedFactor;
+    return 1.0;
+}
+
+double
+Simulator::taskSpeed(const Running &r) const
+{
+    // Gang tasks carry a self-contained duration (their cost model
+    // already accounts for how its threads share physical cores, see
+    // platform::effectiveParallelism); charging the sibling-sharing
+    // factor again would double-count HT.
+    if (r.cores.size() > 1)
+        return 1.0;
+    return coreSpeed(r.cores.front());
+}
+
+void
+Simulator::submit(exec::Task task)
+{
+    if (!task.run)
+        support::panic("sim::Simulator: task without a run function");
+    task.width = std::max(1, std::min(task.width, threads()));
+    _ready.push_back(std::move(task));
+}
+
+void
+Simulator::scheduleCompletion(std::uint64_t id, Running &r)
+{
+    r.gen += 1;
+    const double duration = r.speed > 0.0 ? r.remaining / r.speed : 0.0;
+    _events.push(Event{_now + duration, _nextSeq++, id, r.gen});
+}
+
+void
+Simulator::rescaleRunning()
+{
+    for (auto &[id, r] : _running) {
+        // Bring the remaining-work estimate up to date, then check
+        // whether the aggregate speed changed under the new occupancy.
+        r.remaining -= r.speed * (_now - r.lastUpdate);
+        r.remaining = std::max(0.0, r.remaining);
+        r.lastUpdate = _now;
+        const double speed = taskSpeed(r);
+        if (speed != r.speed) {
+            r.speed = speed;
+            scheduleCompletion(id, r);
+        }
+    }
+}
+
+void
+Simulator::dispatchReady()
+{
+    bool occupancy_changed = false;
+    while (!_ready.empty()) {
+        // Cancelled tasks are skipped without consuming cores or time.
+        exec::Task &head = _ready.front();
+        if (head.cancel && head.cancel->load()) {
+            exec::Task task = std::move(head);
+            _ready.pop_front();
+            ++_activity.tasksCancelled;
+            if (task.onComplete)
+                task.onComplete();
+            continue;
+        }
+
+        // Gather the lowest-numbered free logical cores.
+        std::vector<int> free_cores;
+        for (std::size_t c = 0;
+             c < _coreBusy.size() &&
+             free_cores.size() < static_cast<std::size_t>(head.width);
+             ++c) {
+            if (!_coreBusy[c])
+                free_cores.push_back(static_cast<int>(c));
+        }
+        if (free_cores.size() < static_cast<std::size_t>(head.width))
+            break; // Strict FIFO: wait for the head to fit.
+
+        exec::Task task = std::move(head);
+        _ready.pop_front();
+
+        // Run the real computation now; it reports its virtual cost.
+        exec::Work work = task.run();
+        double effective = work.units *
+            ((1.0 - work.memBound) +
+             work.memBound * (_numaActive ? _config.numaMemPenalty : 1.0));
+        effective += _config.dispatchOverhead;
+
+        const std::uint64_t id = _nextId++;
+        Running r;
+        r.task = std::move(task);
+        r.cores = std::move(free_cores);
+        for (int core : r.cores)
+            _coreBusy[static_cast<std::size_t>(core)] = true;
+        r.remaining = effective;
+        r.lastUpdate = _now;
+        r.startTime = _now;
+        r.gen = 0;
+        r.speed = 0.0; // Recomputed below once occupancy is final.
+        _running.emplace(id, std::move(r));
+        occupancy_changed = true;
+        ++_activity.tasksRun;
+    }
+
+    if (occupancy_changed) {
+        // New occupancy may slow down HT siblings; rescale everything
+        // (including the just-dispatched tasks, whose speed is stale).
+        for (auto &[id, r] : _running) {
+            r.remaining -= r.speed * (_now - r.lastUpdate);
+            r.remaining = std::max(0.0, r.remaining);
+            r.lastUpdate = _now;
+            r.speed = taskSpeed(r);
+            scheduleCompletion(id, r);
+        }
+    }
+}
+
+void
+Simulator::finish(std::uint64_t id)
+{
+    auto it = _running.find(id);
+    if (it == _running.end())
+        support::panic("sim::Simulator: completion for unknown task");
+    Running r = std::move(it->second);
+    _running.erase(it);
+
+    for (int core : r.cores)
+        _coreBusy[static_cast<std::size_t>(core)] = false;
+    _activity.busyCoreSeconds +=
+        (_now - r.startTime) * static_cast<double>(r.cores.size());
+    _activity.makespan = std::max(_activity.makespan, _now);
+
+    if (r.task.onComplete)
+        r.task.onComplete();
+}
+
+void
+Simulator::run()
+{
+    if (_inRun)
+        support::panic("sim::Simulator::run is not re-entrant");
+    _inRun = true;
+
+    dispatchReady();
+    while (!_events.empty()) {
+        const Event event = _events.top();
+        _events.pop();
+
+        auto it = _running.find(event.id);
+        if (it == _running.end() || it->second.gen != event.gen)
+            continue; // Stale event superseded by a rescale.
+
+        _now = std::max(_now, event.time);
+        finish(event.id);
+        rescaleRunning();
+        dispatchReady();
+    }
+
+    if (!_ready.empty())
+        support::panic("sim::Simulator: ready tasks but no free cores");
+    _inRun = false;
+}
+
+} // namespace stats::sim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Discrete-event simulator of a many-core shared-memory platform.
+ *
+ * This is the substitute for the paper's 28-core evaluation machine
+ * (see DESIGN.md section 2): tasks carry real computation, but their
+ * *timing* is virtual, derived from a work estimate plus the modeled
+ * Hyper-Threading, NUMA, and dispatch-overhead effects. Running the
+ * same task graph with different thread counts yields the scalability
+ * curves of the paper's figures on a single-core host.
+ *
+ * Scheduling model:
+ *  - tasks are dispatched FIFO onto the lowest-numbered free logical
+ *    cores once `width` cores are free (gangs are space-shared);
+ *  - a logical core runs at speed 1.0 when its HT sibling is idle and
+ *    at `htSpeedFactor` when both siblings are busy; speeds are
+ *    re-evaluated on every occupancy change and remaining work is
+ *    rescaled accordingly;
+ *  - when the thread placement spans both sockets, the memory-bound
+ *    fraction of every task is stretched by `numaMemPenalty`.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/task.hpp"
+#include "sim/machine.hpp"
+
+namespace stats::sim {
+
+/** Aggregate activity counters used by the energy model. */
+struct ActivityStats
+{
+    /** Virtual time of the last completion. */
+    double makespan = 0.0;
+    /** Sum over logical cores of their busy time (seconds). */
+    double busyCoreSeconds = 0.0;
+    /** Number of tasks executed (excluding cancelled ones). */
+    std::uint64_t tasksRun = 0;
+    /** Number of tasks skipped because their cancel token was set. */
+    std::uint64_t tasksCancelled = 0;
+};
+
+/** Discrete-event simulator over a fixed logical-core allocation. */
+class Simulator
+{
+  public:
+    /**
+     * @param config  the machine model
+     * @param threads logical cores available to this run (clamped to
+     *                the machine's capacity; placement follows
+     *                config.placement)
+     */
+    Simulator(MachineConfig config, int threads);
+
+    /** Enqueue a task (legal from within completion callbacks). */
+    void submit(exec::Task task);
+
+    /** Process events until no task is pending or running. */
+    void run();
+
+    double now() const { return _now; }
+    int threads() const { return static_cast<int>(_placement.size()); }
+    bool numaActive() const { return _numaActive; }
+    const MachineConfig &config() const { return _config; }
+    const ActivityStats &activity() const { return _activity; }
+
+  private:
+    struct Running
+    {
+        exec::Task task;
+        std::vector<int> cores;
+        double remaining;  ///< Work units left (NUMA-adjusted).
+        double speed;      ///< Aggregate speed at _lastUpdate.
+        double lastUpdate; ///< Virtual time of the last rescale.
+        double startTime;
+        std::uint64_t gen; ///< Invalidates stale completion events.
+    };
+
+    struct Event
+    {
+        double time;
+        std::uint64_t seq; ///< Tie-break for determinism.
+        std::uint64_t id;  ///< Running-task id.
+        std::uint64_t gen;
+
+        bool operator>(const Event &other) const
+        {
+            if (time != other.time)
+                return time > other.time;
+            return seq > other.seq;
+        }
+    };
+
+    double coreSpeed(int core) const;
+    double taskSpeed(const Running &r) const;
+    void rescaleRunning();
+    void scheduleCompletion(std::uint64_t id, Running &r);
+    void dispatchReady();
+    void finish(std::uint64_t id);
+
+    MachineConfig _config;
+    std::vector<LogicalCore> _placement;
+    std::vector<int> _siblingOf;  ///< Logical sibling index or -1.
+    std::vector<bool> _coreBusy;
+    bool _numaActive;
+
+    std::deque<exec::Task> _ready;
+    std::unordered_map<std::uint64_t, Running> _running;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        _events;
+
+    double _now = 0.0;
+    std::uint64_t _nextId = 1;
+    std::uint64_t _nextSeq = 1;
+    ActivityStats _activity;
+    bool _inRun = false;
+};
+
+} // namespace stats::sim

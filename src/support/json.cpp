@@ -1,0 +1,191 @@
+#include "support/json.hpp"
+
+#include <cmath>
+
+#include "support/log.hpp"
+
+namespace stats::support {
+
+JsonWriter::JsonWriter(std::ostream &out, bool pretty)
+    : _out(out), _pretty(pretty)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    if (!_scopes.empty())
+        warn("JsonWriter destroyed with ", _scopes.size(), " open scopes");
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (!_pretty)
+        return;
+    _out << "\n";
+    for (std::size_t i = 0; i < _scopes.size(); ++i)
+        _out << "  ";
+}
+
+void
+JsonWriter::prepareForValue()
+{
+    if (_scopes.empty())
+        return;
+    if (_scopes.back() == Scope::Object) {
+        if (!_pendingKey)
+            panic("JSON value inside object without a key");
+        _pendingKey = false;
+        return;
+    }
+    if (_hasItems.back())
+        _out << ",";
+    _hasItems.back() = true;
+    newlineIndent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepareForValue();
+    _out << "{";
+    _scopes.push_back(Scope::Object);
+    _hasItems.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (_scopes.empty() || _scopes.back() != Scope::Object)
+        panic("endObject without matching beginObject");
+    const bool had_items = _hasItems.back();
+    _scopes.pop_back();
+    _hasItems.pop_back();
+    if (had_items)
+        newlineIndent();
+    _out << "}";
+    if (_scopes.empty())
+        _out << "\n";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepareForValue();
+    _out << "[";
+    _scopes.push_back(Scope::Array);
+    _hasItems.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (_scopes.empty() || _scopes.back() != Scope::Array)
+        panic("endArray without matching beginArray");
+    const bool had_items = _hasItems.back();
+    _scopes.pop_back();
+    _hasItems.pop_back();
+    if (had_items)
+        newlineIndent();
+    _out << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    if (_scopes.empty() || _scopes.back() != Scope::Object)
+        panic("JSON key outside of an object");
+    if (_pendingKey)
+        panic("two consecutive JSON keys");
+    if (_hasItems.back())
+        _out << ",";
+    _hasItems.back() = true;
+    newlineIndent();
+    _out << "\"" << escape(name) << "\":" << (_pretty ? " " : "");
+    _pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    prepareForValue();
+    _out << "\"" << escape(s) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    prepareForValue();
+    if (std::isnan(d) || std::isinf(d)) {
+        _out << "null";
+    } else {
+        _out << d;
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t i)
+{
+    prepareForValue();
+    _out << i;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::size_t i)
+{
+    prepareForValue();
+    _out << i;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    prepareForValue();
+    _out << (b ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &name, const std::vector<double> &values)
+{
+    key(name);
+    beginArray();
+    for (double v : values)
+        value(v);
+    return endArray();
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:   out += c; break;
+        }
+    }
+    return out;
+}
+
+} // namespace stats::support

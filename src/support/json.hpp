@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A tiny streaming JSON writer.
+ *
+ * The benchmark harnesses print human-readable tables *and* dump the
+ * same series as JSON so plots can be regenerated; this writer keeps
+ * that dependency-free.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stats::support {
+
+/**
+ * Streaming JSON writer with explicit begin/end for objects/arrays.
+ *
+ * The writer validates nesting at runtime (panics on mismatched
+ * end calls) and handles comma placement and string escaping.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out, bool pretty = true);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Key inside an object; must be followed by a value/container. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double d);
+    JsonWriter &value(std::int64_t i);
+    JsonWriter &value(int i) { return value(static_cast<std::int64_t>(i)); }
+    JsonWriter &value(std::size_t i);
+    JsonWriter &value(bool b);
+
+    /** Convenience: key + scalar value. */
+    template <class T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Convenience: key + numeric array. */
+    JsonWriter &field(const std::string &name,
+                      const std::vector<double> &values);
+
+    /** Escape a string for embedding in JSON (without quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Scope { Object, Array };
+
+    void prepareForValue();
+    void newlineIndent();
+
+    std::ostream &_out;
+    bool _pretty;
+    std::vector<Scope> _scopes;
+    std::vector<bool> _hasItems;
+    bool _pendingKey = false;
+};
+
+} // namespace stats::support

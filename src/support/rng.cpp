@@ -1,0 +1,146 @@
+#include "support/rng.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <random>
+
+namespace stats::support {
+
+namespace {
+
+std::atomic<std::uint64_t> deterministicBase{0};
+std::atomic<bool> deterministicEnabled{false};
+std::atomic<std::uint64_t> seedCounter{0};
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed_value)
+    : _cachedGaussian(0.0), _hasCachedGaussian(false)
+{
+    seed(seed_value);
+}
+
+void
+Xoshiro256::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : _s)
+        word = splitmix64(sm);
+    _hasCachedGaussian = false;
+}
+
+Xoshiro256::result_type
+Xoshiro256::operator()()
+{
+    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+    const std::uint64_t t = _s[1] << 17;
+    _s[2] ^= _s[0];
+    _s[3] ^= _s[1];
+    _s[1] ^= _s[2];
+    _s[0] ^= _s[3];
+    _s[2] ^= t;
+    _s[3] = rotl(_s[3], 45);
+    return result;
+}
+
+double
+Xoshiro256::nextDouble()
+{
+    // 53 high-quality bits -> [0, 1).
+    return ((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Xoshiro256::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+std::uint64_t
+Xoshiro256::nextBelow(std::uint64_t n)
+{
+    // Debiased multiply-shift (Lemire).
+    const std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Xoshiro256::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Xoshiro256::gaussian()
+{
+    if (_hasCachedGaussian) {
+        _hasCachedGaussian = false;
+        return _cachedGaussian;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    _cachedGaussian = r * std::sin(theta);
+    _hasCachedGaussian = true;
+    return r * std::cos(theta);
+}
+
+double
+Xoshiro256::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+std::uint64_t
+entropySeed()
+{
+    const std::uint64_t count = seedCounter.fetch_add(1);
+    if (deterministicEnabled.load()) {
+        std::uint64_t sm = deterministicBase.load() + count;
+        return splitmix64(sm);
+    }
+    static std::random_device device;
+    std::uint64_t sm = (static_cast<std::uint64_t>(device()) << 32) ^
+                       device();
+    sm ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    sm += count * 0x9e3779b97f4a7c15ULL;
+    return splitmix64(sm);
+}
+
+ScopedDeterministicSeeds::ScopedDeterministicSeeds(std::uint64_t base)
+{
+    deterministicBase.store(base);
+    deterministicEnabled.store(true);
+    seedCounter.store(0);
+}
+
+ScopedDeterministicSeeds::~ScopedDeterministicSeeds()
+{
+    deterministicEnabled.store(false);
+}
+
+} // namespace stats::support

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Pseudo random value generators (PRVGs).
+ *
+ * The paper's benchmarks are nondeterministic because their PRVGs are
+ * seeded randomly (paper section 4.2, "Nondeterminism"). This module
+ * provides a fast, high-quality generator (xoshiro256**) with both
+ * explicit seeding (for reproducible tests) and entropy-based seeding
+ * (for the nondeterministic production behaviour STATS exploits).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace stats::support {
+
+/** splitmix64 step, used to expand a single seed into a full state. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** generator.
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can be used
+ * with <random> distributions as well as with the lightweight helpers
+ * below (which are faster and fully portable across libstdc++
+ * versions).
+ */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t nextBelow(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double gaussian();
+
+    /** Normal with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Re-seed in place. */
+    void seed(std::uint64_t seed);
+
+  private:
+    std::array<std::uint64_t, 4> _s;
+    double _cachedGaussian;
+    bool _hasCachedGaussian;
+};
+
+/**
+ * A process-wide entropy source for nondeterministic seeding.
+ *
+ * Mixes std::random_device output, a monotonic counter, and the
+ * current time, so every call yields a distinct, unpredictable seed.
+ * This mirrors restoring "PRVGs with random seeds as it is done in a
+ * real scenario" (paper section 4.2).
+ */
+std::uint64_t entropySeed();
+
+/**
+ * Global switch that makes entropySeed() deterministic.
+ *
+ * Tests that need reproducible "nondeterminism" install a fixed seed
+ * sequence; production/bench code leaves it disabled.
+ */
+class ScopedDeterministicSeeds
+{
+  public:
+    explicit ScopedDeterministicSeeds(std::uint64_t base);
+    ~ScopedDeterministicSeeds();
+
+    ScopedDeterministicSeeds(const ScopedDeterministicSeeds &) = delete;
+    ScopedDeterministicSeeds &
+    operator=(const ScopedDeterministicSeeds &) = delete;
+};
+
+} // namespace stats::support

@@ -1,0 +1,97 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stats::support {
+
+void
+RunningStat::add(double x)
+{
+    if (_n == 0) {
+        _min = x;
+        _max = x;
+    } else {
+        _min = std::min(_min, x);
+        _max = std::max(_max, x);
+    }
+    ++_n;
+    const double delta = x - _mean;
+    _mean += delta / static_cast<double>(_n);
+    _m2 += delta * (x - _mean);
+}
+
+double
+RunningStat::mean() const
+{
+    return _n ? _mean : 0.0;
+}
+
+double
+RunningStat::variance() const
+{
+    return _n > 1 ? _m2 / static_cast<double>(_n - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::ci95HalfWidth() const
+{
+    if (_n < 2)
+        return 0.0;
+    // Normal approximation; adequate for the run counts we use.
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(_n));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double m2 = 0.0;
+    for (double x : xs)
+        m2 += (x - m) * (x - m);
+    return std::sqrt(m2 / static_cast<double>(xs.size() - 1));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const std::size_t mid = xs.size() / 2;
+    if (xs.size() % 2 == 1)
+        return xs[mid];
+    return 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+} // namespace stats::support

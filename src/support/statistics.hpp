@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the evaluation.
+ *
+ * The paper reports averages of repeated runs with a 95% confidence
+ * interval within 5% of the mean (section 4.1) and geometric means for
+ * cross-benchmark aggregates. This module provides those primitives.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stats::support {
+
+/** Single-pass accumulator (Welford) for mean and variance. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return _n; }
+    double mean() const;
+    /** Sample variance (n - 1 denominator). */
+    double variance() const;
+    double stddev() const;
+    /** Half-width of the 95% confidence interval of the mean. */
+    double ci95HalfWidth() const;
+    double min() const { return _min; }
+    double max() const { return _max; }
+
+  private:
+    std::size_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Arithmetic mean; returns 0 for an empty range. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation; returns 0 for fewer than two values. */
+double stddev(const std::vector<double> &xs);
+
+/** Geometric mean; all inputs must be positive. */
+double geomean(const std::vector<double> &xs);
+
+/** Median (averages the two central values for even sizes). */
+double median(std::vector<double> xs);
+
+/**
+ * Run a measurement repeatedly until the 95% CI of the mean is within
+ * `tolerance` (fraction of the mean), mirroring the paper's
+ * convergence criterion. Bounded by [minRuns, maxRuns].
+ *
+ * @return the mean of the collected measurements.
+ */
+template <class F>
+double
+measureToConfidence(F &&sample, double tolerance = 0.05,
+                    std::size_t min_runs = 3, std::size_t max_runs = 40)
+{
+    RunningStat stat;
+    for (std::size_t i = 0; i < max_runs; ++i) {
+        stat.add(sample());
+        if (i + 1 >= min_runs && stat.mean() != 0.0 &&
+            stat.ci95HalfWidth() <= tolerance * stat.mean()) {
+            break;
+        }
+    }
+    return stat.mean();
+}
+
+} // namespace stats::support

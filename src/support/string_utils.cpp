@@ -1,0 +1,89 @@
+#include "support/string_utils.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace stats::support {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    out.push_back(current);
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string word;
+    while (in >> word)
+        out.push_back(word);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::size_t
+countLines(const std::string &text)
+{
+    if (text.empty())
+        return 0;
+    std::size_t lines = 0;
+    for (char c : text) {
+        if (c == '\n')
+            ++lines;
+    }
+    if (text.back() != '\n')
+        ++lines;
+    return lines;
+}
+
+} // namespace stats::support

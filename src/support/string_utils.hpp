@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Small string helpers shared by the front-end compiler and the IR
+ * parser.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stats::support {
+
+/** Split on a single character; keeps empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Split on any whitespace; drops empty fields. */
+std::vector<std::string> splitWhitespace(const std::string &s);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+bool startsWith(const std::string &s, const std::string &prefix);
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Join with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Count newline-terminated lines (non-empty trailing line counts). */
+std::size_t countLines(const std::string &text);
+
+} // namespace stats::support

@@ -1,0 +1,12 @@
+#include "support/timer.hpp"
+
+namespace stats::support {
+
+double
+Timer::elapsedSeconds() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - _start).count();
+}
+
+} // namespace stats::support

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Wall-clock timing helpers for the real-thread executor and the
+ * profiler's host-side measurements.
+ */
+
+#pragma once
+
+#include <chrono>
+
+namespace stats::support {
+
+/** Monotonic wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    void reset() { _start = std::chrono::steady_clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double elapsedSeconds() const;
+
+  private:
+    std::chrono::steady_clock::time_point _start;
+};
+
+} // namespace stats::support

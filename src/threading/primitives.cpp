@@ -1,0 +1,30 @@
+#include "threading/primitives.hpp"
+
+#include "support/log.hpp"
+
+namespace stats::threading {
+
+SpinBarrier::SpinBarrier(std::size_t participants)
+    : _participants(participants), _waiting(0), _sense(false)
+{
+    if (participants == 0)
+        support::panic("SpinBarrier needs at least one participant");
+}
+
+void
+SpinBarrier::arriveAndWait()
+{
+    const bool my_sense = !_sense.load(std::memory_order_relaxed);
+    if (_waiting.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        _participants) {
+        // Last arrival: reset and release everyone.
+        _waiting.store(0, std::memory_order_relaxed);
+        _sense.store(my_sense, std::memory_order_release);
+        return;
+    }
+    while (_sense.load(std::memory_order_acquire) != my_sense) {
+        // Spin; barriers guard short phases (e.g. annealing layers).
+    }
+}
+
+} // namespace stats::threading

@@ -1,0 +1,94 @@
+#include "threading/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace stats::threading {
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = std::max(1, threads);
+    _workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _shutdown = true;
+    }
+    _wake.notify_all();
+    for (auto &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Job job)
+{
+    if (!job)
+        support::panic("ThreadPool::submit: empty job");
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(job));
+    }
+    _wake.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idle.wait(lock, [this] { return _queue.empty() && _active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock,
+                       [this] { return _shutdown || !_queue.empty(); });
+            if (_queue.empty()) {
+                if (_shutdown)
+                    return;
+                continue;
+            }
+            job = std::move(_queue.front());
+            _queue.pop_front();
+            ++_active;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            --_active;
+            if (_queue.empty() && _active == 0)
+                _idle.notify_all();
+        }
+    }
+}
+
+CountdownLatch::CountdownLatch(std::size_t count) : _count(count) {}
+
+void
+CountdownLatch::countDown()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_count == 0)
+        support::panic("CountdownLatch counted below zero");
+    if (--_count == 0)
+        _cv.notify_all();
+}
+
+void
+CountdownLatch::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _cv.wait(lock, [this] { return _count == 0; });
+}
+
+} // namespace stats::threading

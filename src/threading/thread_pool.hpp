@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A fixed-size thread pool.
+ *
+ * The paper's runtime "includes an efficient thread pool
+ * implementation (shared with all state dependences) to minimize
+ * thread creation overhead" (section 3.4). This pool backs the
+ * real-thread executor; workers are created once and jobs are
+ * dispatched through a mutex-protected queue.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stats::threading {
+
+/** Fixed-size pool of worker threads executing queued jobs FIFO. */
+class ThreadPool
+{
+  public:
+    using Job = std::function<void()>;
+
+    /** Spawn `threads` workers (at least 1). */
+    explicit ThreadPool(int threads);
+
+    /** Joins all workers; pending jobs are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job. Safe to call from worker threads. */
+    void submit(Job job);
+
+    /** Block until the queue is empty and all workers are idle. */
+    void waitIdle();
+
+    int threadCount() const { return static_cast<int>(_workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::deque<Job> _queue;
+    std::mutex _mutex;
+    std::condition_variable _wake;
+    std::condition_variable _idle;
+    std::size_t _active = 0;
+    bool _shutdown = false;
+};
+
+/** A latch that releases waiters once its count reaches zero. */
+class CountdownLatch
+{
+  public:
+    explicit CountdownLatch(std::size_t count);
+
+    /** Decrement; releases waiters at zero. Extra counts are errors. */
+    void countDown();
+
+    /** Block until the count reaches zero. */
+    void wait();
+
+  private:
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    std::size_t _count;
+};
+
+} // namespace stats::threading

@@ -1,0 +1,125 @@
+#include "tradeoff/registry.hpp"
+
+#include "support/log.hpp"
+#include "support/string_utils.hpp"
+
+namespace stats::tradeoff {
+
+void
+Assignment::set(const std::string &name, std::int64_t index)
+{
+    _indices[name] = index;
+}
+
+bool
+Assignment::has(const std::string &name) const
+{
+    return _indices.count(name) > 0;
+}
+
+std::int64_t
+Assignment::index(const std::string &name) const
+{
+    auto it = _indices.find(name);
+    if (it == _indices.end())
+        support::panic("Assignment: no index for tradeoff '", name, "'");
+    return it->second;
+}
+
+Tradeoff &
+Registry::add(const std::string &name,
+              std::unique_ptr<TradeoffOptions> options)
+{
+    if (has(name))
+        support::panic("Registry: duplicate tradeoff '", name, "'");
+    auto tradeoff = std::make_unique<Tradeoff>(name, std::move(options));
+    Tradeoff &ref = *tradeoff;
+    _byName.emplace(name, std::move(tradeoff));
+    _order.push_back(name);
+    return ref;
+}
+
+Tradeoff &
+Registry::cloneForAuxiliary(const std::string &name)
+{
+    const Tradeoff &original = get(name);
+    const std::string clone_name = std::string(kAuxPrefix) + name;
+    if (has(clone_name))
+        support::panic("Registry: '", name, "' already cloned");
+    auto clone = std::make_unique<Tradeoff>(
+        clone_name, original.options().clone(), /* aux_clone */ true,
+        name);
+    Tradeoff &ref = *clone;
+    _byName.emplace(clone_name, std::move(clone));
+    _order.push_back(clone_name);
+    return ref;
+}
+
+bool
+Registry::has(const std::string &name) const
+{
+    return _byName.count(name) > 0;
+}
+
+const Tradeoff &
+Registry::get(const std::string &name) const
+{
+    auto it = _byName.find(name);
+    if (it == _byName.end())
+        support::panic("Registry: unknown tradeoff '", name, "'");
+    return *it->second;
+}
+
+std::vector<std::string>
+Registry::auxNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &name : _order) {
+        if (get(name).isAuxClone())
+            out.push_back(name);
+    }
+    return out;
+}
+
+TradeoffValue
+Registry::value(const std::string &name,
+                const Assignment &assignment) const
+{
+    const Tradeoff &tradeoff = get(name);
+    const std::int64_t index =
+        assignment.has(name) ? assignment.index(name)
+                             : tradeoff.options().getDefaultIndex();
+    return tradeoff.valueAt(index);
+}
+
+std::int64_t
+Registry::intValue(const std::string &name,
+                   const Assignment &assignment) const
+{
+    return value(name, assignment).asInteger();
+}
+
+double
+Registry::realValue(const std::string &name,
+                    const Assignment &assignment) const
+{
+    return value(name, assignment).asReal();
+}
+
+std::string
+Registry::nameValue(const std::string &name,
+                    const Assignment &assignment) const
+{
+    return value(name, assignment).asName();
+}
+
+Assignment
+Registry::defaults() const
+{
+    Assignment assignment;
+    for (const auto &name : _order)
+        assignment.set(name, get(name).options().getDefaultIndex());
+    return assignment;
+}
+
+} // namespace stats::tradeoff

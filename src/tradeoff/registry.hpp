@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Registry of tradeoffs plus index assignments.
+ *
+ * The registry corresponds to the tradeoff-description table the
+ * front-end compiler emits (paper Figure 11); an assignment maps
+ * tradeoff names to value indices and corresponds to the tradeoff
+ * part of one autotuner configuration.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tradeoff/tradeoff.hpp"
+
+namespace stats::tradeoff {
+
+/** Name prefix the middle-end gives to cloned auxiliary tradeoffs. */
+inline constexpr const char *kAuxPrefix = "aux::";
+
+/** Index assignment: tradeoff name -> value index. */
+class Assignment
+{
+  public:
+    void set(const std::string &name, std::int64_t index);
+    bool has(const std::string &name) const;
+    std::int64_t index(const std::string &name) const;
+    std::size_t size() const { return _indices.size(); }
+
+    const std::map<std::string, std::int64_t> &all() const
+    {
+        return _indices;
+    }
+
+  private:
+    std::map<std::string, std::int64_t> _indices;
+};
+
+/** Owning collection of tradeoffs, looked up by name. */
+class Registry
+{
+  public:
+    /** Register a tradeoff; names must be unique. */
+    Tradeoff &add(const std::string &name,
+                  std::unique_ptr<TradeoffOptions> options);
+
+    /**
+     * Clone a tradeoff for auxiliary code ("aux::<name>"), so the
+     * autotuner can set it independently of the original. Returns
+     * the clone. Cloning twice is an error.
+     */
+    Tradeoff &cloneForAuxiliary(const std::string &name);
+
+    bool has(const std::string &name) const;
+    const Tradeoff &get(const std::string &name) const;
+    std::size_t size() const { return _order.size(); }
+
+    /** Names in registration order. */
+    const std::vector<std::string> &names() const { return _order; }
+
+    /** Names of auxiliary clones, in registration order. */
+    std::vector<std::string> auxNames() const;
+
+    /**
+     * Value of a tradeoff under an assignment; falls back to the
+     * default index when the assignment does not mention it (this is
+     * how the middle-end "sets the tradeoffs outside auxiliary code
+     * to their default value").
+     */
+    TradeoffValue value(const std::string &name,
+                        const Assignment &assignment) const;
+
+    /** Typed conveniences over value(). */
+    std::int64_t intValue(const std::string &name,
+                          const Assignment &assignment) const;
+    double realValue(const std::string &name,
+                     const Assignment &assignment) const;
+    std::string nameValue(const std::string &name,
+                          const Assignment &assignment) const;
+
+    /** Assignment holding every tradeoff's default index. */
+    Assignment defaults() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Tradeoff>> _byName;
+    std::vector<std::string> _order;
+};
+
+} // namespace stats::tradeoff

@@ -1,0 +1,135 @@
+#include "tradeoff/state_space.hpp"
+
+#include <sstream>
+
+#include "support/log.hpp"
+
+namespace stats::tradeoff {
+
+std::size_t
+StateSpace::add(Dimension dimension)
+{
+    if (dimension.cardinality <= 0)
+        support::panic("StateSpace: dimension '", dimension.name,
+                       "' has cardinality ", dimension.cardinality);
+    if (dimension.defaultIndex < 0 ||
+        dimension.defaultIndex >= dimension.cardinality) {
+        support::panic("StateSpace: dimension '", dimension.name,
+                       "' default index out of range");
+    }
+    if (hasDimension(dimension.name))
+        support::panic("StateSpace: duplicate dimension '",
+                       dimension.name, "'");
+    _dimensions.push_back(std::move(dimension));
+    return _dimensions.size() - 1;
+}
+
+std::size_t
+StateSpace::add(const std::string &name, std::int64_t cardinality,
+                std::int64_t default_index)
+{
+    return add(Dimension{name, cardinality, default_index});
+}
+
+const Dimension &
+StateSpace::dimension(std::size_t i) const
+{
+    if (i >= _dimensions.size())
+        support::panic("StateSpace: dimension index out of range");
+    return _dimensions[i];
+}
+
+std::size_t
+StateSpace::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < _dimensions.size(); ++i) {
+        if (_dimensions[i].name == name)
+            return i;
+    }
+    support::panic("StateSpace: no dimension named '", name, "'");
+}
+
+bool
+StateSpace::hasDimension(const std::string &name) const
+{
+    for (const auto &d : _dimensions) {
+        if (d.name == name)
+            return true;
+    }
+    return false;
+}
+
+double
+StateSpace::totalPoints() const
+{
+    double product = 1.0;
+    for (const auto &d : _dimensions)
+        product *= static_cast<double>(d.cardinality);
+    return product;
+}
+
+Configuration
+StateSpace::defaultConfiguration() const
+{
+    Configuration config;
+    config.reserve(_dimensions.size());
+    for (const auto &d : _dimensions)
+        config.push_back(d.defaultIndex);
+    return config;
+}
+
+bool
+StateSpace::valid(const Configuration &config) const
+{
+    if (config.size() != _dimensions.size())
+        return false;
+    for (std::size_t i = 0; i < config.size(); ++i) {
+        if (config[i] < 0 || config[i] >= _dimensions[i].cardinality)
+            return false;
+    }
+    return true;
+}
+
+Configuration
+StateSpace::randomConfiguration(support::Xoshiro256 &rng) const
+{
+    Configuration config;
+    config.reserve(_dimensions.size());
+    for (const auto &d : _dimensions) {
+        config.push_back(static_cast<std::int64_t>(
+            rng.nextBelow(static_cast<std::uint64_t>(d.cardinality))));
+    }
+    return config;
+}
+
+std::int64_t
+StateSpace::at(const Configuration &config, const std::string &name) const
+{
+    return config[indexOf(name)];
+}
+
+void
+StateSpace::set(Configuration &config, const std::string &name,
+                std::int64_t index) const
+{
+    const std::size_t position = indexOf(name);
+    if (index < 0 || index >= _dimensions[position].cardinality)
+        support::panic("StateSpace: index ", index,
+                       " out of range for '", name, "'");
+    config[position] = index;
+}
+
+std::string
+StateSpace::describe(const Configuration &config) const
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < _dimensions.size(); ++i) {
+        if (i)
+            out << " ";
+        out << _dimensions[i].name << "="
+            << (i < config.size() ? config[i] : -1);
+    }
+    return out.str();
+}
+
+} // namespace stats::tradeoff

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The state space (paper section 3.3): the cross product of all
+ * tunable dimensions of a program — auxiliary tradeoff indices, how
+ * often a dependence is satisfied with auxiliary code, the auxiliary
+ * input window, the producer re-execution budget, and the thread
+ * split between the original TLP and the state-dependence TLP.
+ *
+ * A configuration is one index per dimension. The autotuner explores
+ * this space; the paper reports ~1.3 million points on average.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace stats::tradeoff {
+
+/** One integer-indexed dimension of the state space. */
+struct Dimension
+{
+    std::string name;
+    std::int64_t cardinality = 1;
+    std::int64_t defaultIndex = 0;
+};
+
+/** A point in the state space: one index per dimension. */
+using Configuration = std::vector<std::int64_t>;
+
+/** Ordered collection of dimensions. */
+class StateSpace
+{
+  public:
+    /** Append a dimension; returns its position. */
+    std::size_t add(Dimension dimension);
+
+    /** Convenience: append and return position. */
+    std::size_t add(const std::string &name, std::int64_t cardinality,
+                    std::int64_t default_index = 0);
+
+    std::size_t dimensionCount() const { return _dimensions.size(); }
+    const Dimension &dimension(std::size_t i) const;
+
+    /** Position of a dimension by name (panics if absent). */
+    std::size_t indexOf(const std::string &name) const;
+    bool hasDimension(const std::string &name) const;
+
+    /** Product of cardinalities (double: spaces exceed 2^63). */
+    double totalPoints() const;
+
+    Configuration defaultConfiguration() const;
+    bool valid(const Configuration &config) const;
+
+    /** Uniformly random valid configuration. */
+    Configuration randomConfiguration(support::Xoshiro256 &rng) const;
+
+    /** Read one dimension's index out of a configuration, by name. */
+    std::int64_t at(const Configuration &config,
+                    const std::string &name) const;
+
+    /** Set one dimension's index in a configuration, by name. */
+    void set(Configuration &config, const std::string &name,
+             std::int64_t index) const;
+
+    /** One-line human-readable rendering of a configuration. */
+    std::string describe(const Configuration &config) const;
+
+  private:
+    std::vector<Dimension> _dimensions;
+};
+
+} // namespace stats::tradeoff

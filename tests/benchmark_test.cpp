@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests of the six benchmark reimplementations: state spaces,
+ * deterministic workload generation, quality metrics against the
+ * oracle, mode semantics, and the paper's per-benchmark speculation
+ * behaviour (fluidanimate aborts, the others commit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/common/benchmark.hpp"
+
+namespace {
+
+using namespace stats;
+using namespace stats::benchmarks;
+
+class EveryBenchmark : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    std::unique_ptr<Benchmark> bench = createBenchmark(GetParam());
+};
+
+TEST_P(EveryBenchmark, StateSpaceIsLargeAndValid)
+{
+    const auto space = bench->stateSpace(28);
+    EXPECT_GE(space.dimensionCount(), 8u);
+    // The paper reports ~1.3M-point spaces; ours must be far beyond
+    // exhaustive-exploration reach too.
+    EXPECT_GT(space.totalPoints(), 1e4);
+    EXPECT_TRUE(space.valid(space.defaultConfiguration()));
+    EXPECT_TRUE(space.hasDimension(dims::kUseAux));
+    EXPECT_TRUE(space.hasDimension(dims::kInnerThreads));
+}
+
+TEST_P(EveryBenchmark, SequentialRunProducesOutput)
+{
+    RunRequest request;
+    request.threads = 1;
+    request.mode = Mode::Original;
+    request.runSeed = 42;
+    const RunResult result = bench->run(request);
+    EXPECT_GT(result.virtualSeconds, 0.0);
+    EXPECT_GT(result.energyJoules, 0.0);
+    EXPECT_FALSE(result.signature.empty());
+    // Original mode never speculates.
+    EXPECT_EQ(result.engineStats.groups, 0);
+    EXPECT_EQ(result.engineStats.auxTasks, 0);
+}
+
+TEST_P(EveryBenchmark, QualityOfDefaultRunIsBounded)
+{
+    const auto oracle =
+        bench->oracleSignature(WorkloadKind::Representative, 1);
+    EXPECT_FALSE(oracle.empty());
+    // The oracle matches itself perfectly.
+    EXPECT_DOUBLE_EQ(bench->quality(oracle, oracle), 0.0);
+
+    RunRequest request;
+    request.threads = 1;
+    request.mode = Mode::Original;
+    request.runSeed = 7;
+    const RunResult result = bench->run(request);
+    const double q = bench->quality(result.signature, oracle);
+    EXPECT_GE(q, 0.0);
+    // Nondeterministic but tracking/pricing/clustering the same data:
+    // the domain metric stays within a loose bound.
+    EXPECT_LT(q, 10.0);
+}
+
+TEST_P(EveryBenchmark, StatsModePreservesOutputQuality)
+{
+    const auto oracle =
+        bench->oracleSignature(WorkloadKind::Representative, 1);
+
+    // The benchmarks are nondeterministic: gate against the
+    // *distribution* of the original's quality, not one sample.
+    RunRequest request;
+    request.threads = 1;
+    request.mode = Mode::Original;
+    double q_original_max = 0.0;
+    for (std::uint64_t seed : {3u, 4u, 5u}) {
+        request.runSeed = seed;
+        q_original_max = std::max(
+            q_original_max,
+            bench->quality(bench->run(request).signature, oracle));
+    }
+
+    request.threads = 14;
+    request.mode = Mode::SeqStats;
+    request.runSeed = 6;
+    const RunResult stats_run = bench->run(request);
+    const double q_stats =
+        bench->quality(stats_run.signature, oracle);
+
+    // STATS must not degrade the output beyond the benchmark's own
+    // nondeterministic variability (loose multiplicative gate plus an
+    // absolute floor for near-zero metrics).
+    EXPECT_LT(q_stats, q_original_max * 4.0 + 0.05);
+}
+
+TEST_P(EveryBenchmark, WorkloadGenerationIsSeedDeterministic)
+{
+    RunRequest request;
+    request.threads = 4;
+    request.mode = Mode::Original;
+    request.runSeed = 99; // Pin program nondeterminism too.
+    const RunResult a = bench->run(request);
+    const RunResult b = bench->run(request);
+    ASSERT_EQ(a.signature.size(), b.signature.size());
+    for (std::size_t i = 0; i < a.signature.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.signature[i], b.signature[i]);
+}
+
+TEST_P(EveryBenchmark, NonRepresentativeWorkloadDiffers)
+{
+    RunRequest request;
+    request.threads = 1;
+    request.mode = Mode::Original;
+    request.runSeed = 5;
+    const RunResult rep = bench->run(request);
+    request.workload = WorkloadKind::NonRepresentative;
+    const RunResult bad = bench->run(request);
+    EXPECT_NE(rep.signature, bad.signature);
+}
+
+TEST_P(EveryBenchmark, TradeoffCountMatchesTableOne)
+{
+    EXPECT_GE(bench->tradeoffCount(), 4);
+    EXPECT_LE(bench->tradeoffCount(), 9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, EveryBenchmark,
+                         ::testing::ValuesIn(allBenchmarkNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(BenchmarkBehaviour, SpeculativeBenchmarksCommit)
+{
+    // All benchmarks except fluidanimate have the "short memory"
+    // property: their auxiliary code produces acceptable states.
+    for (const std::string name :
+         {"swaptions", "streamcluster", "streamclassifier", "bodytrack",
+          "facedet"}) {
+        auto bench = createBenchmark(name);
+        RunRequest request;
+        request.threads = 14;
+        request.mode = Mode::SeqStats;
+        const RunResult result = bench->run(request);
+        EXPECT_GT(result.engineStats.validations, 0) << name;
+        EXPECT_GT(result.engineStats.matchRate(), 0.5) << name;
+    }
+}
+
+TEST(BenchmarkBehaviour, FluidanimateAuxiliaryAlwaysAborts)
+{
+    // Paper section 4.8: the fluid state requires all previous
+    // inputs; the speculative execution is always aborted.
+    auto bench = createBenchmark("fluidanimate");
+    RunRequest request;
+    request.threads = 14;
+    request.mode = Mode::SeqStats;
+    const RunResult result = bench->run(request);
+    EXPECT_EQ(result.engineStats.aborts, 1);
+    EXPECT_GT(result.engineStats.mismatches, 0);
+}
+
+TEST(BenchmarkBehaviour, StatsGeneratesSpeedupOnManyCores)
+{
+    // Default (untuned) configurations already show the effect for
+    // the short-memory benchmarks.
+    for (const std::string name :
+         {"swaptions", "streamcluster", "bodytrack"}) {
+        auto bench = createBenchmark(name);
+        RunRequest seq;
+        seq.threads = 1;
+        seq.mode = Mode::Original;
+        const double base = bench->run(seq).virtualSeconds;
+
+        RunRequest stats_req;
+        stats_req.threads = 28;
+        stats_req.mode = Mode::SeqStats;
+        const double stats_time =
+            bench->run(stats_req).virtualSeconds;
+        EXPECT_GT(base / stats_time, 3.0) << name;
+    }
+}
+
+TEST(BenchmarkBehaviour, FactoryRejectsUnknownNames)
+{
+    EXPECT_DEATH(createBenchmark("nope"), "unknown benchmark");
+}
+
+TEST(BenchmarkBehaviour, AverageSignatures)
+{
+    const auto avg = Benchmark::averageSignatures(
+        {{1.0, 2.0}, {3.0, 4.0}});
+    ASSERT_EQ(avg.size(), 2u);
+    EXPECT_DOUBLE_EQ(avg[0], 2.0);
+    EXPECT_DOUBLE_EQ(avg[1], 3.0);
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests of canneal — including the structural property that excludes
+ * it from STATS (paper section 4.2): the number of "inputs" (annealing
+ * steps) depends on the evolution of the computation state and is
+ * unknown before the first invocation.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/canneal/canneal.hpp"
+
+namespace {
+
+using namespace stats;
+using namespace stats::benchmarks::canneal;
+
+TEST(Canneal, AnnealingImprovesThePlacement)
+{
+    const Netlist netlist = makeNetlist(3);
+    Placement identity;
+    identity.gridSide = netlist.gridSide;
+    identity.slotOf.resize(netlist.nets.size());
+    for (std::size_t e = 0; e < netlist.nets.size(); ++e)
+        identity.slotOf[e] = static_cast<int>(e);
+    const double initial_cost = identity.wireLength(netlist);
+
+    support::Xoshiro256 rng(5);
+    const AnnealResult result = anneal(netlist, rng);
+    EXPECT_LT(result.finalCost, initial_cost);
+    EXPECT_GT(result.temperatureSteps, 0);
+}
+
+TEST(Canneal, PlacementStaysAPermutation)
+{
+    const Netlist netlist = makeNetlist(7);
+    support::Xoshiro256 rng(9);
+    const AnnealResult result = anneal(netlist, rng);
+    std::set<int> slots(result.placement.slotOf.begin(),
+                        result.placement.slotOf.end());
+    EXPECT_EQ(slots.size(), netlist.nets.size()); // No collisions.
+}
+
+TEST(Canneal, IsNondeterministic)
+{
+    const Netlist netlist = makeNetlist(11);
+    support::Xoshiro256 a(1), b(2);
+    const AnnealResult ra = anneal(netlist, a);
+    const AnnealResult rb = anneal(netlist, b);
+    EXPECT_NE(ra.placement.slotOf, rb.placement.slotOf);
+}
+
+TEST(Canneal, StepCountIsStateDependent)
+{
+    // The property that excludes canneal from STATS: the number of
+    // temperature steps varies across nondeterministic runs, so the
+    // SDI's input vector cannot be materialized before the loop.
+    const Netlist netlist = makeNetlist(13);
+    std::set<int> step_counts;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        support::Xoshiro256 rng(seed * 31);
+        step_counts.insert(anneal(netlist, rng).temperatureSteps);
+    }
+    EXPECT_GT(step_counts.size(), 1u);
+}
+
+TEST(Canneal, WireLengthIsZeroOnlyForCoincidentNets)
+{
+    Netlist netlist;
+    netlist.gridSide = 4;
+    netlist.nets = {{1}, {0}};
+    Placement placement;
+    placement.gridSide = 4;
+    placement.slotOf = {0, 1};
+    EXPECT_DOUBLE_EQ(placement.wireLength(netlist), 1.0);
+    placement.slotOf = {0, 5}; // Diagonal: Manhattan distance 2.
+    EXPECT_DOUBLE_EQ(placement.wireLength(netlist), 2.0);
+}
+
+} // namespace

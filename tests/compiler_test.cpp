@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests of the middle-end (auxiliary-code generation, default
+ * freezing) and back-end (configuration instantiation), including an
+ * end-to-end pipeline run on a toy module with all three tradeoff
+ * kinds (constant, data type, function).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "midend/midend.hpp"
+#include "midend/substitute.hpp"
+
+namespace {
+
+using namespace stats;
+using namespace stats::ir;
+
+/**
+ * Toy program with the three tradeoff kinds:
+ *  - T_42: constant (iterations), values 1..10, default index 4 -> 5;
+ *  - T_43: data type of one variable, {f64, f32}, default f64;
+ *  - T_44: function choice {smooth_exact, smooth_fast}, default exact.
+ * computeOutput(input, state) =
+ *     smooth(typed(input)) + 0.5 + iterations.
+ */
+const char *kPipelineModule = R"(
+module "pipeline"
+tradeoff T_42 kind=const placeholder=@T_42 getValue=@T_42_getValue size=@T_42_size default=@T_42_getDefaultIndex
+tradeoff T_43 kind=type placeholder=@T_43_type getValue=@T_43_getValue size=@T_43_size default=@T_43_getDefaultIndex choices=f64,f32
+tradeoff T_44 kind=fn placeholder=@T_44_fn getValue=@T_44_getValue size=@T_44_size default=@T_44_getDefaultIndex choices=smooth_exact,smooth_fast
+statedep SD0 compute=@computeOutput
+
+func @T_42() -> i64 {
+entry:
+  ret i64 5
+}
+func @T_42_getValue(i64 %i) -> i64 {
+entry:
+  %v = add i64 %i, 1
+  ret i64 %v
+}
+func @T_42_size() -> i64 {
+entry:
+  ret i64 10
+}
+func @T_42_getDefaultIndex() -> i64 {
+entry:
+  ret i64 4
+}
+
+func @T_43_type(f64 %v) -> f64 {
+entry:
+  ret f64 %v
+}
+func @T_43_getValue(i64 %i) -> i64 {
+entry:
+  ret i64 %i
+}
+func @T_43_size() -> i64 {
+entry:
+  ret i64 2
+}
+func @T_43_getDefaultIndex() -> i64 {
+entry:
+  ret i64 0
+}
+
+func @smooth_exact(f64 %x) -> f64 {
+entry:
+  %r = call f64 @sqrt %x
+  ret f64 %r
+}
+func @smooth_fast(f64 %x) -> f64 {
+entry:
+  %r = mul f64 %x, 0.5
+  ret f64 %r
+}
+func @T_44_fn(f64 %x) -> f64 {
+entry:
+  %r = call f64 @smooth_exact %x
+  ret f64 %r
+}
+func @T_44_getValue(i64 %i) -> i64 {
+entry:
+  ret i64 %i
+}
+func @T_44_size() -> i64 {
+entry:
+  ret i64 2
+}
+func @T_44_getDefaultIndex() -> i64 {
+entry:
+  ret i64 0
+}
+
+func @smoothHelper(f64 %x) -> f64 {
+entry:
+  %r = call f64 @T_44_fn %x
+  ret f64 %r
+}
+func @plainHelper(f64 %x) -> f64 {
+entry:
+  %r = add f64 %x, 0.5
+  ret f64 %r
+}
+
+func @computeOutput(i64 %input, f64 %state) -> f64 {
+entry:
+  %iters = call i64 @T_42()
+  %f = cast f64 %input
+  %typed = call f64 @T_43_type %f
+  %sm = call f64 @smoothHelper %typed
+  %pl = call f64 @plainHelper %sm
+  %itf = cast f64 %iters
+  %r = add f64 %pl, %itf
+  ret f64 %r
+}
+)";
+
+double
+runComputeOutput(const Module &module, const std::string &fn,
+                 std::int64_t input)
+{
+    Interpreter interp(module);
+    return interp.call(fn, {RtValue::ofInt(input), RtValue::ofFloat(0.0)})
+        .asFloat();
+}
+
+TEST(Substitute, EvaluatesGetValueViaInterpreter)
+{
+    const Module module = parseModule(kPipelineModule);
+    const TradeoffMeta *meta =
+        const_cast<Module &>(module).findTradeoff("T_42");
+    ASSERT_NE(meta, nullptr);
+    EXPECT_EQ(midend::defaultIndexOf(module, *meta), 4);
+    EXPECT_EQ(midend::sizeOf(module, *meta), 10);
+    const auto value = midend::evaluateTradeoffValue(module, *meta, 7);
+    EXPECT_EQ(value.constant.asInt(), 8); // getValue(i) = i + 1.
+}
+
+TEST(MiddleEnd, ClonesComputeOutputAndCarriers)
+{
+    Module module = parseModule(kPipelineModule);
+    const auto report = midend::generateAuxiliaryCode(module);
+
+    // computeOutput and smoothHelper (a tradeoff carrier) cloned;
+    // plainHelper (no tradeoff anywhere below it) shared.
+    EXPECT_NE(module.findFunction("computeOutput__aux0"), nullptr);
+    EXPECT_NE(module.findFunction("smoothHelper__aux0"), nullptr);
+    EXPECT_EQ(module.findFunction("plainHelper__aux0"), nullptr);
+    EXPECT_FALSE(report.budgetReached);
+
+    // All three tradeoffs cloned with aux metadata.
+    EXPECT_NE(module.findTradeoff("aux::T_42"), nullptr);
+    EXPECT_NE(module.findTradeoff("aux::T_43"), nullptr);
+    EXPECT_NE(module.findTradeoff("aux::T_44"), nullptr);
+    EXPECT_TRUE(module.findTradeoff("aux::T_42")->auxClone);
+    EXPECT_EQ(module.findTradeoff("aux::T_42")->origin, "T_42");
+
+    // The dependence's metadata links the clone.
+    EXPECT_EQ(module.findStateDep("SD0")->auxFn, "computeOutput__aux0");
+
+    // The module still verifies after cloning.
+    EXPECT_TRUE(verifyModule(module).empty());
+}
+
+TEST(MiddleEnd, CloneBudgetLimitsDeepCloning)
+{
+    Module module = parseModule(kPipelineModule);
+    // Budget below computeOutput + smoothHelper: the helper is not
+    // cloned (fewer degrees of freedom, less code).
+    const auto report = midend::generateAuxiliaryCode(module, 8);
+    EXPECT_TRUE(report.budgetReached);
+    EXPECT_NE(module.findFunction("computeOutput__aux0"), nullptr);
+    EXPECT_EQ(module.findFunction("smoothHelper__aux0"), nullptr);
+    EXPECT_TRUE(verifyModule(module).empty());
+}
+
+TEST(MiddleEnd, FreezesDefaultsAndDeletesMetadata)
+{
+    Module module = parseModule(kPipelineModule);
+    midend::generateAuxiliaryCode(module);
+    const auto frozen = midend::freezeDefaultTradeoffs(module);
+    EXPECT_EQ(frozen.size(), 3u);
+
+    // Only auxiliary tradeoffs remain in the metadata.
+    EXPECT_EQ(module.tradeoffs.size(), 3u);
+    for (const auto &meta : module.tradeoffs)
+        EXPECT_TRUE(meta.auxClone);
+
+    // The original code now computes with defaults baked in:
+    // computeOutput(9) = sqrt(9) + 0.5 + 5 = 8.5.
+    EXPECT_TRUE(verifyModule(module).empty());
+    EXPECT_DOUBLE_EQ(runComputeOutput(module, "computeOutput", 9), 8.5);
+}
+
+TEST(BackEnd, InstantiatesConstantTradeoff)
+{
+    Module midend_ir = parseModule(kPipelineModule);
+    midend::runMiddleEnd(midend_ir);
+
+    backend::BackendConfig config;
+    config.auxiliaryDeps.insert("SD0");
+    config.tradeoffIndices["aux::T_42"] = 0; // 1 iteration.
+    const Module binary = backend::instantiate(midend_ir, config);
+
+    EXPECT_TRUE(verifyModule(binary).empty());
+    // Auxiliary: sqrt(9) + 0.5 + 1 = 4.5; original unchanged at 8.5.
+    EXPECT_DOUBLE_EQ(
+        runComputeOutput(binary, "computeOutput__aux0", 9), 4.5);
+    EXPECT_DOUBLE_EQ(runComputeOutput(binary, "computeOutput", 9), 8.5);
+    EXPECT_TRUE(
+        const_cast<Module &>(binary).findStateDep("SD0")->runtimeLinked);
+}
+
+TEST(BackEnd, InstantiatesFunctionTradeoff)
+{
+    Module midend_ir = parseModule(kPipelineModule);
+    midend::runMiddleEnd(midend_ir);
+
+    backend::BackendConfig config;
+    config.tradeoffIndices["aux::T_44"] = 1; // smooth_fast.
+    const Module binary = backend::instantiate(midend_ir, config);
+
+    // Auxiliary: 9 * 0.5 + 0.5 + 5 = 10.0 (default iterations).
+    EXPECT_DOUBLE_EQ(
+        runComputeOutput(binary, "computeOutput__aux0", 9), 10.0);
+    // Original keeps the exact sqrt.
+    EXPECT_DOUBLE_EQ(runComputeOutput(binary, "computeOutput", 9), 8.5);
+}
+
+TEST(BackEnd, InstantiatesTypeTradeoffWithCasts)
+{
+    Module midend_ir = parseModule(kPipelineModule);
+    midend::runMiddleEnd(midend_ir);
+
+    backend::BackendConfig config;
+    config.tradeoffIndices["aux::T_43"] = 1; // float.
+    const Module binary = backend::instantiate(midend_ir, config);
+    EXPECT_TRUE(verifyModule(binary).empty());
+
+    // 2^24 + 1 is not representable in f32: the narrowed variable
+    // loses the +1 in auxiliary code but not in the original.
+    const std::int64_t big = (1ll << 24) + 1;
+    const double aux =
+        runComputeOutput(binary, "computeOutput__aux0", big);
+    const double orig = runComputeOutput(binary, "computeOutput", big);
+    EXPECT_NE(aux, orig);
+    EXPECT_DOUBLE_EQ(orig - aux,
+                     std::sqrt(double(big)) -
+                         std::sqrt(double(1ll << 24)));
+}
+
+TEST(BackEnd, SameIrInstantiatesManyConfigurations)
+{
+    // The paper decouples state-space IR from instantiation so the
+    // autotuner can instantiate cheaply and repeatedly.
+    Module midend_ir = parseModule(kPipelineModule);
+    midend::runMiddleEnd(midend_ir);
+
+    for (std::int64_t index = 0; index < 10; ++index) {
+        backend::BackendConfig config;
+        config.tradeoffIndices["aux::T_42"] = index;
+        const Module binary = backend::instantiate(midend_ir, config);
+        const double expected = 3.0 + 0.5 + double(index + 1);
+        EXPECT_DOUBLE_EQ(
+            runComputeOutput(binary, "computeOutput__aux0", 9),
+            expected);
+    }
+}
+
+TEST(BackEnd, RejectsBadConfigurations)
+{
+    Module midend_ir = parseModule(kPipelineModule);
+    midend::runMiddleEnd(midend_ir);
+
+    backend::BackendConfig unknown;
+    unknown.tradeoffIndices["aux::T_99"] = 0;
+    EXPECT_DEATH(backend::instantiate(midend_ir, unknown),
+                 "unknown tradeoff");
+
+    backend::BackendConfig out_of_range;
+    out_of_range.tradeoffIndices["aux::T_42"] = 10;
+    EXPECT_DEATH(backend::instantiate(midend_ir, out_of_range),
+                 "out of range");
+
+    backend::BackendConfig bad_dep;
+    bad_dep.auxiliaryDeps.insert("SD9");
+    EXPECT_DEATH(backend::instantiate(midend_ir, bad_dep),
+                 "unknown state dependence");
+}
+
+TEST(Pipeline, GeneratedCodeGrowthIsReported)
+{
+    Module module = parseModule(kPipelineModule);
+    const std::size_t before = module.instructionCount();
+    const auto report = midend::runMiddleEnd(module);
+    EXPECT_GT(report.instructionsAdded, 0u);
+    EXPECT_GE(module.instructionCount(), before);
+    EXPECT_EQ(report.clonedTradeoffs.size(), 3u);
+    EXPECT_EQ(report.clonedFunctions.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The extended-C++ encodings of the six benchmarks must agree with
+ * the paper's Table 1: per-benchmark tradeoff counts (including the
+ * two thread-count tradeoffs every benchmark naturally has), state
+ * dependence counts, and comparison-function presence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/common/benchmark.hpp"
+#include "benchmarks/common/extended_sources.hpp"
+#include "frontend/frontend.hpp"
+
+namespace {
+
+using namespace stats;
+using namespace stats::benchmarks;
+
+struct TableOneRow
+{
+    const char *name;
+    int tradeoffs;
+    int stateDeps;
+    bool hasComparison;
+};
+
+const TableOneRow kTableOne[] = {
+    {"swaptions", 4, 1, false},
+    {"streamclassifier", 7, 2, false},
+    {"streamcluster", 7, 2, false},
+    {"fluidanimate", 9, 1, true},
+    {"bodytrack", 5, 1, true},
+    {"facedet", 6, 1, true},
+};
+
+TEST(ExtendedSources, FrontendAcceptsEveryBenchmark)
+{
+    for (const auto &row : kTableOne) {
+        const auto result = frontend::compileExtendedSource(
+            extendedSourceFor(row.name), row.name);
+        EXPECT_EQ(static_cast<int>(result.tradeoffs.size()),
+                  row.tradeoffs)
+            << row.name;
+        EXPECT_EQ(static_cast<int>(result.stateDeps.size()),
+                  row.stateDeps)
+            << row.name;
+        EXPECT_EQ(result.stateComparisonLoc > 0, row.hasComparison)
+            << row.name;
+        EXPECT_GT(result.generatedLoc, 10u) << row.name;
+    }
+}
+
+TEST(ExtendedSources, TradeoffCountsMatchBenchmarkObjects)
+{
+    for (const auto &row : kTableOne) {
+        auto bench = createBenchmark(row.name);
+        EXPECT_EQ(bench->tradeoffCount(), row.tradeoffs) << row.name;
+    }
+}
+
+TEST(ExtendedSources, ThreadTradeoffsPresentEverywhere)
+{
+    // "The number of original threads and the number of threads for
+    // state dependences ... which all benchmarks naturally have".
+    for (const auto &row : kTableOne) {
+        const auto &source = extendedSourceFor(row.name);
+        EXPECT_NE(source.find("TO_originalThreads"), std::string::npos)
+            << row.name;
+        EXPECT_NE(source.find("TO_sdThreads"), std::string::npos)
+            << row.name;
+    }
+}
+
+TEST(ExtendedSources, MetadataNamesComputeOutput)
+{
+    for (const auto &row : kTableOne) {
+        const auto result = frontend::compileExtendedSource(
+            extendedSourceFor(row.name), row.name);
+        EXPECT_NE(result.irMetadata.find("compute=@computeOutput"),
+                  std::string::npos)
+            << row.name;
+    }
+}
+
+TEST(ExtendedSources, UnknownBenchmarkPanics)
+{
+    EXPECT_DEATH(extendedSourceFor("vips"), "no extended source");
+}
+
+} // namespace

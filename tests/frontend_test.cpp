@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests of the front-end compiler on Figure 8/10-style extended C++.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.hpp"
+
+namespace {
+
+using namespace stats;
+using namespace stats::frontend;
+
+/** The paper's bodytrack running example (Figures 8 and 10). */
+const char *kBodytrackExtended = R"(
+#include <vector>
+
+class AnnealingLayers_options : Tradeoff_options {
+    int64_t getMaxIndex() { return 10; }
+    auto getValue(int64_t i) { return i + 1; }
+    int64_t getDefaultIndex() { return 4; }
+};
+tradeoff TO_numAnnealingLayers {
+    { AnnealingLayers_options };
+};
+
+class Input { int frameId; };
+class Output { vector<BodyPart> positions; };
+class State {
+    vector<Particle> model;
+    State &operator=(State &);
+    bool doesSpecStateMatchAny(set<State *> originals) {
+        for (State *s : originals) {
+            if (distance(*s) < bound(originals))
+                return true;
+        }
+        return false;
+    }
+};
+
+Output *computeOutput(Input *i, State *s) {
+    Frame f = getFrame(i->frameId);
+    s->model = updateModel(TO_numAnnealingLayers, s->model, f);
+    Output *o = new Output();
+    o->positions = getPositions(s->model);
+    return o;
+}
+
+void estimateLocations() {
+    vector<Input *> i(numFrames);
+    vector<Particle> model(numParticles);
+    State s;
+    s.model = model;
+    StateDependence<Input, State, Output>
+        stateDep(&i, &s, computeOutput);
+    stateDep.start();
+    stateDep.join();
+}
+)";
+
+TEST(Frontend, ParsesTradeoffDeclaration)
+{
+    const auto result =
+        compileExtendedSource(kBodytrackExtended, "bodytrack");
+    ASSERT_EQ(result.tradeoffs.size(), 1u);
+    const TradeoffDecl &decl = result.tradeoffs[0];
+    EXPECT_EQ(decl.name, "TO_numAnnealingLayers");
+    EXPECT_EQ(decl.optionsClass, "AnnealingLayers_options");
+    EXPECT_EQ(decl.id, 42);
+    EXPECT_EQ(decl.kind, ir::TradeoffKind::Constant);
+    EXPECT_NE(decl.getValueBody.find("return i + 1;"),
+              std::string::npos);
+    EXPECT_NE(decl.getMaxIndexBody.find("return 10;"),
+              std::string::npos);
+    EXPECT_GT(decl.declaredLoc, 5u);
+}
+
+TEST(Frontend, ParsesStateDependence)
+{
+    const auto result =
+        compileExtendedSource(kBodytrackExtended, "bodytrack");
+    ASSERT_EQ(result.stateDeps.size(), 1u);
+    const StateDepDecl &dep = result.stateDeps[0];
+    EXPECT_EQ(dep.variable, "stateDep");
+    EXPECT_EQ(dep.inputType, "Input");
+    EXPECT_EQ(dep.stateType, "State");
+    EXPECT_EQ(dep.outputType, "Output");
+    EXPECT_EQ(dep.computeFunction, "computeOutput");
+}
+
+TEST(Frontend, GeneratedHeaderHasFigure11Shape)
+{
+    const auto result =
+        compileExtendedSource(kBodytrackExtended, "bodytrack");
+    const std::string &header = result.generatedHeader;
+    // Placeholder, #define, options functions, and the TO registry.
+    EXPECT_NE(header.find("int64_t T_42(int64_t p) { return p; }"),
+              std::string::npos);
+    EXPECT_NE(header.find("#define TO_numAnnealingLayers T_42(42)"),
+              std::string::npos);
+    EXPECT_NE(header.find("T_42_getValue"), std::string::npos);
+    EXPECT_NE(header.find("T_42_size() { return 10; }"),
+              std::string::npos);
+    EXPECT_NE(header.find("T_42_getDefaultIndex() { return 4; }"),
+              std::string::npos);
+    EXPECT_NE(header.find("TO[] = { \"T_42_getValue T_42_size "
+                          "T_42_getDefaultIndex T_42\" }"),
+              std::string::npos);
+}
+
+TEST(Frontend, RewrittenSourceDropsExtensions)
+{
+    const auto result =
+        compileExtendedSource(kBodytrackExtended, "bodytrack");
+    // The `tradeoff` declaration is gone; the reference remains (it
+    // is now a macro from the generated header).
+    EXPECT_EQ(result.rewrittenSource.find("tradeoff TO_"),
+              std::string::npos);
+    EXPECT_NE(result.rewrittenSource.find("TO_numAnnealingLayers"),
+              std::string::npos);
+    EXPECT_NE(
+        result.rewrittenSource.find("#include \"bodytrack_tradeoffs"),
+        std::string::npos);
+}
+
+TEST(Frontend, EmitsIrMetadata)
+{
+    const auto result =
+        compileExtendedSource(kBodytrackExtended, "bodytrack");
+    EXPECT_NE(result.irMetadata.find(
+                  "tradeoff T_42 kind=const placeholder=@T_42"),
+              std::string::npos);
+    EXPECT_NE(result.irMetadata.find("statedep SD0 compute=@computeOutput"),
+              std::string::npos);
+}
+
+TEST(Frontend, AccountsTableOneNumbers)
+{
+    const auto result =
+        compileExtendedSource(kBodytrackExtended, "bodytrack");
+    EXPECT_GT(result.originalLoc, 30u);
+    EXPECT_GT(result.generatedLoc, 8u);
+    EXPECT_GT(result.stateComparisonLoc, 3u);
+}
+
+TEST(Frontend, TypeAndFunctionTradeoffs)
+{
+    const char *source = R"(
+class Precision_options : Tradeoff_type_options {
+    const char *choices[2] = {"f64", "f32"};
+    int64_t getMaxIndex() { return 2; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_precision {
+    { Precision_options };
+};
+class Sqrt_options : Tradeoff_function_options {
+    const char *choices[3] = {"sqrt_exact", "sqrt_newton2", "sqrt_table"};
+    int64_t getMaxIndex() { return 3; }
+    int64_t getDefaultIndex() { return 0; }
+};
+tradeoff TO_sqrtImpl {
+    { Sqrt_options };
+};
+)";
+    const auto result = compileExtendedSource(source, "fluid");
+    ASSERT_EQ(result.tradeoffs.size(), 2u);
+    EXPECT_EQ(result.tradeoffs[0].kind, ir::TradeoffKind::DataType);
+    ASSERT_EQ(result.tradeoffs[0].choices.size(), 2u);
+    EXPECT_EQ(result.tradeoffs[0].choices[1], "f32");
+    EXPECT_EQ(result.tradeoffs[1].kind,
+              ir::TradeoffKind::FunctionChoice);
+    EXPECT_EQ(result.tradeoffs[1].choices[2], "sqrt_table");
+    EXPECT_EQ(result.tradeoffs[1].id, 43);
+    // Metadata carries the choices.
+    EXPECT_NE(result.irMetadata.find("choices=f64,f32"),
+              std::string::npos);
+}
+
+TEST(Frontend, MultipleStateDependences)
+{
+    const char *source = R"(
+StateDependence<Point, Solution, Labels> d1(&pts, &sol, addCentroid);
+StateDependence<Point, Classes, Labels> d2(&pts, &cls, classify);
+)";
+    const auto result = compileExtendedSource(source, "stream");
+    ASSERT_EQ(result.stateDeps.size(), 2u);
+    EXPECT_EQ(result.stateDeps[0].computeFunction, "addCentroid");
+    EXPECT_EQ(result.stateDeps[1].computeFunction, "classify");
+    EXPECT_NE(result.irMetadata.find("statedep SD1 compute=@classify"),
+              std::string::npos);
+}
+
+TEST(Frontend, PanicsOnMissingOptionsClass)
+{
+    const char *source = R"(
+tradeoff TO_orphan {
+    { Missing_options };
+};
+)";
+    EXPECT_DEATH(compileExtendedSource(source, "bad"),
+                 "unknown options class");
+}
+
+TEST(Frontend, IgnoresNonExtensionCode)
+{
+    const char *source = R"(
+int main() {
+    int tradeoffish = 3; // identifier containing 'tradeoff'... no.
+    return tradeoffish;
+}
+)";
+    const auto result = compileExtendedSource(source, "plain");
+    EXPECT_TRUE(result.tradeoffs.empty());
+    EXPECT_TRUE(result.stateDeps.empty());
+}
+
+} // namespace

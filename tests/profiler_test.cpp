@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests of the profiler and the autotuner-profiler loop on real
+ * benchmarks (paper section 3.2 flow).
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiler/profiler.hpp"
+
+namespace {
+
+using namespace stats;
+using namespace stats::benchmarks;
+using namespace stats::profiler;
+
+TEST(Profiler, MeasuresDefaultConfiguration)
+{
+    auto bench = createBenchmark("streamcluster");
+    Profiler profiler(*bench, Mode::SeqStats, 8, sim::MachineConfig{});
+    const auto space = bench->stateSpace(8);
+    const Measurement m = profiler.profile(space.defaultConfiguration());
+    EXPECT_GT(m.seconds, 0.0);
+    EXPECT_GT(m.energyJoules, 0.0);
+    EXPECT_GE(m.quality, 0.0);
+}
+
+TEST(Profiler, ObjectiveSelectsMetric)
+{
+    auto bench = createBenchmark("swaptions");
+    Profiler profiler(*bench, Mode::Original, 4, sim::MachineConfig{});
+    const auto space = bench->stateSpace(4);
+    const auto config = space.defaultConfiguration();
+    const Measurement m = profiler.profile(config);
+    const double time_objective =
+        profiler.objectiveFunction(Objective::Time)(config);
+    const double energy_objective =
+        profiler.objectiveFunction(Objective::Energy)(config);
+    // Repetitions of a nondeterministic program: close, not equal.
+    EXPECT_NEAR(time_objective, m.seconds, 0.3 * m.seconds);
+    EXPECT_NEAR(energy_objective, m.energyJoules,
+                0.3 * m.energyJoules);
+    EXPECT_GT(energy_objective, time_objective); // Joules >> seconds.
+}
+
+TEST(Profiler, TuningImprovesOnDefault)
+{
+    auto bench = createBenchmark("streamcluster");
+    Profiler profiler(*bench, Mode::SeqStats, 28, sim::MachineConfig{});
+    const auto space = bench->stateSpace(28);
+    const double default_time =
+        profiler.profile(space.defaultConfiguration()).seconds;
+
+    const auto tuned = tuneBenchmark(*bench, Mode::SeqStats, 28,
+                                     sim::MachineConfig{},
+                                     Objective::Time, 25, 3);
+    EXPECT_LE(tuned.measurement.seconds, default_time * 1.15);
+    EXPECT_EQ(tuned.tuning.evaluations, 25);
+}
+
+TEST(Profiler, EnergyTuningFindsLowEnergyConfig)
+{
+    auto bench = createBenchmark("swaptions");
+    const auto time_run = tuneBenchmark(
+        *bench, Mode::ParStats, 28, sim::MachineConfig{},
+        Objective::Time, 20, 5);
+    const auto energy_run = tuneBenchmark(
+        *bench, Mode::ParStats, 28, sim::MachineConfig{},
+        Objective::Energy, 20, 5);
+    // The energy-tuned binary never consumes more energy than the
+    // time-tuned one (paper Figure 15's premise), modulo noise.
+    EXPECT_LE(energy_run.measurement.energyJoules,
+              time_run.measurement.energyJoules * 1.10);
+}
+
+TEST(Profiler, FluidanimateTunerDisablesAuxiliaryCode)
+{
+    // Paper section 4.8: the autotuner empirically learns that
+    // fluidanimate's dependence must be satisfied conventionally.
+    auto bench = createBenchmark("fluidanimate");
+    const auto tuned = tuneBenchmark(*bench, Mode::ParStats, 14,
+                                     sim::MachineConfig{},
+                                     Objective::Time, 30, 2);
+    const auto space = bench->stateSpace(14);
+    RunRequest request;
+    request.mode = Mode::ParStats;
+    request.config = tuned.config;
+    request.threads = 14;
+    const RunResult result = bench->run(request);
+    // Either speculation is off or it aborted; the tuned run must
+    // not be slower than ~the original-mode run.
+    RunRequest original;
+    original.mode = Mode::Original;
+    original.threads = 14;
+    const double original_time = bench->run(original).virtualSeconds;
+    EXPECT_LE(result.virtualSeconds, original_time * 1.2);
+    EXPECT_EQ(space.at(tuned.config, dims::kUseAux), 0);
+}
+
+} // namespace

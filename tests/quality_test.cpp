@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the output-quality metrics, including the metric-space
+ * properties the benchmarks rely on (identity, symmetry where
+ * applicable, sensitivity).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "quality/metrics.hpp"
+
+namespace {
+
+using namespace stats::quality;
+
+TEST(RelMse, ZeroForIdenticalVectors)
+{
+    EXPECT_DOUBLE_EQ(
+        relativeMeanSquareError({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(RelMse, NormalizedByReference)
+{
+    // err = (0.1^2 * 3), ref = 1+4+9 = 14.
+    const double v =
+        relativeMeanSquareError({1.1, 2.1, 3.1}, {1.0, 2.0, 3.0});
+    EXPECT_NEAR(v, 0.03 / 14.0, 1e-12);
+}
+
+TEST(RelMse, ScaleInvariance)
+{
+    const double small =
+        relativeMeanSquareError({1.01, 2.02}, {1.0, 2.0});
+    const double large =
+        relativeMeanSquareError({101.0, 202.0}, {100.0, 200.0});
+    EXPECT_NEAR(small, large, 1e-12);
+}
+
+TEST(Euclidean, KnownDistances)
+{
+    // Two 2-D points, each displaced by (3,4) -> distance 5.
+    const std::vector<double> a{0, 0, 10, 10};
+    const std::vector<double> b{3, 4, 13, 14};
+    EXPECT_DOUBLE_EQ(averageEuclideanDistance(a, b, 2), 5.0);
+}
+
+TEST(Euclidean, IdentityAndSymmetry)
+{
+    const std::vector<double> a{1, 2, 3, 4, 5, 6};
+    const std::vector<double> b{2, 4, 3, 1, 0, 6};
+    EXPECT_DOUBLE_EQ(averageEuclideanDistance(a, a, 3), 0.0);
+    EXPECT_DOUBLE_EQ(averageEuclideanDistance(a, b, 3),
+                     averageEuclideanDistance(b, a, 3));
+}
+
+TEST(RelDiff, KnownValue)
+{
+    EXPECT_NEAR(averageRelativeDifference({1.1, 4.0}, {1.0, 5.0}),
+                (0.1 / 1.0 + 1.0 / 5.0) / 2.0, 1e-12);
+}
+
+TEST(DaviesBouldin, WellSeparatedBeatsOverlapping)
+{
+    // Two tight clusters far apart.
+    std::vector<double> tight{0.0, 0.1, -0.1, 10.0, 10.1, 9.9};
+    std::vector<int> assign{0, 0, 0, 1, 1, 1};
+    const double good = daviesBouldinIndex(tight, 1, assign, 2);
+
+    // Same structure but clusters nearly touching.
+    std::vector<double> loose{0.0, 0.4, -0.4, 1.0, 1.4, 0.6};
+    const double bad = daviesBouldinIndex(loose, 1, assign, 2);
+
+    EXPECT_LT(good, bad);
+    EXPECT_GT(good, 0.0);
+}
+
+TEST(DaviesBouldin, SingleClusterIsZero)
+{
+    EXPECT_DOUBLE_EQ(
+        daviesBouldinIndex({1.0, 2.0, 3.0}, 1, {0, 0, 0}, 1), 0.0);
+}
+
+TEST(DaviesBouldin, IgnoresEmptyClusters)
+{
+    std::vector<double> pts{0.0, 0.1, 5.0, 5.1};
+    std::vector<int> assign{0, 0, 2, 2}; // Cluster 1 empty.
+    const double v = daviesBouldinIndex(pts, 1, assign, 3);
+    EXPECT_GT(v, 0.0);
+    EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(BCubed, PerfectClusteringScoresOne)
+{
+    const auto score = bCubed({0, 0, 1, 1}, {5, 5, 9, 9});
+    EXPECT_DOUBLE_EQ(score.precision, 1.0);
+    EXPECT_DOUBLE_EQ(score.recall, 1.0);
+    EXPECT_DOUBLE_EQ(score.f1, 1.0);
+}
+
+TEST(BCubed, AllMergedLosesPrecision)
+{
+    // One predicted cluster over two gold classes of equal size.
+    const auto score = bCubed({0, 0, 0, 0}, {1, 1, 2, 2});
+    EXPECT_DOUBLE_EQ(score.precision, 0.5);
+    EXPECT_DOUBLE_EQ(score.recall, 1.0);
+    EXPECT_NEAR(score.f1, 2.0 * 0.5 / 1.5, 1e-12);
+}
+
+TEST(BCubed, AllSplitLosesRecall)
+{
+    const auto score = bCubed({0, 1, 2, 3}, {1, 1, 2, 2});
+    EXPECT_DOUBLE_EQ(score.precision, 1.0);
+    EXPECT_DOUBLE_EQ(score.recall, 0.5);
+}
+
+TEST(BCubed, EmptyInputIsPerfect)
+{
+    const auto score = bCubed({}, {});
+    EXPECT_DOUBLE_EQ(score.f1, 1.0);
+}
+
+} // namespace

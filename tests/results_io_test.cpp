@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests of the autotuner results store persistence (the paper's
+ * reusable state-space exploration results, section 3.2).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "autotuner/results_io.hpp"
+#include "autotuner/tuner.hpp"
+
+namespace {
+
+using namespace stats;
+using namespace stats::autotuner;
+
+tradeoff::StateSpace
+space2x3()
+{
+    tradeoff::StateSpace space;
+    space.add("a", 2);
+    space.add("b", 3);
+    return space;
+}
+
+TEST(ResultsIo, RoundTrip)
+{
+    const auto space = space2x3();
+    ResultsStore store;
+    store[{0, 0}] = 1.5;
+    store[{1, 2}] = 0.25;
+
+    std::stringstream buffer;
+    writeResults(buffer, space, store);
+    const ResultsStore loaded = readResults(buffer, space);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_DOUBLE_EQ(loaded.at({0, 0}), 1.5);
+    EXPECT_DOUBLE_EQ(loaded.at({1, 2}), 0.25);
+}
+
+TEST(ResultsIo, DropsEntriesThatNoLongerFit)
+{
+    const auto space = space2x3();
+    ResultsStore store;
+    store[{1, 2}] = 3.0;
+    std::stringstream buffer;
+    writeResults(buffer, space, store);
+
+    // A shrunken space: the saved point is now out of range.
+    tradeoff::StateSpace smaller;
+    smaller.add("a", 2);
+    smaller.add("b", 2);
+    const ResultsStore loaded = readResults(buffer, smaller);
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(ResultsIo, RejectsMissingHeader)
+{
+    std::stringstream buffer("point 0 0 = 1.0\n");
+    EXPECT_DEATH(readResults(buffer, space2x3()), "missing header");
+}
+
+TEST(ResultsIo, RejectsGarbageLines)
+{
+    std::stringstream buffer("statsdb 1\nnonsense here\n");
+    EXPECT_DEATH(readResults(buffer, space2x3()), "bad line");
+}
+
+TEST(ResultsIo, PreloadedStoreShortCircuitsTheObjective)
+{
+    const auto space = space2x3();
+    // Exhaustive store of the 6-point space.
+    ResultsStore store;
+    for (std::int64_t a = 0; a < 2; ++a) {
+        for (std::int64_t b = 0; b < 3; ++b)
+            store[{a, b}] = static_cast<double>(a * 10 + b);
+    }
+    std::stringstream buffer;
+    writeResults(buffer, space, store);
+
+    Autotuner tuner(space, 3);
+    tuner.preload(readResults(buffer, space));
+    int objective_calls = 0;
+    const auto result = tuner.tune(
+        [&](const tradeoff::Configuration &) {
+            ++objective_calls;
+            return 99.0;
+        },
+        50);
+    // Every configuration was preloaded: nothing re-profiled.
+    EXPECT_EQ(objective_calls, 0);
+    EXPECT_EQ(result.bestObjective, 0.0);
+    EXPECT_EQ(result.best, (tradeoff::Configuration{0, 0}));
+}
+
+} // namespace

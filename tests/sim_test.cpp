@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit tests for the discrete-event many-core simulator: placement,
+ * FIFO gang scheduling, Hyper-Threading speed sharing, the NUMA
+ * penalty, cancellation, and activity accounting.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace stats;
+using sim::MachineConfig;
+using sim::Simulator;
+
+MachineConfig
+paperMachine(bool ht = false)
+{
+    MachineConfig config;
+    config.sockets = 2;
+    config.coresPerSocket = 14;
+    config.hyperThreading = ht;
+    config.dispatchOverhead = 0.0; // Exact arithmetic in tests.
+    return config;
+}
+
+exec::Task
+unitTask(double work, double mem_bound = 0.0, int width = 1,
+         std::function<void()> done = {})
+{
+    exec::Task task;
+    task.width = width;
+    task.run = [work, mem_bound] { return exec::Work{work, mem_bound}; };
+    task.onComplete = std::move(done);
+    return task;
+}
+
+TEST(Machine, PlacementFillsPhysicalCoresFirst)
+{
+    const auto placement = sim::placeThreads(paperMachine(true), 30);
+    ASSERT_EQ(placement.size(), 30u);
+    // First 28 logical cores are the 28 physical cores (hw thread 0).
+    for (int i = 0; i < 28; ++i)
+        EXPECT_EQ(placement[static_cast<std::size_t>(i)].hwThread, 0);
+    // 29th and 30th are HT siblings.
+    EXPECT_EQ(placement[28].hwThread, 1);
+    EXPECT_EQ(placement[29].hwThread, 1);
+    // Sockets alternate in 14-core blocks.
+    EXPECT_EQ(placement[0].socket, 0);
+    EXPECT_EQ(placement[13].socket, 0);
+    EXPECT_EQ(placement[14].socket, 1);
+}
+
+TEST(Machine, SingleSocketPlacementUsesSiblingsBeforeSocket1)
+{
+    auto config = paperMachine(true);
+    config.placement = MachineConfig::Placement::SingleSocketFirst;
+    const auto placement = sim::placeThreads(config, 28);
+    for (const auto &core : placement)
+        EXPECT_EQ(core.socket, 0);
+    EXPECT_EQ(placement[14].hwThread, 1);
+    EXPECT_FALSE(sim::spansSockets(placement));
+}
+
+TEST(Machine, ClampsToCapacity)
+{
+    const auto placement = sim::placeThreads(paperMachine(false), 100);
+    EXPECT_EQ(placement.size(), 28u);
+}
+
+TEST(Simulator, SequentialOnOneCore)
+{
+    Simulator sim(paperMachine(), 1);
+    sim.submit(unitTask(1.0));
+    sim.submit(unitTask(2.0));
+    sim.run();
+    EXPECT_NEAR(sim.activity().makespan, 3.0, 1e-9);
+    EXPECT_NEAR(sim.activity().busyCoreSeconds, 3.0, 1e-9);
+    EXPECT_EQ(sim.activity().tasksRun, 2u);
+}
+
+TEST(Simulator, ParallelOnTwoCores)
+{
+    Simulator sim(paperMachine(), 2);
+    sim.submit(unitTask(1.0));
+    sim.submit(unitTask(1.0));
+    sim.run();
+    EXPECT_NEAR(sim.activity().makespan, 1.0, 1e-9);
+    EXPECT_NEAR(sim.activity().busyCoreSeconds, 2.0, 1e-9);
+}
+
+TEST(Simulator, GangTaskOccupiesWidthCores)
+{
+    Simulator sim(paperMachine(), 4);
+    sim.submit(unitTask(1.0, 0.0, 4));
+    sim.run();
+    EXPECT_NEAR(sim.activity().makespan, 1.0, 1e-9);
+    EXPECT_NEAR(sim.activity().busyCoreSeconds, 4.0, 1e-9);
+}
+
+TEST(Simulator, FifoHeadBlocksUntilGangFits)
+{
+    // width-2 gang must wait for both width-1 tasks (FIFO order).
+    Simulator sim(paperMachine(), 2);
+    sim.submit(unitTask(1.0));
+    sim.submit(unitTask(2.0));
+    sim.submit(unitTask(1.0, 0.0, 2));
+    sim.run();
+    // Cores free at t=2 (the longer width-1 task), gang ends at t=3.
+    EXPECT_NEAR(sim.activity().makespan, 3.0, 1e-9);
+}
+
+TEST(Simulator, HyperThreadingSharesAPhysicalCore)
+{
+    // One physical core, two HT threads: two 1.0-work tasks run
+    // concurrently at htSpeedFactor each.
+    auto config = paperMachine(true);
+    config.sockets = 1;
+    config.coresPerSocket = 1;
+    Simulator sim(config, 2);
+    sim.submit(unitTask(1.0));
+    sim.submit(unitTask(1.0));
+    sim.run();
+    EXPECT_NEAR(sim.activity().makespan, 1.0 / 0.65, 1e-9);
+}
+
+TEST(Simulator, HyperThreadingRescalesWhenSiblingFinishes)
+{
+    // Task A: 0.65 work; task B: 1.30 work, sharing one physical core.
+    // Both run at 0.65 until A finishes at t=1.0 (A consumed 0.65).
+    // B then has 1.30 - 0.65 = 0.65 work left at speed 1.0 -> ends at
+    // t = 1.0 + 0.65 = 1.65.
+    auto config = paperMachine(true);
+    config.sockets = 1;
+    config.coresPerSocket = 1;
+    Simulator sim(config, 2);
+    sim.submit(unitTask(0.65));
+    sim.submit(unitTask(1.30));
+    sim.run();
+    EXPECT_NEAR(sim.activity().makespan, 1.65, 1e-9);
+}
+
+TEST(Simulator, NumaPenaltyAppliesOnlyAcrossSockets)
+{
+    // 14 threads: single socket, no penalty.
+    {
+        Simulator sim(paperMachine(), 14);
+        EXPECT_FALSE(sim.numaActive());
+        sim.submit(unitTask(1.0, /* memBound */ 1.0));
+        sim.run();
+        EXPECT_NEAR(sim.activity().makespan, 1.0, 1e-9);
+    }
+    // 15 threads: spans sockets, memory-bound work stretched.
+    {
+        Simulator sim(paperMachine(), 15);
+        EXPECT_TRUE(sim.numaActive());
+        sim.submit(unitTask(1.0, 1.0));
+        sim.run();
+        EXPECT_NEAR(sim.activity().makespan, 1.45, 1e-9);
+    }
+    // Mixed task: only the memory-bound half is stretched.
+    {
+        Simulator sim(paperMachine(), 15);
+        sim.submit(unitTask(1.0, 0.5));
+        sim.run();
+        EXPECT_NEAR(sim.activity().makespan, 0.5 + 0.5 * 1.45, 1e-9);
+    }
+}
+
+TEST(Simulator, CancelledTaskSkipsWorkButCompletes)
+{
+    Simulator sim(paperMachine(), 1);
+    bool completed = false;
+    auto task = unitTask(100.0, 0.0, 1, [&] { completed = true; });
+    task.cancel = exec::makeCancelToken();
+    task.cancel->store(true);
+    sim.submit(std::move(task));
+    sim.run();
+    EXPECT_TRUE(completed);
+    EXPECT_NEAR(sim.activity().makespan, 0.0, 1e-9);
+    EXPECT_EQ(sim.activity().tasksCancelled, 1u);
+    EXPECT_EQ(sim.activity().tasksRun, 0u);
+}
+
+TEST(Simulator, TasksSubmittedFromCallbacksRun)
+{
+    Simulator sim(paperMachine(), 2);
+    int chain = 0;
+    std::function<void()> submit_next = [&] {
+        if (++chain < 5) {
+            sim.submit(unitTask(1.0, 0.0, 1, submit_next));
+        }
+    };
+    sim.submit(unitTask(1.0, 0.0, 1, submit_next));
+    sim.run();
+    EXPECT_EQ(chain, 5);
+    EXPECT_NEAR(sim.activity().makespan, 5.0, 1e-9);
+}
+
+TEST(Simulator, DispatchOverheadIsAccounted)
+{
+    auto config = paperMachine();
+    config.dispatchOverhead = 0.25;
+    Simulator sim(config, 1);
+    sim.submit(unitTask(1.0));
+    sim.run();
+    EXPECT_NEAR(sim.activity().makespan, 1.25, 1e-9);
+}
+
+TEST(Simulator, WidthClampedToThreads)
+{
+    Simulator sim(paperMachine(), 2);
+    sim.submit(unitTask(1.0, 0.0, /* width */ 16));
+    sim.run();
+    EXPECT_NEAR(sim.activity().busyCoreSeconds, 2.0, 1e-9);
+}
+
+TEST(Simulator, ManyTasksSaturateAllCores)
+{
+    Simulator sim(paperMachine(), 28);
+    for (int i = 0; i < 280; ++i)
+        sim.submit(unitTask(1.0));
+    sim.run();
+    EXPECT_NEAR(sim.activity().makespan, 10.0, 1e-9);
+    EXPECT_NEAR(sim.activity().busyCoreSeconds, 280.0, 1e-9);
+}
+
+} // namespace

