@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_output_variability.dir/bench/fig02_output_variability.cpp.o"
+  "CMakeFiles/fig02_output_variability.dir/bench/fig02_output_variability.cpp.o.d"
+  "bench/fig02_output_variability"
+  "bench/fig02_output_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_output_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

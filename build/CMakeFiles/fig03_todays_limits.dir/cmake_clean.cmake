@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_todays_limits.dir/bench/fig03_todays_limits.cpp.o"
+  "CMakeFiles/fig03_todays_limits.dir/bench/fig03_todays_limits.cpp.o.d"
+  "bench/fig03_todays_limits"
+  "bench/fig03_todays_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_todays_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

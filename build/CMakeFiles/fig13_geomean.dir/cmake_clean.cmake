@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_geomean.dir/bench/fig13_geomean.cpp.o"
+  "CMakeFiles/fig13_geomean.dir/bench/fig13_geomean.cpp.o.d"
+  "bench/fig13_geomean"
+  "bench/fig13_geomean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_geomean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

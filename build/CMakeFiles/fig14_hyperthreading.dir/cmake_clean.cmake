@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_hyperthreading.dir/bench/fig14_hyperthreading.cpp.o"
+  "CMakeFiles/fig14_hyperthreading.dir/bench/fig14_hyperthreading.cpp.o.d"
+  "bench/fig14_hyperthreading"
+  "bench/fig14_hyperthreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_hyperthreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_quality_improvement.dir/bench/fig16_quality_improvement.cpp.o"
+  "CMakeFiles/fig16_quality_improvement.dir/bench/fig16_quality_improvement.cpp.o.d"
+  "bench/fig16_quality_improvement"
+  "bench/fig16_quality_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_quality_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_related_work.dir/bench/fig17_related_work.cpp.o"
+  "CMakeFiles/fig17_related_work.dir/bench/fig17_related_work.cpp.o.d"
+  "bench/fig17_related_work"
+  "bench/fig17_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

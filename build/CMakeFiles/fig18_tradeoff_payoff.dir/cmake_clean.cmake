@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_tradeoff_payoff.dir/bench/fig18_tradeoff_payoff.cpp.o"
+  "CMakeFiles/fig18_tradeoff_payoff.dir/bench/fig18_tradeoff_payoff.cpp.o.d"
+  "bench/fig18_tradeoff_payoff"
+  "bench/fig18_tradeoff_payoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_tradeoff_payoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_tradeoff_payoff.
+# This may be replaced when dependencies are built.

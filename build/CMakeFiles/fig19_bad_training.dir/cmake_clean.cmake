@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_bad_training.dir/bench/fig19_bad_training.cpp.o"
+  "CMakeFiles/fig19_bad_training.dir/bench/fig19_bad_training.cpp.o.d"
+  "bench/fig19_bad_training"
+  "bench/fig19_bad_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_bad_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

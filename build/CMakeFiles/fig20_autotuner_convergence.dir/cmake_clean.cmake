@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_autotuner_convergence.dir/bench/fig20_autotuner_convergence.cpp.o"
+  "CMakeFiles/fig20_autotuner_convergence.dir/bench/fig20_autotuner_convergence.cpp.o.d"
+  "bench/fig20_autotuner_convergence"
+  "bench/fig20_autotuner_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_autotuner_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

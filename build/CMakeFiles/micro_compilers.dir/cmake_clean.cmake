@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compilers.dir/bench/micro_compilers.cpp.o"
+  "CMakeFiles/micro_compilers.dir/bench/micro_compilers.cpp.o.d"
+  "bench/micro_compilers"
+  "bench/micro_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_bench_common.dir/bench/common/experiment.cpp.o"
+  "CMakeFiles/stats_bench_common.dir/bench/common/experiment.cpp.o.d"
+  "CMakeFiles/stats_bench_common.dir/bench/common/ir_synth.cpp.o"
+  "CMakeFiles/stats_bench_common.dir/bench/common/ir_synth.cpp.o.d"
+  "libstats_bench_common.a"
+  "libstats_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_developer_effort.dir/bench/table1_developer_effort.cpp.o"
+  "CMakeFiles/table1_developer_effort.dir/bench/table1_developer_effort.cpp.o.d"
+  "bench/table1_developer_effort"
+  "bench/table1_developer_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_developer_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

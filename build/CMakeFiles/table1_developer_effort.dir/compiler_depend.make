@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_developer_effort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_energy.dir/autotune_energy.cpp.o"
+  "CMakeFiles/autotune_energy.dir/autotune_energy.cpp.o.d"
+  "autotune_energy"
+  "autotune_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

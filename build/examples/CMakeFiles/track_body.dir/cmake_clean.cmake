@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_body.dir/track_body.cpp.o"
+  "CMakeFiles/track_body.dir/track_body.cpp.o.d"
+  "track_body"
+  "track_body.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_body.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("exec")
+subdirs("sim")
+subdirs("platform")
+subdirs("threading")
+subdirs("sdi")
+subdirs("tradeoff")
+subdirs("quality")
+subdirs("benchmarks")
+subdirs("autotuner")
+subdirs("profiler")
+subdirs("baselines")
+subdirs("ir")
+subdirs("midend")
+subdirs("backend")
+subdirs("frontend")
+subdirs("cli")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autotuner/bandit.cpp" "src/autotuner/CMakeFiles/stats_autotuner.dir/bandit.cpp.o" "gcc" "src/autotuner/CMakeFiles/stats_autotuner.dir/bandit.cpp.o.d"
+  "/root/repo/src/autotuner/results_io.cpp" "src/autotuner/CMakeFiles/stats_autotuner.dir/results_io.cpp.o" "gcc" "src/autotuner/CMakeFiles/stats_autotuner.dir/results_io.cpp.o.d"
+  "/root/repo/src/autotuner/technique.cpp" "src/autotuner/CMakeFiles/stats_autotuner.dir/technique.cpp.o" "gcc" "src/autotuner/CMakeFiles/stats_autotuner.dir/technique.cpp.o.d"
+  "/root/repo/src/autotuner/tuner.cpp" "src/autotuner/CMakeFiles/stats_autotuner.dir/tuner.cpp.o" "gcc" "src/autotuner/CMakeFiles/stats_autotuner.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tradeoff/CMakeFiles/stats_tradeoff.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stats_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_autotuner.dir/bandit.cpp.o"
+  "CMakeFiles/stats_autotuner.dir/bandit.cpp.o.d"
+  "CMakeFiles/stats_autotuner.dir/results_io.cpp.o"
+  "CMakeFiles/stats_autotuner.dir/results_io.cpp.o.d"
+  "CMakeFiles/stats_autotuner.dir/technique.cpp.o"
+  "CMakeFiles/stats_autotuner.dir/technique.cpp.o.d"
+  "CMakeFiles/stats_autotuner.dir/tuner.cpp.o"
+  "CMakeFiles/stats_autotuner.dir/tuner.cpp.o.d"
+  "libstats_autotuner.a"
+  "libstats_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstats_autotuner.a"
+)

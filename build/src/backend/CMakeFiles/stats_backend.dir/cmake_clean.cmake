@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_backend.dir/backend.cpp.o"
+  "CMakeFiles/stats_backend.dir/backend.cpp.o.d"
+  "libstats_backend.a"
+  "libstats_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_baselines.dir/baseline.cpp.o"
+  "CMakeFiles/stats_baselines.dir/baseline.cpp.o.d"
+  "libstats_baselines.a"
+  "libstats_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

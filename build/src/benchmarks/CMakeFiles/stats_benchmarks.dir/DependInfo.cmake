@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/bodytrack/bodytrack.cpp" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/bodytrack/bodytrack.cpp.o" "gcc" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/bodytrack/bodytrack.cpp.o.d"
+  "/root/repo/src/benchmarks/canneal/canneal.cpp" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/canneal/canneal.cpp.o" "gcc" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/canneal/canneal.cpp.o.d"
+  "/root/repo/src/benchmarks/common/benchmark.cpp" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/common/benchmark.cpp.o" "gcc" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/common/benchmark.cpp.o.d"
+  "/root/repo/src/benchmarks/common/extended_sources.cpp" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/common/extended_sources.cpp.o" "gcc" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/common/extended_sources.cpp.o.d"
+  "/root/repo/src/benchmarks/common/factory.cpp" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/common/factory.cpp.o" "gcc" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/common/factory.cpp.o.d"
+  "/root/repo/src/benchmarks/facedet/facedet.cpp" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/facedet/facedet.cpp.o" "gcc" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/facedet/facedet.cpp.o.d"
+  "/root/repo/src/benchmarks/fluidanimate/fluidanimate.cpp" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/fluidanimate/fluidanimate.cpp.o" "gcc" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/fluidanimate/fluidanimate.cpp.o.d"
+  "/root/repo/src/benchmarks/streamcluster/streamcluster.cpp" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/streamcluster/streamcluster.cpp.o" "gcc" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/streamcluster/streamcluster.cpp.o.d"
+  "/root/repo/src/benchmarks/swaptions/swaptions.cpp" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/swaptions/swaptions.cpp.o" "gcc" "src/benchmarks/CMakeFiles/stats_benchmarks.dir/swaptions/swaptions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tradeoff/CMakeFiles/stats_tradeoff.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/stats_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/stats_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stats_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/stats_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stats_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/stats_exec_iface.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

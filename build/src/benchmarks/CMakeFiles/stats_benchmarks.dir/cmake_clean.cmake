@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_benchmarks.dir/bodytrack/bodytrack.cpp.o"
+  "CMakeFiles/stats_benchmarks.dir/bodytrack/bodytrack.cpp.o.d"
+  "CMakeFiles/stats_benchmarks.dir/canneal/canneal.cpp.o"
+  "CMakeFiles/stats_benchmarks.dir/canneal/canneal.cpp.o.d"
+  "CMakeFiles/stats_benchmarks.dir/common/benchmark.cpp.o"
+  "CMakeFiles/stats_benchmarks.dir/common/benchmark.cpp.o.d"
+  "CMakeFiles/stats_benchmarks.dir/common/extended_sources.cpp.o"
+  "CMakeFiles/stats_benchmarks.dir/common/extended_sources.cpp.o.d"
+  "CMakeFiles/stats_benchmarks.dir/common/factory.cpp.o"
+  "CMakeFiles/stats_benchmarks.dir/common/factory.cpp.o.d"
+  "CMakeFiles/stats_benchmarks.dir/facedet/facedet.cpp.o"
+  "CMakeFiles/stats_benchmarks.dir/facedet/facedet.cpp.o.d"
+  "CMakeFiles/stats_benchmarks.dir/fluidanimate/fluidanimate.cpp.o"
+  "CMakeFiles/stats_benchmarks.dir/fluidanimate/fluidanimate.cpp.o.d"
+  "CMakeFiles/stats_benchmarks.dir/streamcluster/streamcluster.cpp.o"
+  "CMakeFiles/stats_benchmarks.dir/streamcluster/streamcluster.cpp.o.d"
+  "CMakeFiles/stats_benchmarks.dir/swaptions/swaptions.cpp.o"
+  "CMakeFiles/stats_benchmarks.dir/swaptions/swaptions.cpp.o.d"
+  "libstats_benchmarks.a"
+  "libstats_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/statscc.cpp" "src/cli/CMakeFiles/statscc.dir/statscc.cpp.o" "gcc" "src/cli/CMakeFiles/statscc.dir/statscc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiler/CMakeFiles/stats_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/stats_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/midend/CMakeFiles/stats_midend.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/stats_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/stats_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/autotuner/CMakeFiles/stats_autotuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/stats_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/tradeoff/CMakeFiles/stats_tradeoff.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/stats_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/stats_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stats_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/stats_exec_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/stats_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stats_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

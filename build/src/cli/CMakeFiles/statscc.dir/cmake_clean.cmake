@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../statscc"
+  "../../statscc.pdb"
+  "CMakeFiles/statscc.dir/statscc.cpp.o"
+  "CMakeFiles/statscc.dir/statscc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statscc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_exec.dir/sim_executor.cpp.o"
+  "CMakeFiles/stats_exec.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/stats_exec.dir/thread_executor.cpp.o"
+  "CMakeFiles/stats_exec.dir/thread_executor.cpp.o.d"
+  "libstats_exec.a"
+  "libstats_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_exec_iface.dir/task.cpp.o"
+  "CMakeFiles/stats_exec_iface.dir/task.cpp.o.d"
+  "libstats_exec_iface.a"
+  "libstats_exec_iface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_exec_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_frontend.dir/frontend.cpp.o"
+  "CMakeFiles/stats_frontend.dir/frontend.cpp.o.d"
+  "libstats_frontend.a"
+  "libstats_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

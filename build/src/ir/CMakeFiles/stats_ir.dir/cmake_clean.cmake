@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_ir.dir/call_graph.cpp.o"
+  "CMakeFiles/stats_ir.dir/call_graph.cpp.o.d"
+  "CMakeFiles/stats_ir.dir/interpreter.cpp.o"
+  "CMakeFiles/stats_ir.dir/interpreter.cpp.o.d"
+  "CMakeFiles/stats_ir.dir/ir.cpp.o"
+  "CMakeFiles/stats_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/stats_ir.dir/parser.cpp.o"
+  "CMakeFiles/stats_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/stats_ir.dir/verifier.cpp.o"
+  "CMakeFiles/stats_ir.dir/verifier.cpp.o.d"
+  "libstats_ir.a"
+  "libstats_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_midend.dir/midend.cpp.o"
+  "CMakeFiles/stats_midend.dir/midend.cpp.o.d"
+  "CMakeFiles/stats_midend.dir/substitute.cpp.o"
+  "CMakeFiles/stats_midend.dir/substitute.cpp.o.d"
+  "libstats_midend.a"
+  "libstats_midend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_midend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/stats_profiler.dir/profiler.cpp.o.d"
+  "libstats_profiler.a"
+  "libstats_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

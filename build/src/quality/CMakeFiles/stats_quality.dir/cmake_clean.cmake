@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_quality.dir/metrics.cpp.o"
+  "CMakeFiles/stats_quality.dir/metrics.cpp.o.d"
+  "libstats_quality.a"
+  "libstats_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_sim.dir/machine.cpp.o"
+  "CMakeFiles/stats_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/stats_sim.dir/simulator.cpp.o"
+  "CMakeFiles/stats_sim.dir/simulator.cpp.o.d"
+  "libstats_sim.a"
+  "libstats_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_support.dir/json.cpp.o"
+  "CMakeFiles/stats_support.dir/json.cpp.o.d"
+  "CMakeFiles/stats_support.dir/log.cpp.o"
+  "CMakeFiles/stats_support.dir/log.cpp.o.d"
+  "CMakeFiles/stats_support.dir/rng.cpp.o"
+  "CMakeFiles/stats_support.dir/rng.cpp.o.d"
+  "CMakeFiles/stats_support.dir/statistics.cpp.o"
+  "CMakeFiles/stats_support.dir/statistics.cpp.o.d"
+  "CMakeFiles/stats_support.dir/string_utils.cpp.o"
+  "CMakeFiles/stats_support.dir/string_utils.cpp.o.d"
+  "CMakeFiles/stats_support.dir/table.cpp.o"
+  "CMakeFiles/stats_support.dir/table.cpp.o.d"
+  "CMakeFiles/stats_support.dir/timer.cpp.o"
+  "CMakeFiles/stats_support.dir/timer.cpp.o.d"
+  "libstats_support.a"
+  "libstats_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

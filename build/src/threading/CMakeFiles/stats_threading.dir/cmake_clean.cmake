@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_threading.dir/primitives.cpp.o"
+  "CMakeFiles/stats_threading.dir/primitives.cpp.o.d"
+  "CMakeFiles/stats_threading.dir/thread_pool.cpp.o"
+  "CMakeFiles/stats_threading.dir/thread_pool.cpp.o.d"
+  "libstats_threading.a"
+  "libstats_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tradeoff/registry.cpp" "src/tradeoff/CMakeFiles/stats_tradeoff.dir/registry.cpp.o" "gcc" "src/tradeoff/CMakeFiles/stats_tradeoff.dir/registry.cpp.o.d"
+  "/root/repo/src/tradeoff/state_space.cpp" "src/tradeoff/CMakeFiles/stats_tradeoff.dir/state_space.cpp.o" "gcc" "src/tradeoff/CMakeFiles/stats_tradeoff.dir/state_space.cpp.o.d"
+  "/root/repo/src/tradeoff/tradeoff.cpp" "src/tradeoff/CMakeFiles/stats_tradeoff.dir/tradeoff.cpp.o" "gcc" "src/tradeoff/CMakeFiles/stats_tradeoff.dir/tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/stats_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tradeoff.dir/registry.cpp.o"
+  "CMakeFiles/stats_tradeoff.dir/registry.cpp.o.d"
+  "CMakeFiles/stats_tradeoff.dir/state_space.cpp.o"
+  "CMakeFiles/stats_tradeoff.dir/state_space.cpp.o.d"
+  "CMakeFiles/stats_tradeoff.dir/tradeoff.cpp.o"
+  "CMakeFiles/stats_tradeoff.dir/tradeoff.cpp.o.d"
+  "libstats_tradeoff.a"
+  "libstats_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

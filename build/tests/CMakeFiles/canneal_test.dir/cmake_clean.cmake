@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canneal_test.dir/canneal_test.cpp.o"
+  "CMakeFiles/canneal_test.dir/canneal_test.cpp.o.d"
+  "canneal_test"
+  "canneal_test.pdb"
+  "canneal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canneal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_sources_test.dir/extended_sources_test.cpp.o"
+  "CMakeFiles/extended_sources_test.dir/extended_sources_test.cpp.o.d"
+  "extended_sources_test"
+  "extended_sources_test.pdb"
+  "extended_sources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_sources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

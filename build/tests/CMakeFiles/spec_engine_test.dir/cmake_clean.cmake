@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_engine_test.dir/spec_engine_test.cpp.o"
+  "CMakeFiles/spec_engine_test.dir/spec_engine_test.cpp.o.d"
+  "spec_engine_test"
+  "spec_engine_test.pdb"
+  "spec_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_dependence_test.dir/state_dependence_test.cpp.o"
+  "CMakeFiles/state_dependence_test.dir/state_dependence_test.cpp.o.d"
+  "state_dependence_test"
+  "state_dependence_test.pdb"
+  "state_dependence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_dependence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
