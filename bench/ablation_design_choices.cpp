@@ -68,8 +68,9 @@ runWith(Benchmark &bench, double seq_time, const char *dim,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Ablations", "Design-choice ablations: R, k, and G",
         "re-execution (R >= 1) rescues mismatches that single-state "

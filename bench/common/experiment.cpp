@@ -1,9 +1,15 @@
 #include "common/experiment.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 
+#include "observability/chrome_trace.hpp"
+#include "observability/summary.hpp"
+#include "observability/trace.hpp"
+#include "support/log.hpp"
 #include "support/statistics.hpp"
+#include "support/string_utils.hpp"
 
 namespace stats::benchx {
 
@@ -179,6 +185,69 @@ printHeader(const std::string &figure, const std::string &caption,
     std::cout << caption << "\n";
     std::cout << "Paper expectation: " << paper_expectation << "\n";
     std::cout << "==========================================================\n";
+}
+
+ObsSession::ObsSession(int argc, char **argv)
+{
+    const auto grab = [&](int &i, const std::string &word,
+                          const std::string &flag, std::string &path) {
+        const std::string prefix = flag + "=";
+        if (support::startsWith(word, prefix)) {
+            path = word.substr(prefix.size());
+            return true;
+        }
+        if (word == flag && i + 1 < argc) {
+            path = argv[++i];
+            return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string word = argv[i];
+        if (!grab(i, word, "--trace", _tracePath) &&
+            !grab(i, word, "--metrics", _metricsPath)) {
+            std::cerr << "warning: ignoring unknown argument '" << word
+                      << "' (known: --trace=FILE, --metrics=FILE)\n";
+        }
+    }
+    _active = !_tracePath.empty() || !_metricsPath.empty();
+    if (_active) {
+        obs::Trace::global().enable();
+        // Folds to false when the layer is compiled out.
+        if (!obs::traceActive())
+            support::fatal("--trace/--metrics need tracing compiled "
+                           "in (built with STATS_OBS_DISABLE)");
+    }
+}
+
+ObsSession::~ObsSession()
+{
+    if (!_active)
+        return;
+    auto &trace = obs::Trace::global();
+    const auto events = trace.collect();
+    const auto summary = obs::summarizeTrace(events, trace.dropped());
+    if (!_tracePath.empty()) {
+        std::ofstream out(_tracePath);
+        if (!out) {
+            std::cerr << "cannot open '" << _tracePath << "'\n";
+        } else {
+            obs::writeChromeTrace(out, events);
+            std::cerr << "wrote " << events.size()
+                      << " trace events to " << _tracePath
+                      << " (load in chrome://tracing)\n";
+        }
+    }
+    if (!_metricsPath.empty()) {
+        std::ofstream out(_metricsPath);
+        if (!out) {
+            std::cerr << "cannot open '" << _metricsPath << "'\n";
+        } else {
+            obs::writeSummaryJson(out, summary);
+            std::cerr << "wrote metrics to " << _metricsPath << "\n";
+        }
+    }
+    obs::printSummaryTable(std::cerr, summary);
 }
 
 } // namespace stats::benchx

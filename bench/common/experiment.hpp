@@ -102,4 +102,34 @@ std::vector<double> speedups(const ModeCurve &curve, double seq_time);
 void printHeader(const std::string &figure, const std::string &caption,
                  const std::string &paper_expectation);
 
+/**
+ * Observability session of one figure binary. Construct it first
+ * thing in main with argc/argv; it recognises
+ *
+ *   --trace=FILE   (or `--trace FILE`)   chrome://tracing JSON
+ *   --metrics=FILE (or `--metrics FILE`) trace-derived metrics JSON
+ *
+ * and, when either is present, enables the global trace for the whole
+ * run. The destructor collects the events, writes the requested
+ * files, and prints the summary table to stderr (stdout carries the
+ * figure's own tables/JSON). Without these flags the session is
+ * inert. See docs/OBSERVABILITY.md.
+ */
+class ObsSession
+{
+  public:
+    ObsSession(int argc, char **argv);
+    ~ObsSession();
+
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+    bool active() const { return _active; }
+
+  private:
+    std::string _tracePath;
+    std::string _metricsPath;
+    bool _active = false;
+};
+
 } // namespace stats::benchx

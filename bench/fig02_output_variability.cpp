@@ -37,8 +37,9 @@ sci(double v)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Figure 2", "Output variability over repeated runs (log scale)",
         "several benchmarks exhibit high variability; fluidanimate's "

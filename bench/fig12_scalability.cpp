@@ -18,8 +18,9 @@ using namespace stats;
 using namespace stats::benchmarks;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Figure 12",
         "Speedup vs hardware threads: Original / Seq. STATS / Par. STATS",

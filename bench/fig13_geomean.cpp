@@ -13,8 +13,9 @@ using namespace stats;
 using namespace stats::benchmarks;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Figure 13",
         "Geometric mean of per-benchmark speedups vs hardware threads",

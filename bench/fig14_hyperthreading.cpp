@@ -19,8 +19,9 @@ using namespace stats;
 using namespace stats::benchmarks;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Figure 14", "Single-socket Hyper-Threading study",
         "HT buys STATS ~+32% (Intel's guidance for a successful HT "

@@ -19,8 +19,9 @@ using namespace stats;
 using namespace stats::benchmarks;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Figure 15", "System-wide energy, relative to the original",
         "time-tuned STATS saves ~62% energy; energy-tuned STATS saves "

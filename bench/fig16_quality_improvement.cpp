@@ -24,8 +24,9 @@ using namespace stats;
 using namespace stats::benchmarks;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Figure 16",
         "Output-quality improvement within the original's time budget",

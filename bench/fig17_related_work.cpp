@@ -21,8 +21,9 @@ using namespace stats::baselines;
 using namespace stats::benchmarks;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Figure 17", "Related-work comparison on state dependences",
         "prior approaches speed up only swaptions; Fast Track always "

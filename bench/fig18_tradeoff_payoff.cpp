@@ -66,8 +66,9 @@ tunedTimeWithSubset(Benchmark &bench, int enabled, int threads,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Figure 18",
         "Relative speedup vs number of encoded tradeoffs ('pay as you "

@@ -20,8 +20,9 @@ using namespace stats;
 using namespace stats::benchmarks;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Figure 19", "Training on non-representative inputs",
         "only a small performance fraction is lost; output quality is "

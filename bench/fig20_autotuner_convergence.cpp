@@ -19,8 +19,9 @@ using namespace stats;
 using namespace stats::benchmarks;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::ObsSession obs_session(argc, argv);
     benchx::printHeader(
         "Figure 20",
         "Autotuner convergence: best configuration vs #evaluations",

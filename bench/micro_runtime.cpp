@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "exec/sim_executor.hpp"
+#include "observability/trace.hpp"
 #include "sdi/matchers.hpp"
 #include "sdi/spec_engine.hpp"
 #include "threading/thread_pool.hpp"
@@ -110,6 +111,94 @@ BM_ThreadPoolDispatch(benchmark::State &bench_state)
         static_cast<std::int64_t>(bench_state.iterations()) * 256);
 }
 BENCHMARK(BM_ThreadPoolDispatch);
+
+/**
+ * Orchestration with tracing OFF at run time: measures the cost of
+ * the disabled-path checks (one relaxed load per instrumentation
+ * site). Compare against BM_SpecEngineOrchestration — the acceptance
+ * bar is <1% regression (docs/OBSERVABILITY.md, "Cost model"); a
+ * build with -DSTATS_OBS_DISABLE=ON removes even the load.
+ */
+void
+BM_SpecEngineTracingDisabled(benchmark::State &bench_state)
+{
+    obs::Trace::global().disable();
+    obs::Trace::global().clear();
+    const auto n = static_cast<std::size_t>(bench_state.range(0));
+    std::vector<int> inputs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        inputs[i] = static_cast<int>(i);
+    for (auto _ : bench_state) {
+        sim::MachineConfig machine;
+        exec::SimExecutor ex(machine, 28);
+        sdi::SpecConfig config;
+        config.groupSize = 8;
+        config.auxWindow = 1;
+        config.sdThreads = 28;
+        Engine engine(ex, inputs, TinyState{}, tinyCompute(),
+                      tinyCompute(), sdi::alwaysMatch<TinyState>(),
+                      config);
+        engine.start();
+        engine.join();
+        benchmark::DoNotOptimize(engine.outputs().size());
+    }
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SpecEngineTracingDisabled)->Arg(256)->Arg(1024);
+
+/** Orchestration with tracing ON: full per-event recording cost. */
+void
+BM_SpecEngineTracingEnabled(benchmark::State &bench_state)
+{
+    const auto n = static_cast<std::size_t>(bench_state.range(0));
+    std::vector<int> inputs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        inputs[i] = static_cast<int>(i);
+    for (auto _ : bench_state) {
+        obs::Trace::global().clear();
+        obs::Trace::global().enable();
+        sim::MachineConfig machine;
+        exec::SimExecutor ex(machine, 28);
+        sdi::SpecConfig config;
+        config.groupSize = 8;
+        config.auxWindow = 1;
+        config.sdThreads = 28;
+        Engine engine(ex, inputs, TinyState{}, tinyCompute(),
+                      tinyCompute(), sdi::alwaysMatch<TinyState>(),
+                      config);
+        engine.start();
+        engine.join();
+        benchmark::DoNotOptimize(engine.outputs().size());
+        obs::Trace::global().disable();
+    }
+    obs::Trace::global().clear();
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SpecEngineTracingEnabled)->Arg(256)->Arg(1024);
+
+/** Raw sink throughput: one record() call, single thread. */
+void
+BM_TraceRecord(benchmark::State &bench_state)
+{
+    obs::Trace::global().clear();
+    obs::Trace::global().enable();
+    std::int64_t i = 0;
+    for (auto _ : bench_state) {
+        obs::Trace::global().record(obs::EventType::Commit, 0, i,
+                                    i + 1, 0.0, obs::kFrontierTrack,
+                                    0);
+        ++i;
+    }
+    obs::Trace::global().disable();
+    obs::Trace::global().clear();
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()));
+}
+BENCHMARK(BM_TraceRecord);
 
 /** Engine state-cloning path: copy cost of a particle-filter state. */
 void

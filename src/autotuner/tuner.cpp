@@ -1,8 +1,35 @@
 #include "autotuner/tuner.hpp"
 
+#include "observability/metrics.hpp"
+#include "support/json.hpp"
 #include "support/log.hpp"
 
 namespace stats::autotuner {
+
+void
+TuneResult::writeAuditJson(std::ostream &out,
+                           const tradeoff::StateSpace &space,
+                           bool pretty) const
+{
+    support::JsonWriter json(out, pretty);
+    json.beginObject();
+    json.field("evaluations", evaluations)
+        .field("bestObjective", bestObjective)
+        .field("best", space.describe(best));
+    json.key("audit").beginArray();
+    for (const auto &entry : audit) {
+        json.beginObject()
+            .field("config", space.describe(entry.config))
+            .field("objective", entry.objective)
+            .field("technique", entry.technique)
+            .field("cached", entry.cached)
+            .field("becameBest", entry.becameBest)
+            .endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << "\n";
+}
 
 Autotuner::Autotuner(tradeoff::StateSpace space, std::uint64_t seed)
     : _space(std::move(space)), _rng(seed),
@@ -29,24 +56,39 @@ Autotuner::tune(const Objective &objective, int budget,
     EvalRecord best;
     bool has_best = false;
 
+    auto &metrics = obs::MetricsRegistry::global();
+    auto &evaluations_counter = metrics.counter("autotuner.evaluations");
+    auto &cache_hits_counter = metrics.counter("autotuner.cacheHits");
+    auto &objective_histogram = metrics.histogram("autotuner.objective");
+
     const auto evaluate = [&](const tradeoff::Configuration &config,
                               std::size_t technique) {
         auto cached = _results.find(config);
         double value = 0.0;
-        if (cached != _results.end()) {
+        const bool was_cached = cached != _results.end();
+        if (was_cached) {
             value = cached->second;
+            cache_hits_counter.add();
         } else {
             value = objective(config);
             _results.emplace(config, value);
             ++result.evaluations;
+            evaluations_counter.add();
+            objective_histogram.observe(value);
         }
         history.push_back({config, value});
         const bool new_best = !has_best || value < best.objective;
         if (new_best) {
             best = {config, value};
             has_best = true;
+            metrics.gauge("autotuner.bestObjective").set(value);
         }
         result.trace.push_back(best.objective);
+        result.audit.push_back({config, value,
+                                technique < _techniques.size()
+                                    ? _techniques[technique]->name()
+                                    : "seed",
+                                was_cached, new_best});
         if (technique < _techniques.size()) {
             _techniques[technique]->feedback(config, value, new_best);
             _bandit.reward(technique, new_best);

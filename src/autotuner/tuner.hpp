@@ -15,6 +15,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <ostream>
+#include <string>
 #include <vector>
 
 #include "autotuner/bandit.hpp"
@@ -34,6 +36,27 @@ struct TuneResult
 
     /** Evaluations actually performed (cache hits excluded). */
     int evaluations = 0;
+
+    /**
+     * One audit-trail entry per evaluation, in order: which
+     * configuration was proposed by which technique and what it
+     * measured, so tuning decisions can be replayed after the fact
+     * (the observability layer's per-configuration snapshot).
+     */
+    struct Evaluation
+    {
+        tradeoff::Configuration config;
+        double objective = 0.0;
+        std::string technique; ///< Proposer name, or "seed"/"explore".
+        bool cached = false;   ///< Served from the results store.
+        bool becameBest = false;
+    };
+    std::vector<Evaluation> audit;
+
+    /** Dump the audit trail as JSON (configs via space.describe). */
+    void writeAuditJson(std::ostream &out,
+                        const tradeoff::StateSpace &space,
+                        bool pretty = true) const;
 };
 
 /** Budgeted search over one state space. */

@@ -17,6 +17,14 @@
  *   --objective=time|energy   tuning objective          (default time)
  *   --db=FILE                 results store to reuse/update
  *   --seed=N                  pin the program PRVGs (0 = entropy)
+ *
+ * Observability (run/tune; see docs/OBSERVABILITY.md):
+ *   --trace=FILE              record speculation events, export a
+ *                             chrome://tracing JSON to FILE
+ *   --metrics=FILE            dump the trace-derived metrics JSON
+ *   --snapshots=FILE          tune: per-configuration profiler
+ *                             snapshots (JSON)
+ *   --audit=FILE              tune: the autotuner's decision trail
  */
 
 #include <fstream>
@@ -27,6 +35,10 @@
 
 #include "autotuner/results_io.hpp"
 #include "backend/backend.hpp"
+#include "observability/chrome_trace.hpp"
+#include "observability/metrics.hpp"
+#include "observability/summary.hpp"
+#include "observability/trace.hpp"
 #include "benchmarks/common/benchmark.hpp"
 #include "benchmarks/common/extended_sources.hpp"
 #include "frontend/frontend.hpp"
@@ -84,6 +96,68 @@ parseArgs(int argc, char **argv)
     return args;
 }
 
+/**
+ * Observability options shared by `run` and `tune`: when `--trace` or
+ * `--metrics` is given, the global trace is enabled before the work
+ * happens and `finish()` exports the collected events afterwards.
+ */
+struct ObsOptions
+{
+    std::string tracePath;
+    std::string metricsPath;
+
+    static ObsOptions
+    fromArgs(const Args &args)
+    {
+        ObsOptions options;
+        options.tracePath = args.option("trace", "");
+        options.metricsPath = args.option("metrics", "");
+        if (options.active()) {
+            obs::Trace::global().enable();
+            // Folds to false when the layer is compiled out.
+            if (!obs::traceActive())
+                support::fatal(
+                    "--trace/--metrics need tracing compiled in "
+                    "(built with STATS_OBS_DISABLE)");
+        }
+        return options;
+    }
+
+    bool active() const
+    {
+        return !tracePath.empty() || !metricsPath.empty();
+    }
+
+    void
+    finish() const
+    {
+        if (!active())
+            return;
+        auto &trace = obs::Trace::global();
+        const auto events = trace.collect();
+        const auto summary =
+            obs::summarizeTrace(events, trace.dropped());
+        obs::fillRegistry(summary, obs::MetricsRegistry::global());
+        if (!tracePath.empty()) {
+            std::ofstream out(tracePath);
+            if (!out)
+                support::fatal("cannot open '", tracePath, "'");
+            obs::writeChromeTrace(out, events);
+            std::cout << "wrote " << events.size()
+                      << " trace events to " << tracePath
+                      << " (load in chrome://tracing)\n";
+        }
+        if (!metricsPath.empty()) {
+            std::ofstream out(metricsPath);
+            if (!out)
+                support::fatal("cannot open '", metricsPath, "'");
+            obs::writeSummaryJson(out, summary);
+            std::cout << "wrote metrics to " << metricsPath << "\n";
+        }
+        obs::printSummaryTable(std::cout, summary);
+    }
+};
+
 Mode
 parseMode(const std::string &word)
 {
@@ -132,6 +206,7 @@ cmdRun(const Args &args)
     if (args.positional.empty())
         support::fatal("usage: statscc run <benchmark> [options]");
     auto bench = createBenchmark(args.positional[0]);
+    const ObsOptions obs_options = ObsOptions::fromArgs(args);
 
     RunRequest request;
     request.mode = parseMode(args.option("mode", "par"));
@@ -159,6 +234,7 @@ cmdRun(const Args &args)
               << " aborts=" << stats.aborts
               << " extra-work=" << 100.0 * stats.extraWorkFraction()
               << "%\n";
+    obs_options.finish();
     return 0;
 }
 
@@ -168,6 +244,7 @@ cmdTune(const Args &args)
     if (args.positional.empty())
         support::fatal("usage: statscc tune <benchmark> [options]");
     auto bench = createBenchmark(args.positional[0]);
+    const ObsOptions obs_options = ObsOptions::fromArgs(args);
 
     const Mode mode = parseMode(args.option("mode", "par"));
     const int threads = args.intOption("threads", 28);
@@ -215,6 +292,27 @@ cmdTune(const Args &args)
         std::cout << "stored " << tuner.results().size()
                   << " configurations to " << db_path << "\n";
     }
+
+    const std::string snapshots_path = args.option("snapshots", "");
+    if (!snapshots_path.empty()) {
+        std::ofstream out(snapshots_path);
+        if (!out)
+            support::fatal("cannot open '", snapshots_path, "'");
+        profiler.writeSnapshotsJson(out, tuner.space());
+        std::cout << "wrote " << profiler.snapshots().size()
+                  << " configuration snapshots to " << snapshots_path
+                  << "\n";
+    }
+    const std::string audit_path = args.option("audit", "");
+    if (!audit_path.empty()) {
+        std::ofstream out(audit_path);
+        if (!out)
+            support::fatal("cannot open '", audit_path, "'");
+        result.writeAuditJson(out, tuner.space());
+        std::cout << "wrote " << result.audit.size()
+                  << " audit entries to " << audit_path << "\n";
+    }
+    obs_options.finish();
     return 0;
 }
 

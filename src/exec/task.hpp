@@ -17,6 +17,8 @@
 #include <functional>
 #include <memory>
 
+#include "observability/trace.hpp"
+
 namespace stats::exec {
 
 /** Virtual cost of one task, reported by the task body itself. */
@@ -64,6 +66,15 @@ struct Task
      * observe the squash.
      */
     CancelToken cancel;
+
+    /**
+     * Optional trace annotation. When the trace layer is active, the
+     * executor records the matching span pair (e.g. BodyStart/BodyEnd)
+     * around the task's execution — with exact dispatch/completion
+     * times and the track it ran on — or a TaskCancelled instant if
+     * the cancel token fired first. Untagged tasks are not traced.
+     */
+    obs::TaskTag tag;
 };
 
 /**

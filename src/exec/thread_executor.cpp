@@ -1,5 +1,7 @@
 #include "exec/thread_executor.hpp"
 
+#include "observability/trace.hpp"
+
 namespace stats::exec {
 
 ThreadExecutor::ThreadExecutor(int threads) : _pool(threads) {}
@@ -13,8 +15,27 @@ ThreadExecutor::submit(Task task)
     }
     _pool.submit([this, task = std::move(task)]() mutable {
         const bool cancelled = task.cancel && task.cancel->load();
-        if (!cancelled)
+        const bool traced = obs::traceActive() &&
+                            task.tag.kind != obs::TaskKind::None;
+        if (!cancelled) {
+            const double begin = _clock.elapsedSeconds();
             task.run();
+            if (traced) {
+                // Track = this worker thread; recorded before the
+                // serialized onComplete so engine instants sequence
+                // after the span that triggered them.
+                obs::Trace &trace = obs::Trace::global();
+                trace.recordSpan(task.tag, begin,
+                                 _clock.elapsedSeconds(),
+                                 trace.threadTrack());
+            }
+        } else if (traced) {
+            obs::Trace::global().record(
+                obs::EventType::TaskCancelled, task.tag.group,
+                task.tag.inputBegin, task.tag.inputEnd,
+                _clock.elapsedSeconds(), obs::kFrontierTrack,
+                task.tag.arg);
+        }
         {
             // Serialize completion callbacks: the speculation engine's
             // commit protocol relies on this for lock-free bookkeeping.

@@ -1,0 +1,122 @@
+#include "observability/chrome_trace.hpp"
+
+#include <set>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace stats::obs {
+
+namespace {
+
+constexpr double kSecondsToMicros = 1e6;
+
+/** Chrome tid: frontier track first, executor tracks shifted by 1. */
+std::int64_t
+chromeTid(std::int32_t track)
+{
+    return track == kFrontierTrack ? 0 : track + 1;
+}
+
+/** Short span label ("aux", "body", ...) from its Start type. */
+const char *
+spanLabel(EventType type)
+{
+    switch (type) {
+      case EventType::AuxStart:      return "aux";
+      case EventType::BodyStart:     return "body";
+      case EventType::ReExecStart:   return "reexec";
+      case EventType::RecoveryStart: return "recovery";
+      default:                       return eventTypeName(type);
+    }
+}
+
+void
+writeArgs(support::JsonWriter &json, const Event &event)
+{
+    json.key("args").beginObject();
+    json.field("group", event.group)
+        .field("inputBegin", event.inputBegin)
+        .field("inputEnd", event.inputEnd)
+        .field("arg", event.arg)
+        .field("seq", static_cast<std::int64_t>(event.seq));
+    json.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &out, const std::vector<Event> &events)
+{
+    support::JsonWriter json(out, false);
+    json.beginObject();
+    json.field("displayTimeUnit", "ms");
+    json.key("traceEvents").beginArray();
+
+    // Track-name metadata: the frontier plus every track that appears.
+    std::set<std::int32_t> tracks;
+    for (const Event &event : events)
+        tracks.insert(event.track);
+    tracks.insert(kFrontierTrack);
+    for (std::int32_t track : tracks) {
+        json.beginObject()
+            .field("ph", "M")
+            .field("pid", 0)
+            .field("tid", chromeTid(track))
+            .field("name", "thread_name");
+        json.key("args").beginObject();
+        json.field("name", track == kFrontierTrack
+                               ? std::string("frontier")
+                               : "exec " + std::to_string(track));
+        json.endObject();
+        json.endObject();
+    }
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event &event = events[i];
+        if (isSpanEnd(event.type))
+            continue; // Folded into its Start below.
+
+        if (isSpanStart(event.type)) {
+            // recordSpan() emits the pair with adjacent seq numbers,
+            // so the matching End directly follows in sorted order.
+            const Event *end = nullptr;
+            if (i + 1 < events.size() &&
+                events[i + 1].seq == event.seq + 1 &&
+                isSpanEnd(events[i + 1].type) &&
+                events[i + 1].track == event.track) {
+                end = &events[i + 1];
+            }
+            json.beginObject()
+                .field("ph", "X")
+                .field("name", std::string(spanLabel(event.type)) +
+                                   " g" + std::to_string(event.group))
+                .field("cat", "task")
+                .field("pid", 0)
+                .field("tid", chromeTid(event.track))
+                .field("ts", event.ts * kSecondsToMicros)
+                .field("dur", end ? (end->ts - event.ts) * kSecondsToMicros
+                                  : 0.0);
+            writeArgs(json, event);
+            json.endObject();
+            continue;
+        }
+
+        json.beginObject()
+            .field("ph", "i")
+            .field("name", eventTypeName(event.type))
+            .field("cat", "engine")
+            .field("s", "t")
+            .field("pid", 0)
+            .field("tid", chromeTid(event.track))
+            .field("ts", event.ts * kSecondsToMicros);
+        writeArgs(json, event);
+        json.endObject();
+    }
+
+    json.endArray();
+    json.endObject();
+    out << "\n";
+}
+
+} // namespace stats::obs

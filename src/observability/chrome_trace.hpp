@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Chrome-tracing exporter: turns a collected event list into the
+ * Trace Event Format JSON that chrome://tracing / Perfetto load.
+ *
+ * Layout: one track (tid) per executor track that ran tagged tasks —
+ * simulated logical cores under SimExecutor, worker threads under
+ * ThreadExecutor — plus a "frontier" track (tid 0) carrying the
+ * engine's semantic instants (validations, rollbacks, commits,
+ * squashes). Span pairs become complete ("X") events; instants
+ * become instant ("i") events. Timestamps are converted from the
+ * executor clock (seconds, virtual or wall) to microseconds.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "observability/trace.hpp"
+
+namespace stats::obs {
+
+/**
+ * Write `events` (seq-sorted, as returned by Trace::collect()) as a
+ * Chrome Trace Event Format JSON object.
+ */
+void writeChromeTrace(std::ostream &out, const std::vector<Event> &events);
+
+} // namespace stats::obs

@@ -1,5 +1,8 @@
 #include "profiler/profiler.hpp"
 
+#include "observability/metrics.hpp"
+#include "support/json.hpp"
+
 namespace stats::profiler {
 
 Profiler::Profiler(benchmarks::Benchmark &benchmark,
@@ -17,11 +20,16 @@ Profiler::Profiler(benchmarks::Benchmark &benchmark,
 Measurement
 Profiler::profile(const tradeoff::Configuration &config)
 {
+    auto &metrics = obs::MetricsRegistry::global();
     auto cached = _cache.find(config);
-    if (cached != _cache.end())
+    if (cached != _cache.end()) {
+        metrics.counter("profiler.cacheHits").add();
         return cached->second;
+    }
     ++_runs;
+    metrics.counter("profiler.runs").add();
     Measurement total;
+    sdi::EngineStats last_engine_stats;
     for (int rep = 0; rep < _repetitions; ++rep) {
         benchmarks::RunRequest request;
         request.mode = _mode;
@@ -34,13 +42,49 @@ Profiler::profile(const tradeoff::Configuration &config)
         total.seconds += result.virtualSeconds;
         total.energyJoules += result.energyJoules;
         total.quality += _benchmark.quality(result.signature, _oracle);
+        last_engine_stats = result.engineStats;
     }
     const double inv = 1.0 / _repetitions;
     total.seconds *= inv;
     total.energyJoules *= inv;
     total.quality *= inv;
     _cache.emplace(config, total);
+    _snapshots.push_back({config, total, last_engine_stats});
+    metrics.histogram("profiler.seconds").observe(total.seconds);
+    metrics.histogram("profiler.energyJoules")
+        .observe(total.energyJoules);
     return total;
+}
+
+void
+Profiler::writeSnapshotsJson(std::ostream &out,
+                             const tradeoff::StateSpace &space,
+                             bool pretty) const
+{
+    support::JsonWriter json(out, pretty);
+    json.beginObject();
+    json.field("runs", static_cast<std::int64_t>(_runs));
+    json.key("snapshots").beginArray();
+    for (const auto &snapshot : _snapshots) {
+        const auto &stats = snapshot.engineStats;
+        json.beginObject()
+            .field("config", space.describe(snapshot.config))
+            .field("seconds", snapshot.measurement.seconds)
+            .field("energyJoules", snapshot.measurement.energyJoules)
+            .field("quality", snapshot.measurement.quality)
+            .field("groups", stats.groups)
+            .field("commits", stats.validations)
+            .field("mismatches", stats.mismatches)
+            .field("reexecutions", stats.reexecutions)
+            .field("aborts", stats.aborts)
+            .field("squashedGroups", stats.squashedGroups)
+            .field("matchRate", stats.matchRate())
+            .field("extraWorkFraction", stats.extraWorkFraction())
+            .endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << "\n";
 }
 
 autotuner::Autotuner::Objective

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <ostream>
 
 #include "autotuner/tuner.hpp"
 #include "benchmarks/common/benchmark.hpp"
@@ -33,6 +34,20 @@ struct Measurement
     double seconds = 0.0;
     double energyJoules = 0.0;
     double quality = 0.0; ///< Domain metric vs oracle (lower better).
+};
+
+/**
+ * Per-configuration metric snapshot, captured at profile time: the
+ * averaged measurement plus the engine counters of the *last*
+ * repetition's run. Together with the autotuner's audit trail this
+ * makes every tuning decision attributable to observed
+ * commit/squash behaviour.
+ */
+struct ConfigSnapshot
+{
+    tradeoff::Configuration config;
+    Measurement measurement;
+    sdi::EngineStats engineStats;
 };
 
 /** Profiles configurations of one benchmark in one mode. */
@@ -71,6 +86,20 @@ class Profiler
         return _cache;
     }
 
+    /** One snapshot per executed configuration, in execution order. */
+    const std::vector<ConfigSnapshot> &snapshots() const
+    {
+        return _snapshots;
+    }
+
+    /**
+     * Dump the snapshots as JSON (the `--metrics` companion for tune
+     * sessions); configurations are rendered via `space.describe`.
+     */
+    void writeSnapshotsJson(std::ostream &out,
+                            const tradeoff::StateSpace &space,
+                            bool pretty = true) const;
+
   private:
     benchmarks::Benchmark &_benchmark;
     benchmarks::Mode _mode;
@@ -81,6 +110,7 @@ class Profiler
     int _repetitions;
     std::vector<double> _oracle;
     std::map<tradeoff::Configuration, Measurement> _cache;
+    std::vector<ConfigSnapshot> _snapshots;
     std::size_t _runs = 0;
 };
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "exec/task.hpp"
+#include "observability/trace.hpp"
 #include "sdi/spec_config.hpp"
 #include "support/log.hpp"
 
@@ -176,6 +177,26 @@ class SpecEngine
         int reexecsDone = 0;
     };
 
+    /**
+     * Emit one semantic instant on the frontier track, stamped with
+     * the executor clock. All call sites run inside serialized
+     * completion callbacks, matching the engine's locking discipline
+     * (none). The event schema is docs/OBSERVABILITY.md.
+     */
+    void
+    traceEvent(obs::EventType type, std::size_t group,
+               std::size_t input_begin, std::size_t input_end,
+               std::int64_t arg = 0)
+    {
+        if (!obs::traceActive())
+            return;
+        obs::Trace::global().record(
+            type, static_cast<std::int32_t>(group),
+            static_cast<std::int64_t>(input_begin),
+            static_cast<std::int64_t>(input_end), _executor.now(),
+            obs::kFrontierTrack, arg);
+    }
+
     void
     buildGroups()
     {
@@ -275,19 +296,24 @@ class SpecEngine
         group.status = GroupStatus::AuxRunning;
         ++_stats.auxTasks;
 
+        const std::size_t begin_input = group.begin;
+        const auto k = static_cast<std::size_t>(_config.auxWindow);
+        const std::size_t window_begin =
+            begin_input - std::min(k, begin_input);
+
         auto result = std::make_shared<std::optional<State>>();
         auto work_done = std::make_shared<double>(0.0);
         exec::Task task;
         task.width = 1;
         task.cancel = group.cancel;
-        task.run = [this, j, result, work_done] {
+        task.tag = {obs::TaskKind::Aux, static_cast<std::int32_t>(j),
+                    static_cast<std::int64_t>(window_begin),
+                    static_cast<std::int64_t>(begin_input), 0};
+        task.run = [this, j, result, work_done, begin_input,
+                    window_begin] {
             // Auxiliary code: from the initial state, consume the k
             // inputs preceding the group (paper section 3.1).
             State state = _initialState;
-            const std::size_t begin_input = _groups[j].begin;
-            const auto k = static_cast<std::size_t>(_config.auxWindow);
-            const std::size_t window_begin =
-                begin_input - std::min(k, begin_input);
             std::vector<std::unique_ptr<Output>> scratch;
             ComputeContext context{1, true};
             exec::Work work = runRange(window_begin, begin_input, state,
@@ -328,6 +354,9 @@ class SpecEngine
         exec::Task task;
         task.width = _config.innerThreads;
         task.cancel = group.cancel;
+        task.tag = {obs::TaskKind::Body, static_cast<std::int32_t>(j),
+                    static_cast<std::int64_t>(group.begin),
+                    static_cast<std::int64_t>(group.end), 0};
         task.run = [this, j, outputs, final_state, checkpoint,
                     work_done] {
             Group &g = _groups[j];
@@ -374,7 +403,12 @@ class SpecEngine
             }
             group.status = GroupStatus::Committed;
             group.originalFinals.push_back(*group.finalState);
+            traceEvent(obs::EventType::Commit, j, group.begin,
+                       group.end);
             _frontier = j + 1;
+            traceEvent(obs::EventType::FrontierAdvance, j, group.begin,
+                       group.end,
+                       static_cast<std::int64_t>(_frontier));
             submitNextWindowGroup();
             if (_frontier >= _groups.size())
                 return; // All inputs processed speculatively.
@@ -423,11 +457,15 @@ class SpecEngine
             _match ? _match(*group.specStart, producer.originalFinals)
                    : 0; // No comparison fn: valid by construction.
         if (matched >= 0) {
+            traceEvent(obs::EventType::ValidateMatch, j, group.begin,
+                       group.end, matched);
             acceptSpeculation(j, static_cast<std::size_t>(matched));
             return;
         }
 
         ++_stats.mismatches;
+        traceEvent(obs::EventType::ValidateMismatch, j, group.begin,
+                   group.end, producer.reexecsDone);
         if (producer.reexecsDone < _config.maxReexecutions) {
             submitReexecution(j - 1);
         } else {
@@ -463,6 +501,10 @@ class SpecEngine
         Group &producer = _groups[p];
         ++producer.reexecsDone;
         ++_stats.reexecutions;
+        // The rollback decision: the producer goes back b inputs (to
+        // its checkpoint) before re-executing.
+        traceEvent(obs::EventType::Rollback, p, producer.checkpointPos,
+                   producer.end, producer.reexecsDone);
 
         auto outputs =
             std::make_shared<std::vector<std::unique_ptr<Output>>>();
@@ -470,6 +512,11 @@ class SpecEngine
         auto work_done = std::make_shared<double>(0.0);
         exec::Task task;
         task.width = _config.innerThreads;
+        task.tag = {obs::TaskKind::ReExec,
+                    static_cast<std::int32_t>(p),
+                    static_cast<std::int64_t>(producer.checkpointPos),
+                    static_cast<std::int64_t>(producer.end),
+                    producer.reexecsDone};
         task.run = [this, p, outputs, final_state, work_done] {
             Group &g = _groups[p];
             // Roll back to the checkpoint; nondeterminism may yield a
@@ -507,12 +554,17 @@ class SpecEngine
         _aborted = true;
         _abortGroup = j;
         ++_stats.aborts;
+        traceEvent(obs::EventType::Abort, j, _groups[j].begin,
+                   _inputs.size(), static_cast<std::int64_t>(j));
         for (std::size_t g = j; g < _groups.size(); ++g) {
             if (_groups[g].status != GroupStatus::Committed) {
                 _groups[g].status = GroupStatus::Squashed;
                 if (_groups[g].cancel)
                     _groups[g].cancel->store(true);
                 ++_stats.squashedGroups;
+                traceEvent(obs::EventType::Squash, g, _groups[g].begin,
+                           _groups[g].end,
+                           static_cast<std::int64_t>(j));
             }
         }
 
@@ -527,6 +579,10 @@ class SpecEngine
             std::make_shared<std::vector<std::unique_ptr<Output>>>();
         exec::Task task;
         task.width = _config.innerThreads;
+        task.tag = {obs::TaskKind::Recovery,
+                    static_cast<std::int32_t>(j),
+                    static_cast<std::int64_t>(restart_begin),
+                    static_cast<std::int64_t>(n), 0};
         auto work_done = std::make_shared<double>(0.0);
         task.run = [this, j, restart_begin, n, outputs, work_done] {
             State state = _groups[j - 1].originalFinals.front();

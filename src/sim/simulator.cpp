@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "observability/trace.hpp"
 #include "support/log.hpp"
 
 namespace stats::sim {
@@ -92,6 +93,13 @@ Simulator::dispatchReady()
             exec::Task task = std::move(head);
             _ready.pop_front();
             ++_activity.tasksCancelled;
+            if (obs::traceActive() &&
+                task.tag.kind != obs::TaskKind::None) {
+                obs::Trace::global().record(
+                    obs::EventType::TaskCancelled, task.tag.group,
+                    task.tag.inputBegin, task.tag.inputEnd, _now,
+                    obs::kFrontierTrack, task.tag.arg);
+            }
             if (task.onComplete)
                 task.onComplete();
             continue;
@@ -162,6 +170,14 @@ Simulator::finish(std::uint64_t id)
     _activity.busyCoreSeconds +=
         (_now - r.startTime) * static_cast<double>(r.cores.size());
     _activity.makespan = std::max(_activity.makespan, _now);
+
+    // The span is recorded before onComplete runs, so engine-emitted
+    // instants (Commit, ValidateMatch, ...) always sequence after the
+    // task-end event that triggered them.
+    if (obs::traceActive() && r.task.tag.kind != obs::TaskKind::None) {
+        obs::Trace::global().recordSpan(r.task.tag, r.startTime, _now,
+                                        r.cores.front());
+    }
 
     if (r.task.onComplete)
         r.task.onComplete();

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * stats-trace-dump — run one benchmark configuration with the trace
+ * layer enabled and pretty-print the collected speculation events.
+ *
+ * The fastest way to *look at* what the engine did: every AuxStart/
+ * BodyEnd/ValidateMismatch/... event in sequence order, followed by
+ * the derived-metrics summary. `--chrome=FILE` additionally exports
+ * the same events as a chrome://tracing JSON. The event schema is
+ * documented in docs/OBSERVABILITY.md.
+ *
+ * Usage:
+ *   stats-trace-dump <benchmark> [--mode=original|seq|par]
+ *       [--threads=N] [--workload=rep|bad] [--seed=N]
+ *       [--limit=N] [--chrome=FILE]
+ *
+ * `--limit` bounds the printed event rows (default 64; 0 = all).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/common/benchmark.hpp"
+#include "observability/chrome_trace.hpp"
+#include "observability/summary.hpp"
+#include "observability/trace.hpp"
+#include "support/log.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+using namespace stats;
+using namespace stats::benchmarks;
+
+namespace {
+
+std::string
+trackName(std::int32_t track)
+{
+    if (track == obs::kFrontierTrack)
+        return "frontier";
+    return "exec " + std::to_string(track);
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: stats-trace-dump <benchmark> [options]\n"
+        << "options:\n"
+        << "  --mode=original|seq|par   (default par)\n"
+        << "  --threads=N               (default 28)\n"
+        << "  --workload=rep|bad        (default rep)\n"
+        << "  --seed=N                  run seed (default 0)\n"
+        << "  --limit=N                 event rows printed; 0 = all "
+           "(default 64)\n"
+        << "  --chrome=FILE             also write chrome://tracing "
+           "JSON\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string bench_name;
+    std::map<std::string, std::string> options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string word = argv[i];
+        if (support::startsWith(word, "--")) {
+            const auto eq = word.find('=');
+            if (eq == std::string::npos)
+                options[word.substr(2)] = "true";
+            else
+                options[word.substr(2, eq - 2)] = word.substr(eq + 1);
+        } else if (bench_name.empty()) {
+            bench_name = word;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (bench_name.empty()) {
+        usage();
+        return 1;
+    }
+    const auto option = [&](const std::string &key,
+                            const std::string &fallback) {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    };
+
+    auto bench = createBenchmark(bench_name);
+
+    RunRequest request;
+    const std::string mode = option("mode", "par");
+    request.mode = mode == "original" ? Mode::Original
+                   : mode == "seq"    ? Mode::SeqStats
+                                      : Mode::ParStats;
+    request.threads = std::stoi(option("threads", "28"));
+    request.workload = option("workload", "rep") == "bad"
+                           ? WorkloadKind::NonRepresentative
+                           : WorkloadKind::Representative;
+    request.runSeed =
+        static_cast<std::uint64_t>(std::stoll(option("seed", "0")));
+
+    obs::Trace::global().enable();
+    // Folds to false when the layer is compiled out.
+    if (!obs::traceActive())
+        support::fatal("tracing compiled out "
+                       "(built with STATS_OBS_DISABLE)");
+    const RunResult result = bench->run(request);
+    const auto events = obs::Trace::global().collect();
+    const auto summary =
+        obs::summarizeTrace(events, obs::Trace::global().dropped());
+
+    std::cout << bench->name() << " [" << modeName(request.mode) << ", "
+              << request.threads << " threads]: " << events.size()
+              << " events, " << result.virtualSeconds << " s virtual\n\n";
+
+    const auto limit =
+        static_cast<std::size_t>(std::stoll(option("limit", "64")));
+    support::TextTable table(
+        {"seq", "event", "group", "inputs", "track", "t (s)", "arg"});
+    std::size_t printed = 0;
+    for (const auto &event : events) {
+        if (limit != 0 && printed == limit)
+            break;
+        std::ostringstream inputs;
+        inputs << "[" << event.inputBegin << ", " << event.inputEnd
+               << ")";
+        table.addRow({std::to_string(event.seq),
+                      obs::eventTypeName(event.type),
+                      std::to_string(event.group), inputs.str(),
+                      trackName(event.track),
+                      support::TextTable::formatDouble(event.ts, 6),
+                      std::to_string(event.arg)});
+        ++printed;
+    }
+    table.print(std::cout);
+    if (limit != 0 && events.size() > limit)
+        std::cout << "... " << events.size() - limit
+                  << " more events (raise with --limit=N, 0 = all)\n";
+    std::cout << "\n";
+    obs::printSummaryTable(std::cout, summary);
+
+    const std::string chrome_path = option("chrome", "");
+    if (!chrome_path.empty()) {
+        std::ofstream out(chrome_path);
+        if (!out)
+            support::fatal("cannot open '", chrome_path, "'");
+        obs::writeChromeTrace(out, events);
+        std::cout << "\nwrote " << chrome_path
+                  << " (load in chrome://tracing)\n";
+    }
+    return 0;
+}
