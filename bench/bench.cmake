@@ -46,3 +46,11 @@ endfunction()
 
 stats_add_micro(micro_runtime)
 stats_add_micro(micro_compilers)
+
+# Scheduler hot-path benchmark: plain binary (no google-benchmark) so
+# CI can run its --check regression gate against a checked-in baseline.
+add_executable(micro_scheduler bench/micro_scheduler.cpp)
+target_link_libraries(micro_scheduler PRIVATE
+    stats_exec stats_threading stats_observability stats_support)
+set_target_properties(micro_scheduler PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Microbenchmark of the work-stealing scheduler's hot path.
+ *
+ * Measures, per worker count (1/2/4/8):
+ *  - submit latency (ns/task, caller side, external submission),
+ *  - batched submit latency (ns/task via submitBatch),
+ *  - external submit+drain throughput (tasks/s) for the work-stealing
+ *    pool AND for an inline copy of the global-queue pool it replaced,
+ *  - nested submit+drain throughput: continuation chains where every
+ *    task spawns its successor from a *worker* thread — the
+ *    speculation engine's actual submission pattern (tasks are spawned
+ *    from completion callbacks). This is the headline speedup:
+ *    worker-side submits hit the submitter's own lock-free deque,
+ *    where the legacy pool serializes every nested submit and every
+ *    dequeue through one global mutex. Note: the ratio only exceeds 1
+ *    when cores actually contend the legacy mutex; on a single-core
+ *    host the mutex is uncontended and near the accounting floor, so
+ *    expect ~parity there (EXPERIMENTS.md "Scheduler hot path"),
+ *  - steal throughput (steals/s) in a forced-steal scenario where one
+ *    worker floods its own deque and the others must steal,
+ *  - end-to-end ThreadExecutor throughput (tasks/s including the
+ *    commit-lane completion callback).
+ *
+ * Output: a table plus BENCH_scheduler.json. CI runs `--smoke
+ * --check=<baseline>` and fails when the submit+drain hot path
+ * regresses by more than `--factor` (default 2x) against the
+ * checked-in baseline (bench/baselines/BENCH_scheduler.baseline.json).
+ * Any output file can serve as the next baseline.
+ */
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_executor.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace {
+
+using stats::support::Timer;
+
+/**
+ * The pre-work-stealing thread pool, kept verbatim as the benchmark
+ * baseline: one mutex-protected global deque, every submit takes the
+ * lock and signals the condition variable.
+ */
+class LegacyGlobalQueuePool
+{
+  public:
+    explicit LegacyGlobalQueuePool(int threads)
+    {
+        const int n = threads < 1 ? 1 : threads;
+        _threads.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+            _threads.emplace_back([this] { workerLoop(); });
+    }
+
+    ~LegacyGlobalQueuePool()
+    {
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _shutdown = true;
+        }
+        _cv.notify_all();
+        for (auto &thread : _threads)
+            thread.join();
+    }
+
+    void
+    submit(std::function<void()> job)
+    {
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _queue.push_back(std::move(job));
+        }
+        _cv.notify_one();
+    }
+
+    void
+    waitIdle()
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _idleCv.wait(lock,
+                     [this] { return _queue.empty() && _active == 0; });
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(_mutex);
+                _cv.wait(lock, [this] {
+                    return _shutdown || !_queue.empty();
+                });
+                if (_queue.empty())
+                    return; // Shutdown with a drained queue.
+                job = std::move(_queue.front());
+                _queue.pop_front();
+                ++_active;
+            }
+            job();
+            {
+                std::unique_lock<std::mutex> lock(_mutex);
+                --_active;
+                if (_queue.empty() && _active == 0)
+                    _idleCv.notify_all();
+            }
+        }
+    }
+
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    std::condition_variable _idleCv;
+    std::deque<std::function<void()>> _queue;
+    std::size_t _active = 0;
+    bool _shutdown = false;
+    std::vector<std::thread> _threads;
+};
+
+struct Result
+{
+    int workers = 0;
+    double submitNsPerTask = 0.0;      ///< Caller-side enqueue cost.
+    double batchSubmitNsPerTask = 0.0; ///< Same, via submitBatch.
+    double drainNs = 0.0;              ///< waitIdle after the last submit.
+    double newTasksPerSec = 0.0;       ///< External submit+drain.
+    double legacyTasksPerSec = 0.0;    ///< Same, global-queue pool.
+    double externalSpeedup = 0.0;
+    double nestedTasksPerSec = 0.0;       ///< Worker-side submit+drain.
+    double legacyNestedTasksPerSec = 0.0; ///< Same, global-queue pool.
+    double speedup = 0.0; ///< Headline: nested (engine pattern) ratio.
+    double stealsPerSec = 0.0;
+    double executorTasksPerSec = 0.0;  ///< ThreadExecutor end to end.
+};
+
+/** The measured job: touches one cache line, no allocation. */
+inline void
+tinyWork(std::atomic<std::uint64_t> &sink)
+{
+    sink.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result
+runConfig(int workers, std::size_t tasks)
+{
+    namespace th = stats::threading;
+    Result result;
+    result.workers = workers;
+    std::atomic<std::uint64_t> sink{0};
+
+    { // Work-stealing pool: per-submit latency, then drain.
+        th::ThreadPool pool(workers);
+        Timer timer;
+        for (std::size_t i = 0; i < tasks; ++i)
+            pool.submit([&sink] { tinyWork(sink); });
+        const double submit_s = timer.elapsedSeconds();
+        pool.waitIdle();
+        const double total_s = timer.elapsedSeconds();
+        result.submitNsPerTask =
+            submit_s * 1e9 / static_cast<double>(tasks);
+        result.drainNs = (total_s - submit_s) * 1e9;
+        result.newTasksPerSec = static_cast<double>(tasks) / total_s;
+    }
+
+    { // Batched submission of the same load.
+        th::ThreadPool pool(workers);
+        std::vector<th::PoolTask> batch;
+        batch.reserve(tasks);
+        Timer timer;
+        for (std::size_t i = 0; i < tasks; ++i) {
+            th::PoolTask task;
+            task.run = [&sink](bool) { tinyWork(sink); };
+            batch.push_back(std::move(task));
+        }
+        pool.submitBatch(std::move(batch));
+        const double submit_s = timer.elapsedSeconds();
+        pool.waitIdle();
+        result.batchSubmitNsPerTask =
+            submit_s * 1e9 / static_cast<double>(tasks);
+    }
+
+    { // Legacy global-queue pool, identical load.
+        LegacyGlobalQueuePool pool(workers);
+        Timer timer;
+        for (std::size_t i = 0; i < tasks; ++i)
+            pool.submit([&sink] { tinyWork(sink); });
+        pool.waitIdle();
+        result.legacyTasksPerSec =
+            static_cast<double>(tasks) / timer.elapsedSeconds();
+    }
+    result.externalSpeedup =
+        result.newTasksPerSec / result.legacyTasksPerSec;
+
+    { // Nested submission, continuation chains: every task spawns its
+      // successor from the worker thread — the engine's completion-
+      // callback pattern. Worker-side submits hit the submitter's own
+      // deque and recycle its node freelist; the legacy pool below
+      // serializes the same pattern through one global mutex.
+        th::ThreadPool pool(workers);
+        std::atomic<std::int64_t> remaining{
+            static_cast<std::int64_t>(tasks)}; // Signed: the racing
+        // final links may decrement below zero; an unsigned wrap
+        // would read as "plenty left" and the chain would never end.
+        struct Chain
+        {
+            th::ThreadPool *pool;
+            std::atomic<std::int64_t> *remaining;
+            std::atomic<std::uint64_t> *sink;
+            void
+            operator()() const
+            {
+                tinyWork(*sink);
+                if (remaining->fetch_sub(
+                        1, std::memory_order_relaxed) > 1)
+                    pool->submit(Chain{pool, remaining, sink});
+            }
+        };
+        Timer timer;
+        for (int c = 0; c < workers; ++c)
+            pool.submit(Chain{&pool, &remaining, &sink});
+        pool.waitIdle();
+        result.nestedTasksPerSec =
+            static_cast<double>(tasks) / timer.elapsedSeconds();
+    }
+
+    { // The same continuation chains through the legacy pool.
+        LegacyGlobalQueuePool pool(workers);
+        std::atomic<std::int64_t> remaining{
+            static_cast<std::int64_t>(tasks)}; // Signed: the racing
+        // final links may decrement below zero; an unsigned wrap
+        // would read as "plenty left" and the chain would never end.
+        struct Chain
+        {
+            LegacyGlobalQueuePool *pool;
+            std::atomic<std::int64_t> *remaining;
+            std::atomic<std::uint64_t> *sink;
+            void
+            operator()() const
+            {
+                tinyWork(*sink);
+                if (remaining->fetch_sub(
+                        1, std::memory_order_relaxed) > 1)
+                    pool->submit(Chain{pool, remaining, sink});
+            }
+        };
+        Timer timer;
+        for (int c = 0; c < workers; ++c)
+            pool.submit(Chain{&pool, &remaining, &sink});
+        pool.waitIdle();
+        result.legacyNestedTasksPerSec =
+            static_cast<double>(tasks) / timer.elapsedSeconds();
+    }
+    result.speedup =
+        result.nestedTasksPerSec / result.legacyNestedTasksPerSec;
+
+    { // Forced-steal scenario: one worker floods its own deque (a
+      // worker-thread submit goes to the submitter's deque) and then
+      // keeps its worker busy until the backlog drains, so the other
+      // workers can only make progress by stealing.
+        th::ThreadPool pool(workers);
+        const std::uint64_t before = sink.load();
+        Timer timer;
+        pool.submit([&pool, &sink, tasks, before, workers] {
+            for (std::size_t i = 0; i < tasks; ++i)
+                pool.submit([&sink] { tinyWork(sink); });
+            while (workers > 1 && sink.load() - before < tasks)
+                std::this_thread::yield();
+        });
+        pool.waitIdle();
+        const double elapsed = timer.elapsedSeconds();
+        result.stealsPerSec =
+            static_cast<double>(pool.stats().stolen) / elapsed;
+    }
+
+    { // End to end through the executor (span gate + commit lane).
+        stats::exec::ThreadExecutor executor(workers);
+        std::atomic<std::uint64_t> completed{0};
+        Timer timer;
+        for (std::size_t i = 0; i < tasks; ++i) {
+            stats::exec::Task task;
+            task.run = [&sink] {
+                tinyWork(sink);
+                return stats::exec::Work{0.0, 0.0};
+            };
+            task.onComplete = [&completed] {
+                completed.fetch_add(1, std::memory_order_relaxed);
+            };
+            executor.submit(std::move(task));
+        }
+        executor.drain();
+        result.executorTasksPerSec =
+            static_cast<double>(tasks) / timer.elapsedSeconds();
+    }
+
+    return result;
+}
+
+void
+writeJson(std::ostream &out, const std::vector<Result> &results,
+          std::size_t tasks, bool smoke)
+{
+    stats::support::JsonWriter json(out, true);
+    json.beginObject();
+    json.field("benchmark", "micro_scheduler")
+        .field("smoke", smoke)
+        .field("tasksPerConfig", tasks);
+    json.key("results").beginArray();
+    for (const Result &r : results) {
+        json.beginObject()
+            .field("workers", r.workers)
+            .field("submitNsPerTask", r.submitNsPerTask)
+            .field("batchSubmitNsPerTask", r.batchSubmitNsPerTask)
+            .field("drainNs", r.drainNs)
+            .field("newTasksPerSec", r.newTasksPerSec)
+            .field("legacyTasksPerSec", r.legacyTasksPerSec)
+            .field("externalSpeedup", r.externalSpeedup)
+            .field("nestedTasksPerSec", r.nestedTasksPerSec)
+            .field("legacyNestedTasksPerSec", r.legacyNestedTasksPerSec)
+            .field("speedup", r.speedup)
+            .field("stealsPerSec", r.stealsPerSec)
+            .field("executorTasksPerSec", r.executorTasksPerSec)
+            .endObject();
+    }
+    json.endArray();
+    // Regression-guard convenience fields: the submit+drain hot path
+    // at the widest configuration. `--check` compares these without a
+    // JSON parser, so keep them flat and uniquely named.
+    const Result &widest = results.back();
+    json.field("checkWorkers", widest.workers)
+        .field("checkSubmitNsPerTask", widest.submitNsPerTask)
+        .field("checkSpeedup", widest.speedup);
+    json.endObject();
+    out << "\n";
+}
+
+/** Scan `text` for `"name": <number>`; nan when absent. */
+double
+scanField(const std::string &text, const std::string &name)
+{
+    const std::string needle = "\"" + name + "\":";
+    const std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return -1.0;
+    return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_scheduler.json";
+    std::string check_path;
+    double factor = 2.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (arg.rfind("--check=", 0) == 0) {
+            check_path = arg.substr(8);
+        } else if (arg.rfind("--factor=", 0) == 0) {
+            factor = std::strtod(arg.c_str() + 9, nullptr);
+        } else {
+            std::cerr << "usage: micro_scheduler [--smoke] [--out=FILE]"
+                         " [--check=BASELINE] [--factor=N]\n";
+            return 2;
+        }
+    }
+
+    const std::size_t tasks = smoke ? 20000 : 200000;
+    std::vector<Result> results;
+    for (int workers : {1, 2, 4, 8})
+        results.push_back(runConfig(workers, tasks));
+
+    stats::support::TextTable table(
+        {"workers", "submit ns", "batch ns", "ext tasks/s", "ext x",
+         "nested tasks/s", "legacy nested/s", "speedup", "steals/s",
+         "exec tasks/s"});
+    const auto fmt = [](double v) {
+        return stats::support::TextTable::formatDouble(v, 1);
+    };
+    const auto ratio = [](double v) {
+        return stats::support::TextTable::formatDouble(v, 2);
+    };
+    for (const Result &r : results) {
+        table.addRow({std::to_string(r.workers), fmt(r.submitNsPerTask),
+                      fmt(r.batchSubmitNsPerTask), fmt(r.newTasksPerSec),
+                      ratio(r.externalSpeedup), fmt(r.nestedTasksPerSec),
+                      fmt(r.legacyNestedTasksPerSec), ratio(r.speedup),
+                      fmt(r.stealsPerSec), fmt(r.executorTasksPerSec)});
+    }
+    table.print(std::cout);
+
+    {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "micro_scheduler: cannot write " << out_path
+                      << "\n";
+            return 1;
+        }
+        writeJson(out, results, tasks, smoke);
+        std::cout << "wrote " << out_path << "\n";
+    }
+
+    if (!check_path.empty()) {
+        std::ifstream in(check_path);
+        if (!in) {
+            std::cerr << "micro_scheduler: cannot read baseline "
+                      << check_path << "\n";
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        const double baseline =
+            scanField(buffer.str(), "checkSubmitNsPerTask");
+        if (baseline <= 0.0) {
+            std::cerr << "micro_scheduler: baseline " << check_path
+                      << " has no checkSubmitNsPerTask field\n";
+            return 1;
+        }
+        const double current = results.back().submitNsPerTask;
+        std::cout << "check: submit ns/task " << current
+                  << " vs baseline " << baseline << " (allowed "
+                  << baseline * factor << ")\n";
+        if (current > baseline * factor) {
+            std::cerr << "micro_scheduler: REGRESSION — submit latency "
+                      << current << " ns/task exceeds " << factor
+                      << "x baseline " << baseline << " ns/task\n";
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "observability/trace.hpp"
 
@@ -75,6 +76,16 @@ struct Task
      * the cancel token fired first. Untagged tasks are not traced.
      */
     obs::TaskTag tag;
+
+    /**
+     * When true (the default), `onComplete` runs inside the executor's
+     * serialized commit lane — at most one such callback executes at a
+     * time, so the speculation engine mutates its bookkeeping there
+     * without locks. Tasks whose completion is pure bookkeeping local
+     * to the callback may set this false to bypass the lane entirely
+     * and complete lock-free.
+     */
+    bool serialCompletion = true;
 };
 
 /**
@@ -88,6 +99,18 @@ class Executor
 
     /** Enqueue a task; it may be submitted from a completion callback. */
     virtual void submit(Task task) = 0;
+
+    /**
+     * Enqueue several tasks as one operation. Equivalent to submitting
+     * each in order; executors that can (e.g. the thread pool's batched
+     * submission) pay the enqueue/wake cost once for the whole group.
+     */
+    virtual void
+    submitBatch(std::vector<Task> tasks)
+    {
+        for (auto &task : tasks)
+            submit(std::move(task));
+    }
 
     /** Run until no submitted task remains. */
     virtual void drain() = 0;

@@ -6,63 +6,84 @@ namespace stats::exec {
 
 ThreadExecutor::ThreadExecutor(int threads) : _pool(threads) {}
 
+/**
+ * Adapt an exec::Task to a pool task. The Task is moved into the
+ * closure once — the submit path is move-only end to end — and the
+ * cancel token is shared with the pool so cancellation is checked
+ * before dispatch (a cancelled task never occupies a worker with
+ * real work; the pool hands us `cancelled` so onComplete still fires).
+ */
+threading::PoolTask
+ThreadExecutor::wrap(Task task)
+{
+    threading::PoolTask pooled;
+    pooled.cancel = task.cancel;
+    pooled.run = [this, task = std::move(task)](bool cancelled) mutable {
+        runTask(task, cancelled);
+    };
+    return pooled;
+}
+
+void
+ThreadExecutor::runTask(Task &task, bool cancelled)
+{
+    const bool traced =
+        obs::traceActive() && task.tag.kind != obs::TaskKind::None;
+    if (!cancelled) {
+        const double begin = _pool.clockSeconds();
+        task.run();
+        if (traced) {
+            // Track = this worker thread; recorded before the
+            // serialized onComplete so engine instants sequence
+            // after the span that triggered them.
+            obs::Trace &trace = obs::Trace::global();
+            trace.recordSpan(task.tag, begin, _pool.clockSeconds(),
+                             trace.threadTrack());
+        }
+    } else if (traced) {
+        obs::Trace::global().record(
+            obs::EventType::TaskCancelled, task.tag.group,
+            task.tag.inputBegin, task.tag.inputEnd,
+            _pool.clockSeconds(), obs::kFrontierTrack, task.tag.arg);
+    }
+    if (!task.onComplete)
+        return; // Pure execution: completes lock-free.
+    if (task.serialCompletion) {
+        // The commit lane: the speculation engine's commit protocol
+        // relies on at-most-one of these running at a time.
+        std::lock_guard<std::mutex> lock(_commitMutex);
+        task.onComplete();
+    } else {
+        task.onComplete();
+    }
+}
+
 void
 ThreadExecutor::submit(Task task)
 {
-    {
-        std::lock_guard<std::mutex> lock(_pendingMutex);
-        ++_pending;
-    }
-    _pool.submit([this, task = std::move(task)]() mutable {
-        const bool cancelled = task.cancel && task.cancel->load();
-        const bool traced = obs::traceActive() &&
-                            task.tag.kind != obs::TaskKind::None;
-        if (!cancelled) {
-            const double begin = _clock.elapsedSeconds();
-            task.run();
-            if (traced) {
-                // Track = this worker thread; recorded before the
-                // serialized onComplete so engine instants sequence
-                // after the span that triggered them.
-                obs::Trace &trace = obs::Trace::global();
-                trace.recordSpan(task.tag, begin,
-                                 _clock.elapsedSeconds(),
-                                 trace.threadTrack());
-            }
-        } else if (traced) {
-            obs::Trace::global().record(
-                obs::EventType::TaskCancelled, task.tag.group,
-                task.tag.inputBegin, task.tag.inputEnd,
-                _clock.elapsedSeconds(), obs::kFrontierTrack,
-                task.tag.arg);
-        }
-        {
-            // Serialize completion callbacks: the speculation engine's
-            // commit protocol relies on this for lock-free bookkeeping.
-            std::lock_guard<std::mutex> lock(_completionMutex);
-            if (task.onComplete)
-                task.onComplete();
-        }
-        {
-            std::lock_guard<std::mutex> lock(_pendingMutex);
-            --_pending;
-            if (_pending == 0)
-                _pendingCv.notify_all();
-        }
-    });
+    _pool.submit(wrap(std::move(task)));
+}
+
+void
+ThreadExecutor::submitBatch(std::vector<Task> tasks)
+{
+    std::vector<threading::PoolTask> pooled;
+    pooled.reserve(tasks.size());
+    for (auto &task : tasks)
+        pooled.push_back(wrap(std::move(task)));
+    _pool.submitBatch(std::move(pooled));
 }
 
 void
 ThreadExecutor::drain()
 {
-    std::unique_lock<std::mutex> lock(_pendingMutex);
-    _pendingCv.wait(lock, [this] { return _pending == 0; });
+    _pool.waitIdle();
 }
 
 double
 ThreadExecutor::now() const
 {
-    return _clock.elapsedSeconds();
+    return _pool.clockSeconds();
 }
 
 int

@@ -5,19 +5,23 @@
  * Used for functional execution on the host (and for wall-clock
  * profiling when real cores are available). Task `width` is advisory
  * here: a real task's inner parallelism lives inside its own code.
- * Completion callbacks are serialized under one mutex, matching the
- * simulator's semantics, so the speculation engine runs unmodified
- * on either executor.
+ *
+ * Dispatch rides the work-stealing thread pool directly: pending
+ * accounting, drain(), and the wall clock are the pool's own (a single
+ * atomic counter and one steady timer), so this layer adds no locks to
+ * the submit or completion fast paths. The only mutex left is the
+ * commit lane: completion callbacks of tasks with
+ * `serialCompletion == true` are serialized under it, matching the
+ * simulator's semantics so the speculation engine runs unmodified on
+ * either executor. Tasks with no callback — or with
+ * `serialCompletion == false` — never touch it.
  */
 
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <mutex>
 
 #include "exec/task.hpp"
-#include "support/timer.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace stats::exec {
@@ -30,19 +34,27 @@ class ThreadExecutor : public Executor
 
     void submit(Task task) override;
 
+    /** Enqueue a group of tasks with one pool operation. */
+    void submitBatch(std::vector<Task> tasks) override;
+
     /** Blocks until every submitted task (and its spawns) completed. */
     void drain() override;
 
     double now() const override;
     int concurrency() const override;
 
+    /** The pool's scheduler counters (steals, parks, ...). */
+    threading::ThreadPool::Stats schedulerStats() const
+    {
+        return _pool.stats();
+    }
+
   private:
+    threading::PoolTask wrap(Task task);
+    void runTask(Task &task, bool cancelled);
+
     threading::ThreadPool _pool;
-    support::Timer _clock;
-    std::mutex _completionMutex;
-    std::mutex _pendingMutex;
-    std::condition_variable _pendingCv;
-    std::size_t _pending = 0;
+    std::mutex _commitMutex;
 };
 
 } // namespace stats::exec

@@ -105,7 +105,8 @@ writeChromeTrace(std::ostream &out, const std::vector<Event> &events)
         json.beginObject()
             .field("ph", "i")
             .field("name", eventTypeName(event.type))
-            .field("cat", "engine")
+            .field("cat",
+                   isSchedulerEvent(event.type) ? "scheduler" : "engine")
             .field("s", "t")
             .field("pid", 0)
             .field("tid", chromeTid(event.track))

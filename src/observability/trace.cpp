@@ -26,6 +26,10 @@ eventTypeName(EventType type)
       case EventType::Abort:            return "Abort";
       case EventType::FrontierAdvance:  return "FrontierAdvance";
       case EventType::TaskCancelled:    return "TaskCancelled";
+      case EventType::TaskStolen:       return "TaskStolen";
+      case EventType::WorkerPark:       return "WorkerPark";
+      case EventType::WorkerUnpark:     return "WorkerUnpark";
+      case EventType::QueueDepth:       return "QueueDepth";
     }
     support::panic("eventTypeName: unknown event type ",
                    static_cast<int>(type));
@@ -53,6 +57,20 @@ isSpanEnd(EventType type)
       case EventType::BodyEnd:
       case EventType::ReExecEnd:
       case EventType::RecoveryEnd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isSchedulerEvent(EventType type)
+{
+    switch (type) {
+      case EventType::TaskStolen:
+      case EventType::WorkerPark:
+      case EventType::WorkerUnpark:
+      case EventType::QueueDepth:
         return true;
       default:
         return false;

@@ -70,10 +70,18 @@ enum class EventType : std::uint8_t
     Abort,            ///< Speculation aborted (arg: first squashed).
     FrontierAdvance,  ///< Commit frontier moved (arg: new frontier).
     TaskCancelled,    ///< Tagged task skipped via its cancel token.
+
+    // Scheduler instants (recorded by the work-stealing thread pool
+    // on the emitting worker's own track; group is always -1).
+    TaskStolen,   ///< Task stolen from another worker (arg: victim).
+    WorkerPark,   ///< Worker blocked after its spin phase (arg: 0).
+    WorkerUnpark, ///< Parked worker woke up (arg: 0).
+    QueueDepth,   ///< Pre-park snapshot: inputBegin = own deque depth,
+                  ///< inputEnd = shared-queue depth, arg = pool pending.
 };
 
-inline constexpr int kEventTypeCount = 16;
-inline constexpr int kSchemaVersion = 1;
+inline constexpr int kEventTypeCount = 20;
+inline constexpr int kSchemaVersion = 2;
 
 /** Stable name of an event type (as documented in the schema). */
 const char *eventTypeName(EventType type);
@@ -82,6 +90,8 @@ const char *eventTypeName(EventType type);
 bool isSpanStart(EventType type);
 /** True for the *End half of a span pair. */
 bool isSpanEnd(EventType type);
+/** True for events emitted by the scheduler rather than the engine. */
+bool isSchedulerEvent(EventType type);
 
 /** Track id carried by engine-emitted instants ("frontier" track). */
 inline constexpr std::int32_t kFrontierTrack = -1;

@@ -228,15 +228,20 @@ class SpecEngine
             submitConventional();
             return;
         }
-        submitBody(0);
+        // Group 0's body plus the initial aux window go to the
+        // executor as one batch: one enqueue/wake operation instead of
+        // 1 + window separate submissions.
+        std::vector<exec::Task> batch;
+        batch.push_back(makeBodyTask(0));
         _groups[0].status = GroupStatus::BodyRunning;
         _nextToSubmit = 1;
         const auto window = static_cast<std::size_t>(_config.sdThreads);
         while (_nextToSubmit < _groups.size() &&
                _nextToSubmit < 1 + window) {
-            submitAux(_nextToSubmit);
+            batch.push_back(makeAuxTask(_nextToSubmit));
             ++_nextToSubmit;
         }
+        _executor.submitBatch(std::move(batch));
     }
 
     /** Process [begin, end) in `state`, accumulating outputs and cost. */
@@ -292,6 +297,13 @@ class SpecEngine
     void
     submitAux(std::size_t j)
     {
+        _executor.submit(makeAuxTask(j));
+    }
+
+    /** Build group j's auxiliary task (marks the group AuxRunning). */
+    exec::Task
+    makeAuxTask(std::size_t j)
+    {
         Group &group = _groups[j];
         group.status = GroupStatus::AuxRunning;
         ++_stats.auxTasks;
@@ -338,11 +350,18 @@ class SpecEngine
             if (_pendingValidation == static_cast<std::ptrdiff_t>(j))
                 validate(j);
         };
-        _executor.submit(std::move(task));
+        return task;
     }
 
     void
     submitBody(std::size_t j)
+    {
+        _executor.submit(makeBodyTask(j));
+    }
+
+    /** Build group j's body task (does not change the group status). */
+    exec::Task
+    makeBodyTask(std::size_t j)
     {
         Group &group = _groups[j];
         auto outputs =
@@ -388,7 +407,7 @@ class SpecEngine
             if (j == _frontier && (j == 0 || g.startValidated))
                 commitFrom(j);
         };
-        _executor.submit(std::move(task));
+        return task;
     }
 
     /** Commit group j and cascade through already-finished groups. */

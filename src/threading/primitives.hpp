@@ -70,6 +70,17 @@ class MpmcBoundedQueue
     bool
     tryPush(T value)
     {
+        return tryPushFrom(value);
+    }
+
+    /**
+     * Try to enqueue by moving out of `value`; `value` is only
+     * consumed on success, so a caller can fall back to another queue
+     * (the thread pool's overflow list) when the ring is full.
+     */
+    bool
+    tryPushFrom(T &value)
+    {
         Cell *cell;
         std::size_t pos = _enqueuePos.load(std::memory_order_relaxed);
         for (;;) {
@@ -84,7 +95,7 @@ class MpmcBoundedQueue
                     break;
                 }
             } else if (diff < 0) {
-                return false; // Full.
+                return false; // Full; `value` untouched.
             } else {
                 pos = _enqueuePos.load(std::memory_order_relaxed);
             }
@@ -124,6 +135,20 @@ class MpmcBoundedQueue
     }
 
     std::size_t capacity() const { return _mask + 1; }
+
+    /**
+     * Racy occupancy estimate (never negative); good enough for
+     * emptiness heuristics like the pool's park/wake protocol.
+     */
+    std::size_t
+    approxSize() const
+    {
+        const std::size_t enq =
+            _enqueuePos.load(std::memory_order_relaxed);
+        const std::size_t deq =
+            _dequeuePos.load(std::memory_order_relaxed);
+        return enq > deq ? enq - deq : 0;
+    }
 
   private:
     struct Cell

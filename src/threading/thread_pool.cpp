@@ -1,28 +1,109 @@
 #include "threading/thread_pool.hpp"
 
 #include <algorithm>
+#include <thread>
 
+#include "observability/trace.hpp"
 #include "support/log.hpp"
+#include "threading/work_steal_deque.hpp"
 
 namespace stats::threading {
 
-ThreadPool::ThreadPool(int threads)
+namespace {
+
+/** Injector ring capacity; beyond it submissions spill to overflow. */
+constexpr std::size_t kInjectorCapacity = 4096;
+
+/**
+ * Steal/probe rounds an idle worker spins (yielding between rounds)
+ * before parking. Deliberately small: on an oversubscribed host a
+ * long spin phase steals cycles from the threads that have work.
+ */
+constexpr int kSpinRounds = 16;
+
+/** Recycled deque nodes kept per worker before freeing to the heap. */
+constexpr std::size_t kFreeNodeCap = 128;
+
+/** Identifies the pool (if any) the current thread works for. */
+struct WorkerSlot
+{
+    const void *pool = nullptr;
+    int index = -1;
+};
+
+thread_local WorkerSlot t_worker;
+
+} // namespace
+
+/**
+ * Heap node carrying one worker-submitted task through a Chase-Lev
+ * deque (whose slots must be plain pointers). Externally submitted
+ * tasks travel by value through the injector and never touch one.
+ */
+struct ThreadPool::TaskNode
+{
+    PoolTask task;
+};
+
+struct ThreadPool::Worker
+{
+    WorkStealDeque<TaskNode> deque{256};
+
+    /** Node cache, touched only by this worker's own thread. */
+    std::vector<TaskNode *> freeNodes;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::atomic<bool> parked{false};
+    bool signaled = false; ///< Guarded by `mutex`.
+
+    std::uint64_t rng = 0; ///< Victim-selection xorshift state.
+
+    std::thread thread;
+
+    ~Worker()
+    {
+        for (TaskNode *node : freeNodes)
+            delete node;
+    }
+};
+
+ThreadPool::ThreadPool(int threads) : _injector(kInjectorCapacity)
 {
     const int n = std::max(1, threads);
     _workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        auto worker = std::make_unique<Worker>();
+        worker->rng =
+            (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(i + 1)) |
+            1;
+        _workers.push_back(std::move(worker));
+    }
+    // Start only after the worker array is fully built: workers probe
+    // each other's deques from the first spin round.
     for (int i = 0; i < n; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+        _workers[i]->thread =
+            std::thread([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
 {
-    {
-        std::lock_guard<std::mutex> lock(_mutex);
-        _shutdown = true;
+    _shutdown.store(true, std::memory_order_seq_cst);
+    for (auto &worker : _workers) {
+        std::lock_guard<std::mutex> lock(worker->mutex);
+        worker->signaled = true;
+        worker->cv.notify_all();
     }
-    _wake.notify_all();
     for (auto &worker : _workers)
-        worker.join();
+        worker->thread.join();
+    // Drain-on-shutdown: workers exit only once no task is reachable,
+    // so the queues are empty here; free defensively regardless.
+    PoolTask task;
+    while (popShared(task))
+        task = PoolTask{};
+    for (auto &worker : _workers)
+        while (TaskNode *node = worker->deque.pop())
+            delete node;
 }
 
 void
@@ -30,65 +111,442 @@ ThreadPool::submit(Job job)
 {
     if (!job)
         support::panic("ThreadPool::submit: empty job");
-    {
-        std::lock_guard<std::mutex> lock(_mutex);
-        _queue.push_back(std::move(job));
+    PoolTask task;
+    task.run = [job = std::move(job)](bool) mutable { job(); };
+    submit(std::move(task));
+}
+
+void
+ThreadPool::submit(PoolTask task)
+{
+    if (!task.run)
+        support::panic("ThreadPool::submit: empty job");
+    _pending.fetch_add(1, std::memory_order_acq_rel);
+    _submitted.fetch_add(1, std::memory_order_relaxed);
+    if (t_worker.pool == this) {
+        enqueue(std::move(task));
+        wakeForLocalSubmit();
+    } else {
+        enqueue(std::move(task));
+        wakeWorkers(1);
     }
-    _wake.notify_one();
+}
+
+void
+ThreadPool::submitBatch(std::vector<PoolTask> tasks)
+{
+    if (tasks.empty())
+        return;
+    for (const auto &task : tasks)
+        if (!task.run)
+            support::panic("ThreadPool::submitBatch: empty job");
+    _pending.fetch_add(tasks.size(), std::memory_order_acq_rel);
+    _submitted.fetch_add(tasks.size(), std::memory_order_relaxed);
+    if (t_worker.pool == this) {
+        for (auto &task : tasks)
+            enqueue(std::move(task));
+    } else {
+        // Fill the lock-free ring, then spill the remainder to the
+        // overflow list under a single lock for the whole batch.
+        std::size_t i = 0;
+        while (i < tasks.size() && _injector.tryPushFrom(tasks[i]))
+            ++i;
+        if (i < tasks.size()) {
+            std::lock_guard<std::mutex> lock(_overflowMutex);
+            for (; i < tasks.size(); ++i)
+                _overflow.push_back(std::move(tasks[i]));
+            _overflowSize.store(_overflow.size(),
+                                std::memory_order_release);
+        }
+    }
+    wakeWorkers(tasks.size());
+}
+
+void
+ThreadPool::enqueue(PoolTask task)
+{
+    if (t_worker.pool == this) {
+        // Worker-side submission: the Chase-Lev slots are pointers,
+        // so wrap in a node — recycled via the worker's own freelist,
+        // which only this thread touches.
+        Worker &self = *_workers[static_cast<std::size_t>(t_worker.index)];
+        TaskNode *node;
+        if (!self.freeNodes.empty()) {
+            node = self.freeNodes.back();
+            self.freeNodes.pop_back();
+            node->task = std::move(task);
+        } else {
+            node = new TaskNode{std::move(task)};
+        }
+        self.deque.push(node);
+    } else {
+        pushShared(std::move(task));
+    }
+}
+
+void
+ThreadPool::pushShared(PoolTask task)
+{
+    if (_injector.tryPushFrom(task))
+        return;
+    std::lock_guard<std::mutex> lock(_overflowMutex);
+    _overflow.push_back(std::move(task));
+    _overflowSize.store(_overflow.size(), std::memory_order_release);
+}
+
+bool
+ThreadPool::popShared(PoolTask &out)
+{
+    if (auto task = _injector.tryPop()) {
+        out = std::move(*task);
+        return true;
+    }
+    if (_overflowSize.load(std::memory_order_acquire) == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(_overflowMutex);
+    if (_overflow.empty())
+        return false;
+    out = std::move(_overflow.front());
+    _overflow.pop_front();
+    // Bulk-refill the ring while we hold the lock: the spill drains
+    // back through the lock-free injector instead of costing every
+    // worker one mutex round trip per task.
+    while (!_overflow.empty() &&
+           _injector.tryPushFrom(_overflow.front()))
+        _overflow.pop_front();
+    _overflowSize.store(_overflow.size(), std::memory_order_release);
+    return true;
+}
+
+/**
+ * Wake up to `want` workers for freshly enqueued work. Spinning
+ * workers count toward the target (they will find the tasks without a
+ * syscall); beyond that, parked workers are unparked. When every
+ * worker is busy running, nothing to do: each probes the queues
+ * again as soon as its current task finishes.
+ */
+void
+ThreadPool::wakeWorkers(std::size_t want)
+{
+    // Pairs with the fence in park(): either this thread sees the
+    // worker's parked count/flag, or the worker's re-probe sees the
+    // task (both sides order a publish before a probe across seq_cst
+    // fences, so at least one probe must succeed).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const auto spinning = static_cast<std::size_t>(
+        std::max(0, _spinners.load(std::memory_order_relaxed)));
+    if (spinning >= want)
+        return;
+    // Fast path for the submit loop: nobody parked means nobody to
+    // wake — skip the per-worker scan entirely.
+    if (_parkedCount.load(std::memory_order_relaxed) == 0)
+        return;
+    std::size_t woken = 0;
+    for (auto &worker : _workers) {
+        if (spinning + woken >= want)
+            break;
+        if (!worker->parked.load(std::memory_order_relaxed))
+            continue;
+        std::lock_guard<std::mutex> lock(worker->mutex);
+        if (!worker->parked.load(std::memory_order_relaxed))
+            continue; // Woke on its own while we took the lock.
+        worker->parked.store(false, std::memory_order_relaxed);
+        worker->signaled = true;
+        worker->cv.notify_one();
+        ++woken;
+    }
+}
+
+/**
+ * Wake decision for a task pushed to the submitting *worker's own*
+ * deque. Unlike external submission, a missed wake here can never
+ * cost liveness — the owner itself pops the task once its current
+ * one finishes, waitIdle() completes, and shutdown signals every
+ * worker — only momentary parallelism. So the hot path is two
+ * relaxed loads and no fence: we only pay the full fence + scan
+ * protocol when a sibling actually looks parked and nobody is
+ * already searching.
+ */
+void
+ThreadPool::wakeForLocalSubmit()
+{
+    if (_spinners.load(std::memory_order_relaxed) > 0)
+        return; // A searcher will find it without a syscall.
+    if (_parkedCount.load(std::memory_order_relaxed) == 0)
+        return; // Every sibling is busy or already searching.
+    wakeWorkers(1);
 }
 
 void
 ThreadPool::waitIdle()
 {
-    std::unique_lock<std::mutex> lock(_mutex);
-    _idle.wait(lock, [this] { return _queue.empty() && _active == 0; });
+    if (_pending.load(std::memory_order_acquire) == 0)
+        return;
+    // Registration and the pending re-check are both seq_cst, pairing
+    // with finishOne()'s seq_cst decrement + waiter load: either the
+    // decrementer sees us registered (and notifies under the mutex),
+    // or our re-check sees pending == 0.
+    _idleWaiters.fetch_add(1, std::memory_order_seq_cst);
+    {
+        std::unique_lock<std::mutex> lock(_idleMutex);
+        _idleCv.wait(lock, [this] {
+            return _pending.load(std::memory_order_seq_cst) == 0;
+        });
+    }
+    _idleWaiters.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::finishOne()
 {
-    for (;;) {
-        Job job;
-        {
-            std::unique_lock<std::mutex> lock(_mutex);
-            _wake.wait(lock,
-                       [this] { return _shutdown || !_queue.empty(); });
-            if (_queue.empty()) {
-                if (_shutdown)
-                    return;
-                continue;
-            }
-            job = std::move(_queue.front());
-            _queue.pop_front();
-            ++_active;
-        }
-        job();
-        {
-            std::lock_guard<std::mutex> lock(_mutex);
-            --_active;
-            if (_queue.empty() && _active == 0)
-                _idle.notify_all();
-        }
+    if (_pending.fetch_sub(1, std::memory_order_seq_cst) != 1)
+        return;
+    // Reached zero. Waiters register (seq_cst) before re-checking the
+    // counter, so either we see them here or they see zero pending.
+    if (_idleWaiters.load(std::memory_order_seq_cst) > 0) {
+        std::lock_guard<std::mutex> lock(_idleMutex);
+        _idleCv.notify_all();
     }
 }
 
-CountdownLatch::CountdownLatch(std::size_t count) : _count(count) {}
+void
+ThreadPool::runTask(PoolTask task)
+{
+    const bool cancelled =
+        task.cancel && task.cancel->load(std::memory_order_acquire);
+    if (cancelled)
+        _cancelled.fetch_add(1, std::memory_order_relaxed);
+    task.run(cancelled);
+    // Destroy the closure before publishing completion: once
+    // waitIdle() returns, no captured state is still alive on a
+    // worker (matches the behavior callers relied on before).
+    task = PoolTask{};
+    _executed.fetch_add(1, std::memory_order_relaxed);
+    finishOne();
+}
+
+void
+ThreadPool::runNode(TaskNode *node, Worker &self)
+{
+    PoolTask task = std::move(node->task);
+    if (self.freeNodes.size() < kFreeNodeCap)
+        self.freeNodes.push_back(node);
+    else
+        delete node;
+    runTask(std::move(task));
+}
+
+void
+ThreadPool::workerLoop(int index)
+{
+    t_worker.pool = this;
+    t_worker.index = index;
+    Worker &self = *_workers[static_cast<std::size_t>(index)];
+    for (;;) {
+        if (runOneTask(self))
+            continue;
+        if (_shutdown.load(std::memory_order_acquire)) {
+            // Drain-on-shutdown: exit only when no task is reachable
+            // anywhere; a running sibling may still spawn into its
+            // own deque, which it drains itself before exiting.
+            if (!anyWorkVisible())
+                return;
+            std::this_thread::yield();
+            continue;
+        }
+        park(self);
+    }
+}
+
+bool
+ThreadPool::runOneTask(Worker &self)
+{
+    if (TaskNode *node = self.deque.pop()) {
+        runNode(node, self);
+        return true;
+    }
+    PoolTask task;
+    if (popShared(task)) {
+        runTask(std::move(task));
+        return true;
+    }
+    // Spin-then-park: bounded stealing rounds, yielding between them
+    // so co-scheduled threads with work make progress.
+    _spinners.fetch_add(1, std::memory_order_seq_cst);
+    TaskNode *node = nullptr;
+    bool found = false;
+    for (int round = 0; round < kSpinRounds; ++round) {
+        node = tryStealFrom(self);
+        if (node || popShared(task)) {
+            found = true;
+            break;
+        }
+        if (_shutdown.load(std::memory_order_relaxed))
+            break;
+        std::this_thread::yield();
+    }
+    _spinners.fetch_sub(1, std::memory_order_seq_cst);
+    if (node) {
+        runNode(node, self);
+        return true;
+    }
+    if (found) {
+        runTask(std::move(task));
+        return true;
+    }
+    return false;
+}
+
+ThreadPool::TaskNode *
+ThreadPool::tryStealFrom(Worker &self)
+{
+    const std::size_t n = _workers.size();
+    if (n <= 1)
+        return nullptr;
+    // xorshift64*: randomized victim order, distinct per worker.
+    self.rng ^= self.rng >> 12;
+    self.rng ^= self.rng << 25;
+    self.rng ^= self.rng >> 27;
+    const std::size_t start =
+        static_cast<std::size_t>(self.rng * 0x2545f4914f6cdd1dull) % n;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t victim = (start + i) % n;
+        Worker &other = *_workers[victim];
+        if (&other == &self)
+            continue;
+        if (TaskNode *node = other.deque.steal()) {
+            _stolen.fetch_add(1, std::memory_order_relaxed);
+            if (obs::traceActive()) {
+                obs::Trace &trace = obs::Trace::global();
+                trace.record(obs::EventType::TaskStolen, -1, -1, -1,
+                             _clock.elapsedSeconds(),
+                             trace.threadTrack(),
+                             static_cast<std::int64_t>(victim));
+            }
+            return node;
+        }
+    }
+    return nullptr;
+}
+
+bool
+ThreadPool::anyWorkVisible() const
+{
+    if (_injector.approxSize() > 0 ||
+        _overflowSize.load(std::memory_order_acquire) > 0)
+        return true;
+    for (const auto &worker : _workers)
+        if (worker->deque.sizeApprox() > 0)
+            return true;
+    return false;
+}
+
+void
+ThreadPool::park(Worker &self)
+{
+    if (obs::traceActive()) {
+        obs::Trace &trace = obs::Trace::global();
+        trace.record(
+            obs::EventType::QueueDepth, -1,
+            static_cast<std::int64_t>(self.deque.sizeApprox()),
+            static_cast<std::int64_t>(_injector.approxSize() +
+                                      _overflowSize.load(
+                                          std::memory_order_relaxed)),
+            _clock.elapsedSeconds(), trace.threadTrack(),
+            static_cast<std::int64_t>(
+                _pending.load(std::memory_order_relaxed)));
+    }
+    std::unique_lock<std::mutex> lock(self.mutex);
+    self.parked.store(true, std::memory_order_seq_cst);
+    _parkedCount.fetch_add(1, std::memory_order_seq_cst);
+    // Pairs with the fence in wakeWorkers(): publish the parked
+    // count/flag before the final work probe, so a concurrent
+    // submitter either sees a nonzero count (and unparks us) or we
+    // see its task here.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (anyWorkVisible() || self.signaled ||
+        _shutdown.load(std::memory_order_seq_cst)) {
+        self.parked.store(false, std::memory_order_relaxed);
+        _parkedCount.fetch_sub(1, std::memory_order_relaxed);
+        self.signaled = false;
+        return;
+    }
+    _parks.fetch_add(1, std::memory_order_relaxed);
+    if (obs::traceActive()) {
+        obs::Trace &trace = obs::Trace::global();
+        trace.record(obs::EventType::WorkerPark, -1, -1, -1,
+                     _clock.elapsedSeconds(), trace.threadTrack(), 0);
+    }
+    self.cv.wait(lock, [&] {
+        return self.signaled ||
+               _shutdown.load(std::memory_order_relaxed);
+    });
+    self.signaled = false;
+    self.parked.store(false, std::memory_order_relaxed);
+    _parkedCount.fetch_sub(1, std::memory_order_relaxed);
+    _unparks.fetch_add(1, std::memory_order_relaxed);
+    if (obs::traceActive()) {
+        obs::Trace &trace = obs::Trace::global();
+        trace.record(obs::EventType::WorkerUnpark, -1, -1, -1,
+                     _clock.elapsedSeconds(), trace.threadTrack(), 0);
+    }
+}
+
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    Stats stats;
+    stats.submitted = _submitted.load(std::memory_order_relaxed);
+    stats.executed = _executed.load(std::memory_order_relaxed);
+    stats.cancelled = _cancelled.load(std::memory_order_relaxed);
+    stats.stolen = _stolen.load(std::memory_order_relaxed);
+    stats.parks = _parks.load(std::memory_order_relaxed);
+    stats.unparks = _unparks.load(std::memory_order_relaxed);
+    return stats;
+}
+
+CountdownLatch::CountdownLatch(std::size_t count)
+    : _count(static_cast<std::ptrdiff_t>(count))
+{
+}
 
 void
 CountdownLatch::countDown()
 {
-    std::lock_guard<std::mutex> lock(_mutex);
-    if (_count == 0)
+    const std::ptrdiff_t previous =
+        _count.fetch_sub(1, std::memory_order_acq_rel);
+    if (previous <= 0)
         support::panic("CountdownLatch counted below zero");
-    if (--_count == 0)
+    if (previous == 1) {
+        // Final count: publish the release to blocked waiters. The
+        // lock orders this notify after any waiter's predicate check.
+        std::lock_guard<std::mutex> lock(_mutex);
         _cv.notify_all();
+    }
+}
+
+bool
+CountdownLatch::tryWait() const
+{
+    return _count.load(std::memory_order_acquire) <= 0;
 }
 
 void
 CountdownLatch::wait()
 {
+    if (tryWait())
+        return;
     std::unique_lock<std::mutex> lock(_mutex);
-    _cv.wait(lock, [this] { return _count == 0; });
+    _cv.wait(lock, [this] { return tryWait(); });
+}
+
+bool
+CountdownLatch::waitFor(std::chrono::nanoseconds timeout)
+{
+    if (tryWait())
+        return true;
+    std::unique_lock<std::mutex> lock(_mutex);
+    return _cv.wait_for(lock, timeout, [this] { return tryWait(); });
 }
 
 } // namespace stats::threading

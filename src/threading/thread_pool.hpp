@@ -1,36 +1,99 @@
 /**
  * @file
- * A fixed-size thread pool.
+ * A fixed-size work-stealing thread pool.
  *
  * The paper's runtime "includes an efficient thread pool
  * implementation (shared with all state dependences) to minimize
- * thread creation overhead" (section 3.4). This pool backs the
- * real-thread executor; workers are created once and jobs are
- * dispatched through a mutex-protected queue.
+ * thread creation overhead" (section 3.4). The original reproduction
+ * funneled every job through one mutex-protected queue; this version
+ * is a work-stealing scheduler so that dispatch overhead stops
+ * competing with the parallelism the speculation engine exists to
+ * create (docs/INTERNALS.md "The work-stealing scheduler"):
+ *
+ *  - each worker owns a Chase–Lev deque (owner push/pop at the
+ *    bottom, lock-free steal at the top); jobs submitted from a
+ *    worker thread go to its own deque, external submissions go to a
+ *    bounded lock-free injector queue (with a mutex-protected
+ *    overflow list so submission never blocks or fails);
+ *  - idle workers steal from random victims, spinning a bounded
+ *    number of rounds before parking on a per-worker condition
+ *    variable; submissions only pay a wake syscall when no worker is
+ *    spinning;
+ *  - completion accounting is a single atomic pending counter;
+ *    waitIdle() blocks on it without touching any queue lock;
+ *  - submitBatch() enqueues a whole group of tasks in one operation
+ *    and performs one wake decision for the lot;
+ *  - a task's cancellation flag is checked *before* dispatch, so a
+ *    cancelled task never occupies a worker with real work.
+ *
+ * Shutdown semantics (explicit, tested): the destructor **drains** —
+ * every job already submitted, plus any job spawned by a running job,
+ * is executed before the workers exit. Use waitIdle() first if you
+ * need a quiescent point; submitting from outside the pool while the
+ * destructor runs is undefined (as it was for the global-queue pool).
+ *
+ * Scheduler observability: with the trace layer active the pool
+ * records TaskStolen, WorkerPark, WorkerUnpark, and QueueDepth events
+ * (schema: docs/OBSERVABILITY.md §2); lightweight counters
+ * (`stats()`) are always on.
  */
 
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
-#include <functional>
+#include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
+
+#include "support/timer.hpp"
+#include "threading/primitives.hpp"
+#include "threading/unique_function.hpp"
 
 namespace stats::threading {
 
-/** Fixed-size pool of worker threads executing queued jobs FIFO. */
+/** Shared cancellation flag (the shape of exec::CancelToken). */
+using CancelFlag = std::shared_ptr<std::atomic<bool>>;
+
+/**
+ * One unit of pool work. `run(cancelled)` is invoked exactly once on
+ * a worker thread; `cancelled` is true when the cancel flag was set
+ * before dispatch (the callee decides what a skipped task still does,
+ * e.g. fire a completion callback).
+ */
+struct PoolTask
+{
+    UniqueFunction<void(bool cancelled)> run;
+
+    /** Optional: checked once, immediately before dispatch. */
+    CancelFlag cancel;
+};
+
+/** Fixed-size pool of workers executing jobs via work stealing. */
 class ThreadPool
 {
   public:
-    using Job = std::function<void()>;
+    using Job = UniqueFunction<void()>;
+
+    /** Monotonic scheduler counters; always on (relaxed atomics). */
+    struct Stats
+    {
+        std::uint64_t submitted = 0; ///< Tasks accepted.
+        std::uint64_t executed = 0;  ///< Tasks run (incl. cancelled).
+        std::uint64_t cancelled = 0; ///< Tasks skipped via their flag.
+        std::uint64_t stolen = 0;    ///< Tasks taken from another worker.
+        std::uint64_t parks = 0;     ///< Times a worker blocked.
+        std::uint64_t unparks = 0;   ///< Times a parked worker woke.
+    };
 
     /** Spawn `threads` workers (at least 1). */
     explicit ThreadPool(int threads);
 
-    /** Joins all workers; pending jobs are completed first. */
+    /** Joins all workers; pending jobs are completed first (drains). */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -39,39 +102,103 @@ class ThreadPool
     /** Enqueue a job. Safe to call from worker threads. */
     void submit(Job job);
 
-    /** Block until the queue is empty and all workers are idle. */
+    /** Enqueue a cancellable task. Safe to call from worker threads. */
+    void submit(PoolTask task);
+
+    /** Enqueue several tasks with a single wake decision. */
+    void submitBatch(std::vector<PoolTask> tasks);
+
+    /** Block until no submitted job (or job it spawned) remains. */
     void waitIdle();
 
     int threadCount() const { return static_cast<int>(_workers.size()); }
 
-  private:
-    void workerLoop();
+    /** Pool-lifetime wall clock, seconds (steady, starts at 0). */
+    double clockSeconds() const { return _clock.elapsedSeconds(); }
 
-    std::vector<std::thread> _workers;
-    std::deque<Job> _queue;
-    std::mutex _mutex;
-    std::condition_variable _wake;
-    std::condition_variable _idle;
-    std::size_t _active = 0;
-    bool _shutdown = false;
+    Stats stats() const;
+
+  private:
+    struct TaskNode;
+    struct Worker;
+
+    void workerLoop(int index);
+    bool runOneTask(Worker &self);
+    TaskNode *tryStealFrom(Worker &self);
+    bool popShared(PoolTask &out);
+    void pushShared(PoolTask task);
+    void enqueue(PoolTask task);
+    bool anyWorkVisible() const;
+    void wakeWorkers(std::size_t want);
+    void wakeForLocalSubmit();
+    void runTask(PoolTask task);
+    void runNode(TaskNode *node, Worker &self);
+    void finishOne();
+    void park(Worker &self);
+
+    std::vector<std::unique_ptr<Worker>> _workers;
+    // External submissions carry PoolTask by value: with the job
+    // wrapper's inline storage a small closure travels from submit()
+    // to a worker with zero heap traffic. Only worker-local deques
+    // need stable pointers (Chase-Lev slots), so only worker-side
+    // submissions use heap nodes — recycled through a per-worker
+    // freelist.
+    MpmcBoundedQueue<PoolTask> _injector;
+    std::mutex _overflowMutex;
+    std::deque<PoolTask> _overflow;
+    std::atomic<std::size_t> _overflowSize{0};
+
+    std::atomic<std::size_t> _pending{0};
+    std::atomic<int> _spinners{0};
+    std::atomic<int> _parkedCount{0};
+    std::atomic<bool> _shutdown{false};
+
+    std::mutex _idleMutex;
+    std::condition_variable _idleCv;
+    std::atomic<int> _idleWaiters{0};
+
+    support::Timer _clock;
+
+    std::atomic<std::uint64_t> _submitted{0};
+    std::atomic<std::uint64_t> _executed{0};
+    std::atomic<std::uint64_t> _cancelled{0};
+    std::atomic<std::uint64_t> _stolen{0};
+    std::atomic<std::uint64_t> _parks{0};
+    std::atomic<std::uint64_t> _unparks{0};
 };
 
-/** A latch that releases waiters once its count reaches zero. */
+/**
+ * A latch that releases waiters once its count reaches zero.
+ *
+ * The count is a single atomic: countDown() is lock-free until the
+ * final decrement, which takes the mutex only to publish the wakeup
+ * to blocked waiters. Counting below zero is an invariant violation
+ * and panics.
+ */
 class CountdownLatch
 {
   public:
     explicit CountdownLatch(std::size_t count);
 
-    /** Decrement; releases waiters at zero. Extra counts are errors. */
+    /** Decrement; releases waiters at zero. Extra counts panic. */
     void countDown();
+
+    /** True when the count already reached zero (never blocks). */
+    bool tryWait() const;
 
     /** Block until the count reaches zero. */
     void wait();
 
+    /**
+     * Block until the count reaches zero or `timeout` elapses.
+     * @return true when the latch was released, false on timeout.
+     */
+    bool waitFor(std::chrono::nanoseconds timeout);
+
   private:
+    std::atomic<std::ptrdiff_t> _count;
     std::mutex _mutex;
     std::condition_variable _cv;
-    std::size_t _count;
 };
 
 } // namespace stats::threading

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * A move-only type-erased callable with small-buffer optimization.
+ *
+ * `std::function` requires copyable targets, which forces every task
+ * closure submitted to the thread pool to be copy-constructible and
+ * invites silent deep copies of captured state (tags, shared
+ * pointers, whole `exec::Task`s). The pool's job type is this wrapper
+ * instead: targets are moved in exactly once and never copied, so the
+ * submit path is move-only end to end.
+ *
+ * Targets up to `kInlineBytes` that are nothrow-move-constructible
+ * live inside the wrapper itself — no heap allocation. This is the
+ * scheduler's hot path: the pool's queues carry PoolTask by value, so
+ * a small closure travels from submit() to a worker without ever
+ * touching the allocator. Larger targets fall back to a single heap
+ * allocation, exactly like the unique_ptr-based implementation this
+ * replaces.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace stats::threading {
+
+template <class Signature>
+class UniqueFunction;
+
+/** Move-only callable wrapper; empty by default. */
+template <class R, class... Args>
+class UniqueFunction<R(Args...)>
+{
+  public:
+    /** Inline storage: closures up to this size avoid the heap. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    UniqueFunction() = default;
+
+    template <class F,
+              class = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    UniqueFunction(F &&callable)
+    {
+        using Decayed = std::decay_t<F>;
+        if constexpr (fitsInline<Decayed>()) {
+            ::new (static_cast<void *>(_storage.buffer))
+                Decayed(std::forward<F>(callable));
+            _ops = &InlineOps<Decayed>::kOps;
+        } else {
+            _storage.heap = new Decayed(std::forward<F>(callable));
+            _ops = &HeapOps<Decayed>::kOps;
+        }
+    }
+
+    UniqueFunction(UniqueFunction &&other) noexcept { moveFrom(other); }
+
+    UniqueFunction &
+    operator=(UniqueFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    UniqueFunction(const UniqueFunction &) = delete;
+    UniqueFunction &operator=(const UniqueFunction &) = delete;
+
+    ~UniqueFunction() { reset(); }
+
+    /** Invoke the target; undefined when empty (like std::function). */
+    R
+    operator()(Args... args)
+    {
+        return _ops->invoke(&_storage, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const { return _ops != nullptr; }
+
+  private:
+    union Storage
+    {
+        alignas(alignof(std::max_align_t)) unsigned char
+            buffer[kInlineBytes];
+        void *heap;
+    };
+
+    struct Ops
+    {
+        R (*invoke)(Storage *, Args &&...);
+        /** Move-construct `*dst` from `*src`, then destroy `*src`. */
+        void (*relocate)(Storage *dst, Storage *src) noexcept;
+        void (*destroy)(Storage *) noexcept;
+    };
+
+    template <class F>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(F) <= kInlineBytes &&
+               alignof(F) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<F>;
+    }
+
+    template <class F>
+    struct InlineOps
+    {
+        static F *
+        target(Storage *storage)
+        {
+            return std::launder(
+                reinterpret_cast<F *>(storage->buffer));
+        }
+        static R
+        invoke(Storage *storage, Args &&...args)
+        {
+            return (*target(storage))(std::forward<Args>(args)...);
+        }
+        static void
+        relocate(Storage *dst, Storage *src) noexcept
+        {
+            ::new (static_cast<void *>(dst->buffer))
+                F(std::move(*target(src)));
+            target(src)->~F();
+        }
+        static void
+        destroy(Storage *storage) noexcept
+        {
+            target(storage)->~F();
+        }
+        static constexpr Ops kOps = {&invoke, &relocate, &destroy};
+    };
+
+    template <class F>
+    struct HeapOps
+    {
+        static F *
+        target(Storage *storage)
+        {
+            return static_cast<F *>(storage->heap);
+        }
+        static R
+        invoke(Storage *storage, Args &&...args)
+        {
+            return (*target(storage))(std::forward<Args>(args)...);
+        }
+        static void
+        relocate(Storage *dst, Storage *src) noexcept
+        {
+            dst->heap = src->heap;
+            src->heap = nullptr;
+        }
+        static void
+        destroy(Storage *storage) noexcept
+        {
+            delete target(storage);
+        }
+        static constexpr Ops kOps = {&invoke, &relocate, &destroy};
+    };
+
+    /** Precondition: this is empty. Leaves `other` empty. */
+    void
+    moveFrom(UniqueFunction &other) noexcept
+    {
+        if (other._ops) {
+            other._ops->relocate(&_storage, &other._storage);
+            _ops = other._ops;
+            other._ops = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (_ops) {
+            _ops->destroy(&_storage);
+            _ops = nullptr;
+        }
+    }
+
+    Storage _storage;
+    const Ops *_ops = nullptr;
+};
+
+} // namespace stats::threading

@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -71,6 +73,86 @@ TEST(ThreadPool, DestructorDrainsQueue)
     EXPECT_EQ(count.load(), 50);
 }
 
+TEST(ThreadPool, DestructorDrainsNestedSpawns)
+{
+    // Drain-on-shutdown covers jobs spawned by running jobs: the
+    // destructor may only join once the whole tree has executed.
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 10; ++i) {
+            pool.submit([&count, &pool] {
+                count.fetch_add(1);
+                pool.submit([&count] { count.fetch_add(1); });
+            });
+        }
+    }
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, SubmitBatchRunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    std::vector<PoolTask> batch;
+    for (int i = 0; i < 64; ++i) {
+        PoolTask task;
+        task.run = [&count](bool cancelled) {
+            if (!cancelled)
+                count.fetch_add(1);
+        };
+        batch.push_back(std::move(task));
+    }
+    pool.submitBatch(std::move(batch));
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 64);
+    EXPECT_EQ(pool.stats().executed, 64u);
+}
+
+TEST(ThreadPool, CancelledTaskIsReportedCancelled)
+{
+    ThreadPool pool(2);
+    auto flag = std::make_shared<std::atomic<bool>>(true);
+    std::atomic<int> ran{0};
+    std::atomic<int> cancelled{0};
+    PoolTask task;
+    task.cancel = flag;
+    task.run = [&](bool was_cancelled) {
+        (was_cancelled ? cancelled : ran).fetch_add(1);
+    };
+    pool.submit(std::move(task));
+    pool.waitIdle();
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(cancelled.load(), 1);
+    EXPECT_EQ(pool.stats().cancelled, 1u);
+}
+
+TEST(ThreadPool, MoveOnlyJobsAreAccepted)
+{
+    // The submit path must be move-only end to end: a job capturing a
+    // unique_ptr would not compile against a copy-requiring wrapper.
+    ThreadPool pool(2);
+    auto payload = std::make_unique<int>(41);
+    std::atomic<int> seen{0};
+    pool.submit([payload = std::move(payload), &seen] {
+        seen.store(*payload + 1);
+    });
+    pool.waitIdle();
+    EXPECT_EQ(seen.load(), 42);
+}
+
+TEST(ThreadPool, StatsCountSubmittedAndExecuted)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 25; ++i)
+        pool.submit([] {});
+    pool.waitIdle();
+    const ThreadPool::Stats stats = pool.stats();
+    EXPECT_EQ(stats.submitted, 25u);
+    EXPECT_EQ(stats.executed, 25u);
+    EXPECT_EQ(stats.cancelled, 0u);
+}
+
 TEST(CountdownLatch, ReleasesAtZero)
 {
     CountdownLatch latch(3);
@@ -92,6 +174,46 @@ TEST(CountdownLatch, ZeroCountReleasesImmediately)
     CountdownLatch latch(0);
     latch.wait();
     SUCCEED();
+}
+
+TEST(CountdownLatch, TryWaitNeverBlocks)
+{
+    CountdownLatch latch(1);
+    EXPECT_FALSE(latch.tryWait());
+    latch.countDown();
+    EXPECT_TRUE(latch.tryWait());
+}
+
+TEST(CountdownLatch, WaitForTimesOutThenReleases)
+{
+    CountdownLatch latch(1);
+    EXPECT_FALSE(latch.waitFor(std::chrono::milliseconds(1)));
+    latch.countDown();
+    EXPECT_TRUE(latch.waitFor(std::chrono::milliseconds(1)));
+}
+
+TEST(CountdownLatch, FinalCountWakesEveryWaiter)
+{
+    CountdownLatch latch(1);
+    std::atomic<int> released{0};
+    std::vector<std::thread> waiters;
+    for (int i = 0; i < 4; ++i) {
+        waiters.emplace_back([&] {
+            latch.wait();
+            released.fetch_add(1);
+        });
+    }
+    latch.countDown();
+    for (auto &waiter : waiters)
+        waiter.join();
+    EXPECT_EQ(released.load(), 4);
+}
+
+TEST(CountdownLatchDeathTest, CountingBelowZeroPanics)
+{
+    CountdownLatch latch(1);
+    latch.countDown();
+    EXPECT_DEATH(latch.countDown(), "CountdownLatch");
 }
 
 } // namespace

@@ -12,9 +12,12 @@
  * Usage:
  *   stats-trace-dump <benchmark> [--mode=original|seq|par]
  *       [--threads=N] [--workload=rep|bad] [--seed=N]
- *       [--limit=N] [--chrome=FILE]
+ *       [--limit=N] [--events=all|engine|sched] [--chrome=FILE]
  *
  * `--limit` bounds the printed event rows (default 64; 0 = all).
+ * `--events` filters the rows: `engine` hides the scheduler's
+ * TaskStolen/WorkerPark/WorkerUnpark/QueueDepth instants, `sched`
+ * shows only them (real-thread runs; the simulator emits none).
  */
 
 #include <cstdio>
@@ -58,6 +61,7 @@ usage()
         << "  --seed=N                  run seed (default 0)\n"
         << "  --limit=N                 event rows printed; 0 = all "
            "(default 64)\n"
+        << "  --events=all|engine|sched event-row filter (default all)\n"
         << "  --chrome=FILE             also write chrome://tracing "
            "JSON\n";
 }
@@ -128,10 +132,22 @@ main(int argc, char **argv)
 
     const auto limit =
         static_cast<std::size_t>(std::stoll(option("limit", "64")));
+    const std::string filter = option("events", "all");
+    if (filter != "all" && filter != "engine" && filter != "sched") {
+        usage();
+        return 1;
+    }
     support::TextTable table(
         {"seq", "event", "group", "inputs", "track", "t (s)", "arg"});
     std::size_t printed = 0;
+    std::size_t filtered = 0;
     for (const auto &event : events) {
+        const bool sched = obs::isSchedulerEvent(event.type);
+        if ((filter == "engine" && sched) ||
+            (filter == "sched" && !sched)) {
+            ++filtered;
+            continue;
+        }
         if (limit != 0 && printed == limit)
             break;
         std::ostringstream inputs;
@@ -146,11 +162,30 @@ main(int argc, char **argv)
         ++printed;
     }
     table.print(std::cout);
-    if (limit != 0 && events.size() > limit)
-        std::cout << "... " << events.size() - limit
+    if (limit != 0 && events.size() - filtered > limit)
+        std::cout << "... " << events.size() - filtered - limit
                   << " more events (raise with --limit=N, 0 = all)\n";
+    if (filtered > 0)
+        std::cout << "(" << filtered << " events hidden by --events="
+                  << filter << ")\n";
     std::cout << "\n";
     obs::printSummaryTable(std::cout, summary);
+
+    // Scheduler footer: steal/park activity at a glance (real-thread
+    // runs only; simulated runs legitimately show zeros).
+    std::size_t steals = 0;
+    std::size_t parks = 0;
+    std::size_t unparks = 0;
+    for (const auto &event : events) {
+        switch (event.type) {
+          case obs::EventType::TaskStolen:   ++steals;  break;
+          case obs::EventType::WorkerPark:   ++parks;   break;
+          case obs::EventType::WorkerUnpark: ++unparks; break;
+          default: break;
+        }
+    }
+    std::cout << "\nscheduler: " << steals << " steals, " << parks
+              << " parks, " << unparks << " unparks\n";
 
     const std::string chrome_path = option("chrome", "");
     if (!chrome_path.empty()) {
