@@ -1,0 +1,87 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace stats::analysis {
+
+Cfg::Cfg(const ir::Function &fn) : _fn(&fn)
+{
+    const std::size_t n = fn.blocks.size();
+    _succs.resize(n);
+    _preds.resize(n);
+    _rpoIndex.assign(n, -1);
+    for (std::size_t b = 0; b < n; ++b)
+        _indexOf[fn.blocks[b].label] = int(b);
+
+    for (std::size_t b = 0; b < n; ++b) {
+        const ir::Instruction *term = fn.blocks[b].terminator();
+        if (!term)
+            continue;
+        for (const auto &label : term->labels) {
+            const int target = indexOf(label);
+            if (target < 0)
+                continue; // Verifier reports unknown labels.
+            // Multi-edges (br with equal targets) are collapsed.
+            auto &succs = _succs[b];
+            if (std::find(succs.begin(), succs.end(), target) ==
+                succs.end()) {
+                succs.push_back(target);
+                _preds[std::size_t(target)].push_back(int(b));
+            }
+        }
+    }
+
+    if (n == 0)
+        return;
+
+    // Iterative postorder DFS from the entry, then reverse.
+    std::vector<int> postorder;
+    std::vector<char> visited(n, 0);
+    std::vector<std::pair<int, std::size_t>> stack{{0, 0}};
+    visited[0] = 1;
+    while (!stack.empty()) {
+        auto &[block, next] = stack.back();
+        if (next < _succs[std::size_t(block)].size()) {
+            const int succ = _succs[std::size_t(block)][next++];
+            if (!visited[std::size_t(succ)]) {
+                visited[std::size_t(succ)] = 1;
+                stack.push_back({succ, 0});
+            }
+        } else {
+            postorder.push_back(block);
+            stack.pop_back();
+        }
+    }
+    _rpo.assign(postorder.rbegin(), postorder.rend());
+    for (std::size_t i = 0; i < _rpo.size(); ++i)
+        _rpoIndex[std::size_t(_rpo[i])] = int(i);
+}
+
+int
+Cfg::indexOf(const std::string &label) const
+{
+    auto it = _indexOf.find(label);
+    return it == _indexOf.end() ? -1 : it->second;
+}
+
+const ir::BasicBlock &
+Cfg::block(int index) const
+{
+    return _fn->blocks.at(std::size_t(index));
+}
+
+const std::vector<int> &
+Cfg::successors(int block) const
+{
+    return _succs.at(std::size_t(block));
+}
+
+const std::vector<int> &
+Cfg::predecessors(int block) const
+{
+    return _preds.at(std::size_t(block));
+}
+
+} // namespace stats::analysis

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Control-flow graph of one mini-IR function.
+ *
+ * The dataflow framework (src/analysis/dataflow.hpp) and the
+ * dominator tree are built on top of this: block successors are the
+ * terminator's labels, predecessors are the reverse edges, and the
+ * reverse postorder gives the iteration order that makes the
+ * fixed-point solvers converge quickly.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace stats::analysis {
+
+class Cfg
+{
+  public:
+    explicit Cfg(const ir::Function &fn);
+
+    const ir::Function &function() const { return *_fn; }
+    std::size_t blockCount() const { return _succs.size(); }
+
+    /** Index of a block label; -1 if unknown. */
+    int indexOf(const std::string &label) const;
+
+    const ir::BasicBlock &block(int index) const;
+    const std::vector<int> &successors(int block) const;
+    const std::vector<int> &predecessors(int block) const;
+
+    /** Entry block index (0) — functions always start at block 0. */
+    int entry() const { return 0; }
+
+    /** Reverse postorder over reachable blocks, entry first. */
+    const std::vector<int> &reversePostorder() const { return _rpo; }
+
+    /** Position of `block` in the RPO; -1 if unreachable. */
+    int rpoIndex(int block) const { return _rpoIndex[std::size_t(block)]; }
+
+    bool reachable(int block) const { return rpoIndex(block) >= 0; }
+
+  private:
+    const ir::Function *_fn;
+    std::map<std::string, int> _indexOf;
+    std::vector<std::vector<int>> _succs;
+    std::vector<std::vector<int>> _preds;
+    std::vector<int> _rpo;
+    std::vector<int> _rpoIndex;
+};
+
+} // namespace stats::analysis

@@ -1,0 +1,412 @@
+#include "analysis/clone_audit.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/interpreter.hpp"
+
+namespace stats::analysis {
+
+namespace {
+
+/** Origin-callee -> clone-callee map for one state dependence. */
+std::map<std::string, std::string>
+cloneMapFor(const ir::Module &module, const std::string &state_dep)
+{
+    std::map<std::string, std::string> map;
+    for (const auto &meta : module.auxClones) {
+        if (meta.stateDep == state_dep)
+            map[meta.origin] = meta.clone;
+    }
+    return map;
+}
+
+/** Aux-placeholder name -> the aux tradeoff that owns it. */
+std::map<std::string, const ir::TradeoffMeta *>
+auxPlaceholderMap(const ir::Module &module)
+{
+    std::map<std::string, const ir::TradeoffMeta *> map;
+    for (const auto &meta : module.tradeoffs) {
+        if (meta.auxClone)
+            map[meta.placeholder] = &meta;
+    }
+    return map;
+}
+
+/**
+ * Structural equality of one origin/clone instruction pair, where a
+ * call in the origin may be redirected through `clone_map`.
+ */
+bool
+equalModuloClones(const ir::Instruction &origin,
+                  const ir::Instruction &clone,
+                  const std::map<std::string, std::string> &clone_map)
+{
+    if (origin.op != clone.op || origin.type != clone.type ||
+        origin.result != clone.result ||
+        origin.labels != clone.labels ||
+        origin.operands.size() != clone.operands.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < origin.operands.size(); ++i) {
+        if (!(origin.operands[i] == clone.operands[i]))
+            return false;
+    }
+    if (origin.op == ir::Opcode::Call) {
+        auto mapped = clone_map.find(origin.callee);
+        const std::string &expected = mapped != clone_map.end()
+                                          ? mapped->second
+                                          : origin.callee;
+        if (clone.callee != expected)
+            return false;
+    }
+    return true;
+}
+
+/** Whether helper interpretation is safe (exists, expected arity). */
+bool
+canInterpret(const ir::Module &module, const std::string &fn_name,
+             std::size_t arity)
+{
+    const ir::Function *fn = module.findFunction(fn_name);
+    return fn != nullptr && fn->params.size() == arity;
+}
+
+class CloneAuditor
+{
+  public:
+    explicit CloneAuditor(AnalysisManager &manager)
+        : _module(manager.module()),
+          _auxPlaceholders(auxPlaceholderMap(_module))
+    {}
+
+    std::vector<Diagnostic> run();
+
+  private:
+    void auditClone(const ir::AuxCloneMeta &meta);
+    void auditBlock(const ir::AuxCloneMeta &meta,
+                    const ir::BasicBlock &origin,
+                    const ir::BasicBlock &clone,
+                    const std::map<std::string, std::string> &clone_map);
+    void auditTradeoffSite(const ir::AuxCloneMeta &meta,
+                           const ir::BasicBlock &origin,
+                           const ir::BasicBlock &clone, std::size_t &i,
+                           std::size_t &j,
+                           const ir::TradeoffMeta &tradeoff);
+    void auditTruncation(const ir::AuxCloneMeta &meta);
+
+    void report(const std::string &rule, const ir::AuxCloneMeta &meta,
+                const std::string &block, std::size_t line,
+                const std::string &message)
+    {
+        _diags.push_back(
+            makeDiagnostic(rule, meta.clone, block, line, message));
+    }
+
+    /** Default choice index of a tradeoff, -1 if not evaluable. */
+    std::int64_t defaultIndexOf(const ir::TradeoffMeta &tradeoff) const
+    {
+        if (!canInterpret(_module, tradeoff.defaultIndexFn, 0))
+            return -1;
+        ir::Interpreter interp(_module);
+        return interp.call(tradeoff.defaultIndexFn, {}).asInt();
+    }
+
+    const ir::Module &_module;
+    std::map<std::string, const ir::TradeoffMeta *> _auxPlaceholders;
+    std::vector<Diagnostic> _diags;
+};
+
+std::vector<Diagnostic>
+CloneAuditor::run()
+{
+    for (const auto &meta : _module.auxClones)
+        auditClone(meta);
+    for (const auto &meta : _module.auxClones)
+        auditTruncation(meta);
+    for (const auto &dep : _module.stateDeps) {
+        if (dep.truncated) {
+            _diags.push_back(makeDiagnostic(
+                "AUD06", dep.computeFn, "", dep.line,
+                "state dependence " + dep.name +
+                    "'s auxiliary code was truncated by the clone "
+                    "budget; un-cloned callees run shared code"));
+        }
+    }
+    return std::move(_diags);
+}
+
+void
+CloneAuditor::auditClone(const ir::AuxCloneMeta &meta)
+{
+    const ir::Function *origin = _module.findFunction(meta.origin);
+    const ir::Function *clone = _module.findFunction(meta.clone);
+    if (origin == nullptr || clone == nullptr)
+        return; // The verifier reports dangling auxclone records.
+
+    if (origin->returnType != clone->returnType ||
+        origin->params.size() != clone->params.size()) {
+        report("AUD01", meta, "", clone->line,
+               "clone @" + meta.clone + " signature differs from origin @" +
+                   meta.origin);
+        return;
+    }
+    for (std::size_t p = 0; p < origin->params.size(); ++p) {
+        if (origin->params[p].name != clone->params[p].name ||
+            origin->params[p].type != clone->params[p].type) {
+            report("AUD01", meta, "", clone->line,
+                   "clone @" + meta.clone + " parameter %" +
+                       clone->params[p].name +
+                       " differs from origin @" + meta.origin);
+            return;
+        }
+    }
+
+    if (origin->blocks.size() != clone->blocks.size()) {
+        report("AUD02", meta, "", clone->line,
+               "clone @" + meta.clone + " has " +
+                   std::to_string(clone->blocks.size()) +
+                   " blocks, origin @" + meta.origin + " has " +
+                   std::to_string(origin->blocks.size()));
+        return;
+    }
+
+    const auto clone_map = cloneMapFor(_module, meta.stateDep);
+    for (std::size_t b = 0; b < origin->blocks.size(); ++b) {
+        const ir::BasicBlock &ob = origin->blocks[b];
+        const ir::BasicBlock &cb = clone->blocks[b];
+        if (ob.label != cb.label) {
+            report("AUD02", meta, cb.label, cb.line,
+                   "clone block '" + cb.label +
+                       "' does not match origin block '" + ob.label +
+                       "'");
+            continue;
+        }
+        auditBlock(meta, ob, cb, clone_map);
+    }
+}
+
+void
+CloneAuditor::auditBlock(const ir::AuxCloneMeta &meta,
+                         const ir::BasicBlock &origin,
+                         const ir::BasicBlock &clone,
+                         const std::map<std::string, std::string> &clone_map)
+{
+    std::size_t i = 0, j = 0;
+    while (i < origin.instructions.size() ||
+           j < clone.instructions.size()) {
+        // A clone-side call to an aux placeholder pairs with the
+        // origin's frozen form of the same tradeoff site.
+        if (j < clone.instructions.size() &&
+            clone.instructions[j].op == ir::Opcode::Call) {
+            auto aux = _auxPlaceholders.find(clone.instructions[j].callee);
+            if (aux != _auxPlaceholders.end()) {
+                auditTradeoffSite(meta, origin, clone, i, j,
+                                  *aux->second);
+                continue;
+            }
+        }
+
+        if (i >= origin.instructions.size() ||
+            j >= clone.instructions.size()) {
+            report("AUD02", meta, clone.label, clone.line,
+                   "instruction count mismatch in block '" +
+                       clone.label + "' between clone @" + meta.clone +
+                       " and origin @" + meta.origin);
+            return;
+        }
+
+        const ir::Instruction &oi = origin.instructions[i];
+        const ir::Instruction &cj = clone.instructions[j];
+        if (!equalModuloClones(oi, cj, clone_map)) {
+            report("AUD03", meta, clone.label, cj.line,
+                   "instruction '" + cj.toString() +
+                       "' diverges from origin's '" + oi.toString() +
+                       "'");
+        }
+        ++i;
+        ++j;
+    }
+}
+
+void
+CloneAuditor::auditTradeoffSite(const ir::AuxCloneMeta &meta,
+                                const ir::BasicBlock &origin,
+                                const ir::BasicBlock &clone,
+                                std::size_t &i, std::size_t &j,
+                                const ir::TradeoffMeta &tradeoff)
+{
+    const ir::Instruction &site = clone.instructions[j];
+    const std::int64_t index = defaultIndexOf(tradeoff);
+
+    // No origin instruction left to pair with the tradeoff site.
+    if (i >= origin.instructions.size()) {
+        report("AUD03", meta, clone.label, site.line,
+               "tradeoff call '" + site.toString() +
+                   "' has no frozen counterpart in origin @" +
+                   meta.origin);
+        ++j;
+        return;
+    }
+    const ir::Instruction &oi = origin.instructions[i];
+
+    switch (tradeoff.kind) {
+      case ir::TradeoffKind::Constant: {
+        // Origin form: the placeholder call replaced by a constant
+        // cast (midend applyTradeoff, Constant case).
+        if (oi.op != ir::Opcode::Cast || oi.operands.size() != 1 ||
+            oi.operands[0].kind == ir::Operand::Kind::Temp ||
+            oi.result != site.result || oi.type != site.type) {
+            report("AUD03", meta, clone.label, site.line,
+                   "tradeoff call '" + site.toString() +
+                       "' pairs with origin's '" + oi.toString() +
+                       "', which is not a frozen constant");
+            ++i;
+            ++j;
+            return;
+        }
+        if (index >= 0 &&
+            canInterpret(_module, tradeoff.getValueFn, 1)) {
+            ir::Interpreter interp(_module);
+            const ir::RtValue value = interp.call(
+                tradeoff.getValueFn, {ir::RtValue::ofInt(index)});
+            const bool matches =
+                ir::isFloating(oi.type)
+                    ? oi.operands[0].floatValue == value.asFloat()
+                    : oi.operands[0].intValue == value.asInt();
+            if (!matches) {
+                report("AUD04", meta, clone.label, site.line,
+                       "origin froze " + tradeoff.name + " to " +
+                           oi.operands[0].toString() +
+                           " but the aux tradeoff's default is " +
+                           (ir::isFloating(oi.type)
+                                ? std::to_string(value.asFloat())
+                                : std::to_string(value.asInt())));
+            }
+        }
+        ++i;
+        ++j;
+        return;
+      }
+      case ir::TradeoffKind::DataType: {
+        std::string chosen;
+        if (index >= 0 &&
+            index < std::int64_t(tradeoff.nameChoices.size())) {
+            chosen = tradeoff.nameChoices[std::size_t(index)];
+        }
+        // Narrow+widen pair: freeze split the site in two.
+        if (oi.op == ir::Opcode::Cast &&
+            oi.result == site.result + "__narrow") {
+            if (i + 1 >= origin.instructions.size() ||
+                origin.instructions[i + 1].op != ir::Opcode::Cast ||
+                origin.instructions[i + 1].result != site.result) {
+                report("AUD03", meta, clone.label, site.line,
+                       "tradeoff call '" + site.toString() +
+                           "' pairs with a narrow cast but no widen "
+                           "cast in origin @" + meta.origin);
+                ++i;
+                ++j;
+                return;
+            }
+            if (!chosen.empty() && ir::typeName(oi.type) != chosen) {
+                report("AUD04", meta, clone.label, site.line,
+                       "origin froze " + tradeoff.name + " to type " +
+                           ir::typeName(oi.type) +
+                           " but the aux tradeoff's default is " +
+                           chosen);
+            }
+            i += 2;
+            ++j;
+            return;
+        }
+        // Identity cast: the chosen type matched the declared one.
+        if (oi.op == ir::Opcode::Cast && oi.operands.size() == 1 &&
+            oi.result == site.result) {
+            if (!chosen.empty() && ir::typeName(oi.type) != chosen) {
+                report("AUD04", meta, clone.label, site.line,
+                       "origin froze " + tradeoff.name + " to type " +
+                           ir::typeName(oi.type) +
+                           " but the aux tradeoff's default is " +
+                           chosen);
+            }
+            ++i;
+            ++j;
+            return;
+        }
+        report("AUD03", meta, clone.label, site.line,
+               "tradeoff call '" + site.toString() +
+                   "' pairs with origin's '" + oi.toString() +
+                   "', which is not a frozen type substitution");
+        ++i;
+        ++j;
+        return;
+      }
+      case ir::TradeoffKind::FunctionChoice: {
+        if (oi.op != ir::Opcode::Call || oi.result != site.result) {
+            report("AUD03", meta, clone.label, site.line,
+                   "tradeoff call '" + site.toString() +
+                       "' pairs with origin's '" + oi.toString() +
+                       "', which is not a frozen function choice");
+            ++i;
+            ++j;
+            return;
+        }
+        if (index >= 0 &&
+            index < std::int64_t(tradeoff.nameChoices.size()) &&
+            oi.callee != tradeoff.nameChoices[std::size_t(index)]) {
+            report("AUD04", meta, clone.label, site.line,
+                   "origin froze " + tradeoff.name + " to @" +
+                       oi.callee +
+                       " but the aux tradeoff's default choice is @" +
+                       tradeoff.nameChoices[std::size_t(index)]);
+        }
+        ++i;
+        ++j;
+        return;
+      }
+    }
+}
+
+void
+CloneAuditor::auditTruncation(const ir::AuxCloneMeta &meta)
+{
+    const ir::StateDepMeta *dep = _module.findStateDep(meta.stateDep);
+    if (dep == nullptr || !dep->truncated)
+        return;
+    const ir::Function *clone = _module.findFunction(meta.clone);
+    if (clone == nullptr)
+        return;
+
+    // Under budget truncation, any call that leaves the clone set runs
+    // shared (non-speculative) code — surface each such edge.
+    std::set<std::string> clone_set;
+    for (const auto &entry : _module.auxClones) {
+        if (entry.stateDep == meta.stateDep)
+            clone_set.insert(entry.clone);
+    }
+    for (const auto &block : clone->blocks) {
+        for (const auto &inst : block.instructions) {
+            if (inst.op != ir::Opcode::Call)
+                continue;
+            if (clone_set.count(inst.callee) ||
+                !_module.findFunction(inst.callee)) {
+                continue; // Sibling clone or builtin.
+            }
+            report("AUD05", meta, block.label, inst.line,
+                   "clone @" + meta.clone + " calls @" + inst.callee +
+                       ", which was not cloned for " + meta.stateDep +
+                       " (clone budget)");
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+runCloneAudit(AnalysisManager &manager)
+{
+    return CloneAuditor(manager).run();
+}
+
+} // namespace stats::analysis

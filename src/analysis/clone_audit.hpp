@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Auxiliary-clone auditor (rules AUD01-AUD06): proves every function
+ * the middle-end cloned for a state dependence is a faithful stand-in
+ * for its origin. A clone may differ from its origin only in
+ *
+ *  - calls redirected to sibling clones of the same dependence, and
+ *  - tradeoff call sites: the origin's were frozen to the default
+ *    configuration (constant cast, identity/narrow-widen cast pair,
+ *    or callee swap) while the clone keeps calls to the cloned aux
+ *    placeholder.
+ *
+ * Anything else — divergent arithmetic, a frozen value that does not
+ * match the aux tradeoff's default, a signature or block-structure
+ * mismatch — is a bug in the cloning pipeline and gets an error.
+ * Budget truncation (AUD05/AUD06) is reported as warnings.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/manager.hpp"
+
+namespace stats::analysis {
+
+/** Audit every origin-of-clone record in the module. */
+std::vector<Diagnostic> runCloneAudit(AnalysisManager &manager);
+
+} // namespace stats::analysis

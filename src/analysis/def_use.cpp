@@ -1,0 +1,86 @@
+#include "analysis/def_use.hpp"
+
+#include <set>
+
+namespace stats::analysis {
+
+ir::Type
+resultTypeOf(const ir::Instruction &inst)
+{
+    switch (inst.op) {
+      case ir::Opcode::CmpEq:
+      case ir::Opcode::CmpLt:
+      case ir::Opcode::CmpLe:
+        return ir::Type::I64; // 0/1 regardless of comparand type.
+      default:
+        return inst.type;
+    }
+}
+
+DefUse::DefUse(const ir::Function &fn) : _fn(&fn)
+{
+    std::set<std::string> seen;
+    for (std::size_t p = 0; p < fn.params.size(); ++p) {
+        _defs[fn.params[p].name].push_back({-1, int(p)});
+        if (seen.insert(fn.params[p].name).second)
+            _names.push_back(fn.params[p].name);
+    }
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        const auto &insts = fn.blocks[b].instructions;
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            const ir::Instruction &inst = insts[i];
+            if (!inst.result.empty()) {
+                _defs[inst.result].push_back({int(b), int(i)});
+                if (seen.insert(inst.result).second)
+                    _names.push_back(inst.result);
+            }
+            for (const auto &operand : inst.operands) {
+                if (operand.kind == ir::Operand::Kind::Temp)
+                    _uses[operand.name].push_back({int(b), int(i)});
+            }
+        }
+    }
+}
+
+const std::vector<InstRef> &
+DefUse::defs(const std::string &name) const
+{
+    static const std::vector<InstRef> empty;
+    auto it = _defs.find(name);
+    return it == _defs.end() ? empty : it->second;
+}
+
+const std::vector<InstRef> &
+DefUse::uses(const std::string &name) const
+{
+    static const std::vector<InstRef> empty;
+    auto it = _uses.find(name);
+    return it == _uses.end() ? empty : it->second;
+}
+
+ir::Type
+DefUse::typeOfDef(const std::string &, const InstRef &site) const
+{
+    if (site.block < 0)
+        return _fn->params.at(std::size_t(site.index)).type;
+    const ir::Instruction &inst =
+        _fn->blocks.at(std::size_t(site.block))
+            .instructions.at(std::size_t(site.index));
+    return resultTypeOf(inst);
+}
+
+std::optional<ir::Type>
+DefUse::uniqueDefType(const std::string &name) const
+{
+    const auto &sites = defs(name);
+    if (sites.empty())
+        return std::nullopt;
+    const ir::Type first = typeOfDef(name, sites.front());
+    for (const auto &site : sites) {
+        if (typeOfDef(name, site) != first)
+            return std::nullopt;
+    }
+    return first;
+}
+
+} // namespace stats::analysis

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Def-use chains of one function: where every temporary is defined
+ * (parameters count as entry definitions) and where it is used. The
+ * mini-IR is SSA by convention but the structural verifier does not
+ * enforce single assignment, so definitions are a list; the
+ * reaching-definitions analysis (dataflow.hpp) disambiguates uses.
+ */
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace stats::analysis {
+
+/** A position inside a function: instruction `index` of `block`. */
+struct InstRef
+{
+    int block = 0;
+    int index = 0; ///< -1 with block==-1 encodes a parameter.
+
+    bool operator==(const InstRef &o) const
+    {
+        return block == o.block && index == o.index;
+    }
+    bool operator<(const InstRef &o) const
+    {
+        return block != o.block ? block < o.block : index < o.index;
+    }
+};
+
+class DefUse
+{
+  public:
+    explicit DefUse(const ir::Function &fn);
+
+    const ir::Function &function() const { return *_fn; }
+
+    /** Definition sites of a temp; empty when undefined. */
+    const std::vector<InstRef> &defs(const std::string &name) const;
+
+    /** Use sites of a temp (phi uses attributed to the phi). */
+    const std::vector<InstRef> &uses(const std::string &name) const;
+
+    /** All defined names (params + instruction results). */
+    const std::vector<std::string> &names() const { return _names; }
+
+    /**
+     * The value type produced by a definition site. Comparisons
+     * produce I64 regardless of their comparand type; parameters use
+     * their declared type.
+     */
+    ir::Type typeOfDef(const std::string &name, const InstRef &site) const;
+
+    /**
+     * The single definition type when every def site agrees;
+     * nullopt for undefined or conflicting-type temps.
+     */
+    std::optional<ir::Type> uniqueDefType(const std::string &name) const;
+
+  private:
+    const ir::Function *_fn;
+    std::vector<std::string> _names;
+    std::map<std::string, std::vector<InstRef>> _defs;
+    std::map<std::string, std::vector<InstRef>> _uses;
+};
+
+/** Result type of one instruction (CmpEq/Lt/Le produce I64). */
+ir::Type resultTypeOf(const ir::Instruction &inst);
+
+} // namespace stats::analysis

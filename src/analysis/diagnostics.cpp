@@ -1,0 +1,169 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "support/json.hpp"
+#include "support/log.hpp"
+
+namespace stats::analysis {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+const std::vector<RuleInfo> &
+allRules()
+{
+    static const std::vector<RuleInfo> rules{
+        {"VER01", "verify", Severity::Error,
+         "structural verifier problem"},
+        {"PUR01", "purity", Severity::Warning,
+         "tradeoff helper function is not pure"},
+        {"AUD01", "clone-audit", Severity::Error,
+         "clone/origin signature mismatch"},
+        {"AUD02", "clone-audit", Severity::Error,
+         "clone/origin block structure mismatch"},
+        {"AUD03", "clone-audit", Severity::Error,
+         "divergent instruction between clone and origin"},
+        {"AUD04", "clone-audit", Severity::Error,
+         "frozen value differs from the aux tradeoff's default"},
+        {"AUD05", "clone-audit", Severity::Warning,
+         "clone calls an un-cloned tradeoff carrier"},
+        {"AUD06", "clone-audit", Severity::Warning,
+         "clone budget truncated this dependence's auxiliary code"},
+        {"FRZ01", "freeze", Severity::Error,
+         "non-auxiliary tradeoff survived the middle-end freeze"},
+        {"FRZ02", "freeze", Severity::Error,
+         "non-auxiliary code references an auxiliary tradeoff"},
+        {"FRZ03", "freeze", Severity::Error,
+         "type mismatch without an intervening cast"},
+        {"ESC01", "escape", Severity::Error,
+         "auxiliary code calls an effectful builtin"},
+        {"ESC02", "escape", Severity::Error,
+         "auxiliary code calls a non-cloned effectful function"},
+        {"ESC03", "escape", Severity::Error,
+         "auxiliary code re-enters a state dependence's computeOutput"},
+    };
+    return rules;
+}
+
+const RuleInfo &
+ruleInfo(const std::string &id)
+{
+    for (const auto &rule : allRules()) {
+        if (id == rule.id)
+            return rule;
+    }
+    support::panic("analysis: unknown rule ID '", id, "'");
+}
+
+Diagnostic
+makeDiagnostic(const std::string &rule, const std::string &function,
+               const std::string &block, std::size_t line,
+               const std::string &message)
+{
+    const RuleInfo &info = ruleInfo(rule);
+    Diagnostic diag;
+    diag.pass = info.pass;
+    diag.rule = rule;
+    diag.severity = info.severity;
+    diag.function = function;
+    diag.block = block;
+    diag.line = line;
+    diag.message = message;
+    return diag;
+}
+
+void
+sortDiagnostics(std::vector<Diagnostic> &diagnostics)
+{
+    std::stable_sort(
+        diagnostics.begin(), diagnostics.end(),
+        [](const Diagnostic &a, const Diagnostic &b) {
+            return std::tie(a.line, a.function, a.rule, a.message) <
+                   std::tie(b.line, b.function, b.rule, b.message);
+        });
+}
+
+bool
+hasErrors(const std::vector<Diagnostic> &diagnostics)
+{
+    for (const auto &diag : diagnostics) {
+        if (diag.severity == Severity::Error)
+            return true;
+    }
+    return false;
+}
+
+void
+writeDiagnosticsText(std::ostream &out, const std::string &file,
+                     const std::vector<Diagnostic> &diagnostics)
+{
+    std::size_t errors = 0, warnings = 0;
+    for (const auto &diag : diagnostics) {
+        out << file;
+        if (diag.line > 0)
+            out << ":" << diag.line;
+        out << ": " << severityName(diag.severity) << "[" << diag.rule
+            << "] " << diag.pass << ": " << diag.message;
+        if (!diag.function.empty())
+            out << " (@" << diag.function << ")";
+        out << "\n";
+        if (diag.severity == Severity::Error)
+            ++errors;
+        else if (diag.severity == Severity::Warning)
+            ++warnings;
+    }
+    out << file << ": " << errors << " error(s), " << warnings
+        << " warning(s)\n";
+}
+
+void
+writeDiagnosticsJson(std::ostream &out, const std::string &module_name,
+                     const std::string &file,
+                     const std::vector<Diagnostic> &diagnostics)
+{
+    std::size_t errors = 0, warnings = 0, notes = 0;
+    support::JsonWriter json(out);
+    json.beginObject();
+    json.field("schemaVersion",
+               std::int64_t(kDiagnosticsSchemaVersion));
+    json.field("module", module_name);
+    json.field("file", file);
+    json.key("diagnostics").beginArray();
+    for (const auto &diag : diagnostics) {
+        json.beginObject();
+        json.field("pass", diag.pass);
+        json.field("rule", diag.rule);
+        json.field("severity", severityName(diag.severity));
+        json.field("function", diag.function);
+        json.field("block", diag.block);
+        json.field("line", std::int64_t(diag.line));
+        json.field("message", diag.message);
+        json.endObject();
+        if (diag.severity == Severity::Error)
+            ++errors;
+        else if (diag.severity == Severity::Warning)
+            ++warnings;
+        else
+            ++notes;
+    }
+    json.endArray();
+    json.key("summary").beginObject();
+    json.field("errors", errors);
+    json.field("warnings", warnings);
+    json.field("notes", notes);
+    json.endObject();
+    json.endObject();
+    out << "\n";
+}
+
+} // namespace stats::analysis

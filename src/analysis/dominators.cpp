@@ -1,0 +1,66 @@
+#include "analysis/dominators.hpp"
+
+namespace stats::analysis {
+
+namespace {
+
+int
+intersect(const std::vector<int> &idom, const Cfg &cfg, int a, int b)
+{
+    // Walk up the tree comparing RPO positions (higher = deeper).
+    while (a != b) {
+        while (cfg.rpoIndex(a) > cfg.rpoIndex(b))
+            a = idom[std::size_t(a)];
+        while (cfg.rpoIndex(b) > cfg.rpoIndex(a))
+            b = idom[std::size_t(b)];
+    }
+    return a;
+}
+
+} // namespace
+
+DomTree::DomTree(const Cfg &cfg) : _cfg(&cfg)
+{
+    _idom.assign(cfg.blockCount(), -1);
+    if (cfg.blockCount() == 0)
+        return;
+    _idom[std::size_t(cfg.entry())] = cfg.entry();
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int block : cfg.reversePostorder()) {
+            if (block == cfg.entry())
+                continue;
+            int new_idom = -1;
+            for (int pred : cfg.predecessors(block)) {
+                if (_idom[std::size_t(pred)] < 0)
+                    continue; // Not yet processed or unreachable.
+                new_idom = new_idom < 0
+                               ? pred
+                               : intersect(_idom, cfg, pred, new_idom);
+            }
+            if (new_idom >= 0 &&
+                _idom[std::size_t(block)] != new_idom) {
+                _idom[std::size_t(block)] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+DomTree::dominates(int a, int b) const
+{
+    if (_idom[std::size_t(b)] < 0 || _idom[std::size_t(a)] < 0)
+        return false; // Unreachable blocks dominate nothing.
+    while (true) {
+        if (a == b)
+            return true;
+        if (b == _cfg->entry())
+            return false;
+        b = _idom[std::size_t(b)];
+    }
+}
+
+} // namespace stats::analysis

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Dominator tree over a Cfg, computed with the Cooper-Harvey-Kennedy
+ * iterative algorithm ("A Simple, Fast Dominance Algorithm"): walk
+ * the reverse postorder intersecting predecessor dominators until the
+ * immediate-dominator array reaches a fixed point.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace stats::analysis {
+
+class DomTree
+{
+  public:
+    explicit DomTree(const Cfg &cfg);
+
+    /**
+     * Immediate dominator of a block; the entry's idom is itself,
+     * unreachable blocks get -1.
+     */
+    int idom(int block) const { return _idom.at(std::size_t(block)); }
+
+    /** Whether `a` dominates `b` (reflexive). */
+    bool dominates(int a, int b) const;
+
+  private:
+    const Cfg *_cfg;
+    std::vector<int> _idom;
+};
+
+} // namespace stats::analysis

@@ -1,0 +1,71 @@
+#include "analysis/escape_check.hpp"
+
+#include <set>
+#include <string>
+
+#include "analysis/purity.hpp"
+#include "ir/verifier.hpp"
+
+namespace stats::analysis {
+
+std::vector<Diagnostic>
+runEscapeCheck(AnalysisManager &manager)
+{
+    const ir::Module &module = manager.module();
+    const ir::CallGraph &graph = manager.callGraph();
+    const PurityResult purity = computePurity(module);
+
+    std::set<std::string> clone_fns;
+    for (const auto &meta : module.auxClones)
+        clone_fns.insert(meta.clone);
+    std::set<std::string> compute_fns;
+    for (const auto &dep : module.stateDeps)
+        compute_fns.insert(dep.computeFn);
+
+    std::vector<Diagnostic> diags;
+    for (const auto &dep : module.stateDeps) {
+        if (dep.auxFn.empty())
+            continue;
+        for (const auto &fn_name : graph.reachableFrom(dep.auxFn)) {
+            const ir::Function *fn = module.findFunction(fn_name);
+            if (fn == nullptr)
+                continue;
+            for (const auto &block : fn->blocks) {
+                for (const auto &inst : block.instructions) {
+                    if (inst.op != ir::Opcode::Call)
+                        continue;
+                    if (ir::isEffectfulBuiltin(inst.callee)) {
+                        diags.push_back(makeDiagnostic(
+                            "ESC01", fn_name, block.label, inst.line,
+                            "auxiliary code for " + dep.name +
+                                " calls effectful builtin @" +
+                                inst.callee + " (via @" + fn_name +
+                                ")"));
+                        continue;
+                    }
+                    if (compute_fns.count(inst.callee)) {
+                        diags.push_back(makeDiagnostic(
+                            "ESC03", fn_name, block.label, inst.line,
+                            "auxiliary code for " + dep.name +
+                                " re-enters committed computeOutput @" +
+                                inst.callee));
+                        continue;
+                    }
+                    if (module.findFunction(inst.callee) != nullptr &&
+                        !clone_fns.count(inst.callee) &&
+                        purity.effectOf(inst.callee) ==
+                            Effect::Effectful) {
+                        diags.push_back(makeDiagnostic(
+                            "ESC02", fn_name, block.label, inst.line,
+                            "auxiliary code for " + dep.name +
+                                " calls non-cloned effectful @" +
+                                inst.callee));
+                    }
+                }
+            }
+        }
+    }
+    return diags;
+}
+
+} // namespace stats::analysis

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Speculative-state escape check (rules ESC01-ESC03): auxiliary
+ * functions run speculatively ahead of the committed state, so
+ * nothing reachable from a state dependence's auxFn may perform an
+ * irreversible effect — call the PRVG builtin (ESC01), reach an
+ * effectful non-cloned helper (ESC02), or re-enter a dependence's
+ * committed computeOutput (ESC03).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/manager.hpp"
+
+namespace stats::analysis {
+
+/** Check every state dependence's auxiliary call tree. */
+std::vector<Diagnostic> runEscapeCheck(AnalysisManager &manager);
+
+} // namespace stats::analysis

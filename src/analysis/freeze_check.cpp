@@ -1,0 +1,251 @@
+#include "analysis/freeze_check.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace stats::analysis {
+
+namespace {
+
+/** Whether the module carries any middle-end output markers. */
+bool
+hasAuxMarkers(const ir::Module &module)
+{
+    if (!module.auxClones.empty())
+        return true;
+    for (const auto &meta : module.tradeoffs) {
+        if (meta.auxClone)
+            return true;
+    }
+    for (const auto &dep : module.stateDeps) {
+        if (!dep.auxFn.empty())
+            return true;
+    }
+    return false;
+}
+
+class FreezeChecker
+{
+  public:
+    FreezeChecker(AnalysisManager &manager,
+                  const FreezeCheckOptions &options)
+        : _manager(manager), _module(manager.module()),
+          _options(options)
+    {
+        for (const auto &meta : _module.auxClones)
+            _cloneFns.insert(meta.clone);
+    }
+
+    std::vector<Diagnostic> run();
+
+  private:
+    void checkSurvivingTradeoffs();
+    void checkAuxReferences();
+    void checkCastDiscipline(const ir::Function &fn);
+    void checkOperandType(const ir::Function &fn,
+                          const ir::BasicBlock &block, int block_index,
+                          int inst_index, const ir::Operand &operand,
+                          ir::Type expected);
+
+    AnalysisManager &_manager;
+    const ir::Module &_module;
+    FreezeCheckOptions _options;
+    std::set<std::string> _cloneFns;
+    std::vector<Diagnostic> _diags;
+};
+
+std::vector<Diagnostic>
+FreezeChecker::run()
+{
+    checkSurvivingTradeoffs();
+    checkAuxReferences();
+    for (const auto &fn : _module.functions)
+        checkCastDiscipline(fn);
+    return std::move(_diags);
+}
+
+void
+FreezeChecker::checkSurvivingTradeoffs()
+{
+    // Pre-middle-end modules legitimately carry tradeoff metadata;
+    // only audit once aux markers (or the back-end) say freezing ran.
+    if (!_options.requireInstantiated && !hasAuxMarkers(_module))
+        return;
+
+    // After the middle-end, non-aux tradeoff *metadata* must be gone;
+    // after back-end instantiation the metadata legitimately remains
+    // (the middle-end IR is reused per configuration) but no
+    // placeholder *call* of any kind may survive.
+    std::set<std::string> frozen_placeholders;
+    for (const auto &meta : _module.tradeoffs) {
+        if (_options.requireInstantiated) {
+            frozen_placeholders.insert(meta.placeholder);
+            continue;
+        }
+        if (meta.auxClone)
+            continue;
+        frozen_placeholders.insert(meta.placeholder);
+        _diags.push_back(makeDiagnostic(
+            "FRZ01", "", "", meta.line,
+            "non-auxiliary tradeoff " + meta.name +
+                " survived the middle-end freeze"));
+    }
+    if (frozen_placeholders.empty())
+        return;
+    for (const auto &fn : _module.functions) {
+        for (const auto &block : fn.blocks) {
+            for (const auto &inst : block.instructions) {
+                if (inst.op == ir::Opcode::Call &&
+                    frozen_placeholders.count(inst.callee)) {
+                    _diags.push_back(makeDiagnostic(
+                        "FRZ01", fn.name, block.label, inst.line,
+                        _options.requireInstantiated
+                            ? "call to placeholder @" + inst.callee +
+                                  " survived instantiation"
+                            : "call to placeholder @" + inst.callee +
+                                  " of an unfrozen tradeoff"));
+                }
+            }
+        }
+    }
+}
+
+void
+FreezeChecker::checkAuxReferences()
+{
+    std::set<std::string> aux_placeholders;
+    for (const auto &meta : _module.tradeoffs) {
+        if (meta.auxClone)
+            aux_placeholders.insert(meta.placeholder);
+    }
+    if (aux_placeholders.empty())
+        return;
+
+    for (const auto &fn : _module.functions) {
+        if (_cloneFns.count(fn.name))
+            continue; // Auxiliary code may read aux tradeoffs.
+        for (const auto &block : fn.blocks) {
+            for (const auto &inst : block.instructions) {
+                if (inst.op == ir::Opcode::Call &&
+                    aux_placeholders.count(inst.callee)) {
+                    _diags.push_back(makeDiagnostic(
+                        "FRZ02", fn.name, block.label, inst.line,
+                        "non-auxiliary @" + fn.name +
+                            " calls auxiliary tradeoff placeholder @" +
+                            inst.callee));
+                }
+            }
+        }
+    }
+}
+
+void
+FreezeChecker::checkCastDiscipline(const ir::Function &fn)
+{
+    if (fn.blocks.empty())
+        return;
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        const ir::BasicBlock &block = fn.blocks[b];
+        for (std::size_t k = 0; k < block.instructions.size(); ++k) {
+            const ir::Instruction &inst = block.instructions[k];
+            const auto check = [&](std::size_t operand_index,
+                                   ir::Type expected) {
+                if (operand_index < inst.operands.size()) {
+                    checkOperandType(fn, block, int(b), int(k),
+                                     inst.operands[operand_index],
+                                     expected);
+                }
+            };
+            switch (inst.op) {
+              case ir::Opcode::Add:
+              case ir::Opcode::Sub:
+              case ir::Opcode::Mul:
+              case ir::Opcode::Div:
+              case ir::Opcode::CmpEq:
+              case ir::Opcode::CmpLt:
+              case ir::Opcode::CmpLe:
+                check(0, inst.type);
+                check(1, inst.type);
+                break;
+              case ir::Opcode::Select:
+                check(0, ir::Type::I64);
+                check(1, inst.type);
+                check(2, inst.type);
+                break;
+              case ir::Opcode::Phi:
+                for (std::size_t o = 0; o < inst.operands.size(); ++o)
+                    check(o, inst.type);
+                break;
+              case ir::Opcode::Br:
+                check(0, ir::Type::I64);
+                break;
+              case ir::Opcode::Ret:
+                if (fn.returnType != ir::Type::Void)
+                    check(0, fn.returnType);
+                break;
+              case ir::Opcode::Call: {
+                const ir::Function *callee =
+                    _module.findFunction(inst.callee);
+                if (callee == nullptr)
+                    break; // Builtin or verifier-reported unknown.
+                const std::size_t n = std::min(
+                    inst.operands.size(), callee->params.size());
+                for (std::size_t o = 0; o < n; ++o)
+                    check(o, callee->params[o].type);
+                break;
+              }
+              case ir::Opcode::Cast: // The converter itself.
+              case ir::Opcode::Jmp:
+                break;
+            }
+        }
+    }
+}
+
+void
+FreezeChecker::checkOperandType(const ir::Function &fn,
+                                const ir::BasicBlock &block,
+                                int block_index, int inst_index,
+                                const ir::Operand &operand,
+                                ir::Type expected)
+{
+    if (operand.kind != ir::Operand::Kind::Temp)
+        return;
+    const ReachingDefs &reaching = _manager.reachingDefs(fn.name);
+    const DefUse &du = _manager.defUse(fn.name);
+    const auto sites =
+        reaching.reachingAt(block_index, inst_index, operand.name);
+    if (sites.empty())
+        return; // Undefined temp: the verifier's report.
+
+    // Flag only when every reaching definition agrees on a type that
+    // differs from the expected one; mixed-type merges are left to
+    // the verifier (may-analysis would make them noisy here).
+    const ir::Type first = du.typeOfDef(operand.name, sites.front());
+    for (const auto &site : sites) {
+        if (du.typeOfDef(operand.name, site) != first)
+            return;
+    }
+    if (first == expected)
+        return;
+    const ir::Instruction &inst =
+        block.instructions[std::size_t(inst_index)];
+    _diags.push_back(makeDiagnostic(
+        "FRZ03", fn.name, block.label, inst.line,
+        "operand %" + operand.name + " of '" + inst.toString() +
+            "' has type " + ir::typeName(first) + " but " +
+            ir::typeName(expected) +
+            " is expected; insert an explicit cast"));
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+runFreezeCheck(AnalysisManager &manager,
+               const FreezeCheckOptions &options)
+{
+    return FreezeChecker(manager, options).run();
+}
+
+} // namespace stats::analysis

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Tradeoff-freeze checker (rules FRZ01-FRZ03): after the middle-end,
+ * every non-auxiliary tradeoff must have been constant-folded to its
+ * default (FRZ01), auxiliary tradeoffs must only be referenced from
+ * auxiliary code (FRZ02), and the freeze's cast discipline must hold
+ * — no value flows between I64/F32/F64 without an explicit cast
+ * (FRZ03, proven with reaching definitions).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/manager.hpp"
+
+namespace stats::analysis {
+
+struct FreezeCheckOptions
+{
+    /**
+     * Back-end mode: the configuration has been instantiated, so ANY
+     * remaining tradeoff metadata or placeholder call is an error —
+     * not just non-auxiliary ones. Default (false) audits middle-end
+     * output, where auxiliary tradeoffs legitimately remain.
+     */
+    bool requireInstantiated = false;
+};
+
+std::vector<Diagnostic> runFreezeCheck(AnalysisManager &manager,
+                                       const FreezeCheckOptions &options = {});
+
+} // namespace stats::analysis

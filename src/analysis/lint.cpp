@@ -1,0 +1,101 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+
+#include "analysis/clone_audit.hpp"
+#include "analysis/escape_check.hpp"
+#include "analysis/freeze_check.hpp"
+#include "analysis/manager.hpp"
+#include "analysis/purity.hpp"
+#include "ir/verifier.hpp"
+
+namespace stats::analysis {
+
+const std::vector<std::string> &
+passNames()
+{
+    static const std::vector<std::string> names{
+        "verify", "purity", "clone-audit", "freeze", "escape",
+    };
+    return names;
+}
+
+bool
+isPassName(const std::string &name)
+{
+    const auto &names = passNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+namespace {
+
+/** Wrap one verifier problem string ("@fn: message") as VER01. */
+Diagnostic
+wrapVerifierProblem(const ir::Module &module, const std::string &problem)
+{
+    std::string function;
+    std::string message = problem;
+    if (!problem.empty() && problem[0] == '@') {
+        const auto colon = problem.find(": ");
+        if (colon != std::string::npos) {
+            function = problem.substr(1, colon - 1);
+            message = problem.substr(colon + 2);
+        }
+    }
+    // The verifier reports strings, not locations; anchor the finding
+    // at the offending function's header line when we know it.
+    std::size_t line = 0;
+    for (const auto &fn : module.functions) {
+        if (fn.name == function)
+            line = fn.line;
+    }
+    return makeDiagnostic("VER01", function, "", line, message);
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+runAnalyses(const ir::Module &module, const LintOptions &options)
+{
+    const bool all = options.pass.empty();
+    const auto wants = [&](const char *pass) {
+        return all || options.pass == pass;
+    };
+
+    // The verifier always runs — the semantic passes assume
+    // structurally valid IR — but its findings are only included when
+    // requested or when they suppress the other passes.
+    std::vector<Diagnostic> diags;
+    for (const auto &problem : ir::verifyModule(module))
+        diags.push_back(wrapVerifierProblem(module, problem));
+    const bool structurally_broken = hasErrors(diags);
+    if (!wants("verify") && !structurally_broken)
+        diags.clear();
+
+    if (!structurally_broken) {
+        AnalysisManager manager(module);
+        if (wants("purity")) {
+            auto found = runPurityPass(manager);
+            diags.insert(diags.end(), found.begin(), found.end());
+        }
+        if (wants("clone-audit")) {
+            auto found = runCloneAudit(manager);
+            diags.insert(diags.end(), found.begin(), found.end());
+        }
+        if (wants("freeze")) {
+            FreezeCheckOptions freeze;
+            freeze.requireInstantiated = options.requireInstantiated;
+            auto found = runFreezeCheck(manager, freeze);
+            diags.insert(diags.end(), found.begin(), found.end());
+        }
+        if (wants("escape")) {
+            auto found = runEscapeCheck(manager);
+            diags.insert(diags.end(), found.begin(), found.end());
+        }
+    }
+
+    sortDiagnostics(diags);
+    return diags;
+}
+
+} // namespace stats::analysis

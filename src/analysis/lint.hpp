@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Analysis driver shared by `statscc analyze` and `stats-lint`: runs
+ * the structural verifier (as rule VER01) and the semantic passes
+ * (purity, clone-audit, freeze, escape) over a module and returns the
+ * combined, deterministically-ordered diagnostic list.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "ir/ir.hpp"
+
+namespace stats::analysis {
+
+struct LintOptions
+{
+    /** Run one pass only ("" = all): verify, purity, clone-audit,
+     *  freeze, escape. */
+    std::string pass;
+
+    /** Back-end mode for the freeze checker (see FreezeCheckOptions). */
+    bool requireInstantiated = false;
+};
+
+/** Names accepted by LintOptions::pass, in run order. */
+const std::vector<std::string> &passNames();
+
+bool isPassName(const std::string &name);
+
+/**
+ * Run the verifier and the selected semantic passes. Structural
+ * (VER01) errors suppress the semantic passes: their results are not
+ * meaningful on ill-formed IR.
+ */
+std::vector<Diagnostic> runAnalyses(const ir::Module &module,
+                                    const LintOptions &options = {});
+
+} // namespace stats::analysis

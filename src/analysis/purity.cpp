@@ -1,0 +1,115 @@
+#include "analysis/purity.hpp"
+
+#include <set>
+
+#include "ir/verifier.hpp"
+
+namespace stats::analysis {
+
+const char *
+effectName(Effect effect)
+{
+    switch (effect) {
+      case Effect::Pure: return "pure";
+      case Effect::ReadsTradeoffs: return "reads-tradeoffs";
+      case Effect::Effectful: return "effectful";
+    }
+    return "?";
+}
+
+Effect
+joinEffects(Effect a, Effect b)
+{
+    return a < b ? b : a;
+}
+
+Effect
+PurityResult::effectOf(const std::string &callee) const
+{
+    auto it = effects.find(callee);
+    if (it != effects.end())
+        return it->second;
+    if (ir::isEffectfulBuiltin(callee))
+        return Effect::Effectful;
+    if (ir::isBuiltinCallee(callee))
+        return Effect::Pure;
+    return Effect::Effectful; // Unknown external: assume the worst.
+}
+
+PurityResult
+computePurity(const ir::Module &module)
+{
+    PurityResult result;
+    std::set<std::string> placeholders;
+    for (const auto &meta : module.tradeoffs)
+        placeholders.insert(meta.placeholder);
+    for (const auto &fn : module.functions)
+        result.effects[fn.name] = Effect::Pure;
+
+    // Bottom-up fixpoint; recursion and call cycles converge because
+    // the join is monotone over a three-point lattice.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &fn : module.functions) {
+            Effect effect = result.effects[fn.name];
+            for (const auto &block : fn.blocks) {
+                for (const auto &inst : block.instructions) {
+                    if (inst.op != ir::Opcode::Call)
+                        continue;
+                    const Effect callee =
+                        placeholders.count(inst.callee)
+                            ? Effect::ReadsTradeoffs
+                            : result.effectOf(inst.callee);
+                    effect = joinEffects(effect, callee);
+                }
+            }
+            if (effect != result.effects[fn.name]) {
+                result.effects[fn.name] = effect;
+                changed = true;
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<Diagnostic>
+runPurityPass(AnalysisManager &manager)
+{
+    const ir::Module &module = manager.module();
+    const PurityResult purity = computePurity(module);
+
+    std::vector<Diagnostic> diags;
+    for (const auto &meta : module.tradeoffs) {
+        struct Helper
+        {
+            const char *role;
+            const std::string &name;
+        };
+        const Helper helpers[] = {
+            {"getValue", meta.getValueFn},
+            {"size", meta.sizeFn},
+            {"defaultIndex", meta.defaultIndexFn},
+            {"placeholder", meta.placeholder},
+        };
+        for (const auto &helper : helpers) {
+            if (helper.name.empty())
+                continue;
+            const ir::Function *fn = module.findFunction(helper.name);
+            if (fn == nullptr)
+                continue; // Verifier reports missing helpers.
+            const Effect effect = purity.effectOf(helper.name);
+            if (effect == Effect::Pure)
+                continue;
+            diags.push_back(makeDiagnostic(
+                "PUR01", helper.name, "", fn->line,
+                "tradeoff " + meta.name + " " + helper.role + " @" +
+                    helper.name + " is " + effectName(effect) +
+                    "; compile-time evaluation requires a pure "
+                    "function"));
+        }
+    }
+    return diags;
+}
+
+} // namespace stats::analysis

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Purity / effect analysis: classifies every module function as pure,
+ * tradeoff-reading, or effectful with a bottom-up fixpoint over the
+ * call graph. The compiler interprets tradeoff helper functions
+ * (getValue/size/defaultIndex) at compile time, so they must be pure
+ * — the PUR01 pass enforces that; the escape check reuses the
+ * classification to keep effects out of auxiliary code.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/manager.hpp"
+#include "ir/ir.hpp"
+
+namespace stats::analysis {
+
+/** Effect lattice, ordered: Pure < ReadsTradeoffs < Effectful. */
+enum class Effect
+{
+    Pure,           ///< No observable effect; compile-time evaluable.
+    ReadsTradeoffs, ///< Calls a tradeoff placeholder (directly or not).
+    Effectful,      ///< Effectful builtin or unknown external reached.
+};
+
+const char *effectName(Effect effect);
+
+/** Join (least upper bound) of two effects. */
+Effect joinEffects(Effect a, Effect b);
+
+struct PurityResult
+{
+    /** Effect of every module function. */
+    std::map<std::string, Effect> effects;
+
+    /**
+     * Effect of calling `callee`: module functions use the computed
+     * map, pure builtins are Pure, the PRVG builtin is Effectful, and
+     * unknown externals are conservatively Effectful.
+     */
+    Effect effectOf(const std::string &callee) const;
+};
+
+/** Bottom-up effect classification of every function. */
+PurityResult computePurity(const ir::Module &module);
+
+/** PUR01: tradeoff helper functions must be pure. */
+std::vector<Diagnostic> runPurityPass(AnalysisManager &manager);
+
+} // namespace stats::analysis

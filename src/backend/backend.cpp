@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/freeze_check.hpp"
+#include "analysis/manager.hpp"
 #include "midend/substitute.hpp"
 #include "support/log.hpp"
 
@@ -49,6 +51,25 @@ instantiate(const ir::Module &midend_ir, const BackendConfig &config)
         const midend::ChosenValue value =
             midend::evaluateTradeoffValue(module, meta, index);
         midend::applyTradeoff(module, meta, value);
+    }
+
+    if (config.auditFrozen) {
+        analysis::AnalysisManager manager(module);
+        analysis::FreezeCheckOptions audit;
+        audit.requireInstantiated = true;
+        const auto diags = analysis::runFreezeCheck(manager, audit);
+        if (analysis::hasErrors(diags)) {
+            std::string first;
+            for (const auto &diag : diags) {
+                if (diag.severity == analysis::Severity::Error) {
+                    first = "[" + diag.rule + "] " + diag.message;
+                    break;
+                }
+            }
+            support::panic("back-end: instantiated module fails the "
+                           "freeze audit: ",
+                           first);
+        }
     }
     return module;
 }

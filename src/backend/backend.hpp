@@ -32,6 +32,14 @@ struct BackendConfig
 
     /** State dependences to satisfy with auxiliary code. */
     std::set<std::string> auxiliaryDeps;
+
+    /**
+     * Audit the instantiated module with the freeze checker (rules
+     * FRZ01-FRZ03): no placeholder call may survive instantiation and
+     * the cast discipline must hold. Violations are a compiler bug
+     * and panic.
+     */
+    bool auditFrozen = true;
 };
 
 /**

@@ -8,6 +8,13 @@
  *   tune <benchmark> [options]    autotune; optional results store
  *   frontend <file|benchmark>     run the front-end compiler
  *   pipeline <ir-file> [options]  middle-end + back-end on an IR file
+ *   analyze <ir-file> [options]   speculation-safety static analysis
+ *
+ * Analysis options (see docs/ANALYSIS.md):
+ *   --analyze[=pass]          pass to run: verify, purity,
+ *                             clone-audit, freeze, escape (default all)
+ *   --analysis-format=FMT     text|json                 (default text)
+ *   --midend                  analyze: run the middle-end first
  *
  * Common options:
  *   --mode=original|seq|par   parallelization mode      (default par)
@@ -33,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "autotuner/results_io.hpp"
 #include "backend/backend.hpp"
 #include "observability/chrome_trace.hpp"
@@ -348,18 +356,73 @@ cmdFrontend(const Args &args)
     return 0;
 }
 
-int
-cmdPipeline(const Args &args)
+/** Read and parse the IR file named by the first positional. */
+ir::Module
+loadModule(const Args &args, const char *usage_line)
 {
     if (args.positional.empty())
-        support::fatal("usage: statscc pipeline <ir-file> [options]");
+        support::fatal("usage: ", usage_line);
     std::ifstream in(args.positional[0]);
     if (!in)
         support::fatal("cannot open '", args.positional[0], "'");
     std::ostringstream buffer;
     buffer << in.rdbuf();
+    return ir::parseModule(buffer.str());
+}
 
-    ir::Module module = ir::parseModule(buffer.str());
+/** Selected analysis pass from `--analyze[=pass]` ("" = all). */
+std::string
+analysisPass(const Args &args)
+{
+    const std::string pass = args.option("analyze", "");
+    if (pass.empty() || pass == "true")
+        return "";
+    if (!analysis::isPassName(pass)) {
+        std::string known;
+        for (const auto &name : analysis::passNames())
+            known += (known.empty() ? "" : "|") + name;
+        support::fatal("unknown analysis pass '", pass, "' (expected ",
+                       known, ")");
+    }
+    return pass;
+}
+
+/** Run the analyzer and render it; returns the error count != 0. */
+bool
+analyzeModule(const ir::Module &module, const std::string &file,
+              const Args &args, std::ostream &out)
+{
+    analysis::LintOptions options;
+    options.pass = analysisPass(args);
+    const auto diags = analysis::runAnalyses(module, options);
+    const std::string format = args.option("analysis-format", "text");
+    if (format == "json")
+        analysis::writeDiagnosticsJson(out, module.name, file, diags);
+    else if (format == "text")
+        analysis::writeDiagnosticsText(out, file, diags);
+    else
+        support::fatal("unknown --analysis-format '", format,
+                       "' (expected text|json)");
+    return analysis::hasErrors(diags);
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    ir::Module module =
+        loadModule(args, "statscc analyze <ir-file> [options]");
+    if (args.option("midend", "") == "true")
+        midend::runMiddleEnd(module);
+    return analyzeModule(module, args.positional[0], args, std::cout)
+               ? 1
+               : 0;
+}
+
+int
+cmdPipeline(const Args &args)
+{
+    ir::Module module =
+        loadModule(args, "statscc pipeline <ir-file> [options]");
     const auto problems = ir::verifyModule(module);
     if (!problems.empty()) {
         for (const auto &problem : problems)
@@ -373,6 +436,21 @@ cmdPipeline(const Args &args)
               << " function clone(s), " << report.clonedTradeoffs.size()
               << " tradeoff clone(s), " << before << " -> "
               << module.instructionCount() << " instructions\n";
+
+    // Optional speculation-safety gate on the middle-end output.
+    if (args.options.count("analyze")) {
+        if (analyzeModule(module, args.positional[0], args, std::cerr))
+            return 1;
+    }
+
+    const std::string emit = args.option("emit", "binary");
+    if (emit == "midend") {
+        std::cout << ir::printModule(module);
+        return 0;
+    }
+    if (emit != "binary")
+        support::fatal("unknown --emit '", emit,
+                       "' (expected midend|binary)");
 
     backend::BackendConfig config;
     for (const auto &dep : module.stateDeps)
@@ -402,7 +480,8 @@ usage()
         << "  run <benchmark> [options]    run one configuration\n"
         << "  tune <benchmark> [options]   autotune a benchmark\n"
         << "  frontend <file|benchmark>    run the front-end compiler\n"
-        << "  pipeline <ir-file>           middle-end + back-end\n";
+        << "  pipeline <ir-file>           middle-end + back-end\n"
+        << "  analyze <ir-file>            speculation-safety checks\n";
 }
 
 } // namespace
@@ -426,6 +505,8 @@ main(int argc, char **argv)
         return cmdFrontend(args);
     if (command == "pipeline")
         return cmdPipeline(args);
+    if (command == "analyze")
+        return cmdAnalyze(args);
     usage();
     return 1;
 }

@@ -214,11 +214,33 @@ Module::findTradeoff(const std::string &meta_name)
     return nullptr;
 }
 
+const TradeoffMeta *
+Module::findTradeoff(const std::string &meta_name) const
+{
+    return const_cast<Module *>(this)->findTradeoff(meta_name);
+}
+
 StateDepMeta *
 Module::findStateDep(const std::string &meta_name)
 {
     for (auto &meta : stateDeps) {
         if (meta.name == meta_name)
+            return &meta;
+    }
+    return nullptr;
+}
+
+const StateDepMeta *
+Module::findStateDep(const std::string &meta_name) const
+{
+    return const_cast<Module *>(this)->findStateDep(meta_name);
+}
+
+const AuxCloneMeta *
+Module::findAuxClone(const std::string &clone_name) const
+{
+    for (const auto &meta : auxClones) {
+        if (meta.clone == clone_name)
             return &meta;
     }
     return nullptr;

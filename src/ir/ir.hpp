@@ -99,6 +99,9 @@ struct Instruction
     /** Br/Jmp: target labels. Phi: incoming block per operand. */
     std::vector<std::string> labels;
 
+    /** Source line in the textual module (0 = not parsed). */
+    std::size_t line = 0;
+
     std::string toString() const;
 };
 
@@ -106,6 +109,7 @@ struct BasicBlock
 {
     std::string label;
     std::vector<Instruction> instructions;
+    std::size_t line = 0; ///< Source line of the label (0 = unknown).
 
     const Instruction *terminator() const;
 };
@@ -122,6 +126,7 @@ struct Function
     Type returnType = Type::Void;
     std::vector<Parameter> params;
     std::vector<BasicBlock> blocks;
+    std::size_t line = 0; ///< Source line of the header (0 = unknown).
 
     std::size_t instructionCount() const;
     BasicBlock *findBlock(const std::string &label);
@@ -149,6 +154,7 @@ struct TradeoffMeta
     std::string defaultIndexFn;///< IR function: () -> default index.
     bool auxClone = false;
     std::string origin;        ///< Original tradeoff for clones.
+    std::size_t line = 0;      ///< Source line (0 = unknown).
 
     /** Type names for DataType, callee names for FunctionChoice. */
     std::vector<std::string> nameChoices;
@@ -161,6 +167,22 @@ struct StateDepMeta
     std::string computeFn; ///< The dependence's computeOutput().
     std::string auxFn;     ///< Middle-end-generated clone (may be "").
     bool runtimeLinked = false; ///< Back-end linked the runtime.
+    bool truncated = false;     ///< Clone budget cut this dep's aux code.
+    std::size_t line = 0;       ///< Source line (0 = unknown).
+};
+
+/**
+ * Origin-of-clone record emitted by the middle-end for every function
+ * it clones (including tradeoff placeholder clones). The aux-clone
+ * auditor uses these to prove each clone is a faithful stand-in for
+ * its origin.
+ */
+struct AuxCloneMeta
+{
+    std::string clone;    ///< Clone function name.
+    std::string origin;   ///< Function the clone was copied from.
+    std::string stateDep; ///< Owning state dependence (e.g. "SD0").
+    std::size_t line = 0; ///< Source line (0 = unknown).
 };
 
 struct Module
@@ -169,11 +191,15 @@ struct Module
     std::vector<Function> functions;
     std::vector<TradeoffMeta> tradeoffs;
     std::vector<StateDepMeta> stateDeps;
+    std::vector<AuxCloneMeta> auxClones;
 
     Function *findFunction(const std::string &name);
     const Function *findFunction(const std::string &name) const;
     TradeoffMeta *findTradeoff(const std::string &name);
+    const TradeoffMeta *findTradeoff(const std::string &name) const;
     StateDepMeta *findStateDep(const std::string &name);
+    const StateDepMeta *findStateDep(const std::string &name) const;
+    const AuxCloneMeta *findAuxClone(const std::string &clone) const;
     std::size_t instructionCount() const;
 };
 

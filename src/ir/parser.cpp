@@ -152,6 +152,7 @@ parseModule(const std::string &text)
                 parseError(line_no, "tradeoff needs a name");
             TradeoffMeta meta;
             meta.name = words[1];
+            meta.line = line_no;
             const auto attrs = parseAttributes(words, 2, line_no);
             for (const auto &[key, value] : attrs) {
                 if (key == "kind") {
@@ -188,6 +189,7 @@ parseModule(const std::string &text)
                 parseError(line_no, "statedep needs a name");
             StateDepMeta meta;
             meta.name = words[1];
+            meta.line = line_no;
             const auto attrs = parseAttributes(words, 2, line_no);
             for (const auto &[key, value] : attrs) {
                 if (key == "compute")
@@ -196,6 +198,8 @@ parseModule(const std::string &text)
                     meta.auxFn = stripAt(value);
                 else if (key == "runtime")
                     meta.runtimeLinked = value == "true";
+                else if (key == "truncated")
+                    meta.truncated = value == "true";
                 else
                     parseError(line_no, "unknown attribute '" + key + "'");
             }
@@ -203,9 +207,30 @@ parseModule(const std::string &text)
             continue;
         }
 
+        if (startsWith(line, "auxclone ")) {
+            const auto words = support::splitWhitespace(line);
+            if (words.size() < 2)
+                parseError(line_no, "auxclone needs a clone name");
+            AuxCloneMeta meta;
+            meta.clone = stripAt(words[1]);
+            meta.line = line_no;
+            const auto attrs = parseAttributes(words, 2, line_no);
+            for (const auto &[key, value] : attrs) {
+                if (key == "origin")
+                    meta.origin = stripAt(value);
+                else if (key == "statedep")
+                    meta.stateDep = value;
+                else
+                    parseError(line_no, "unknown attribute '" + key + "'");
+            }
+            module.auxClones.push_back(std::move(meta));
+            continue;
+        }
+
         if (startsWith(line, "func ")) {
             // func @name(type %p, ...) -> type {
             Function fn;
+            fn.line = line_no;
             const auto at = line.find('@');
             const auto open = line.find('(', at);
             const auto close = line.rfind(')');
@@ -247,7 +272,7 @@ parseModule(const std::string &text)
 
         if (line.back() == ':') {
             current_fn->blocks.push_back(
-                BasicBlock{line.substr(0, line.size() - 1), {}});
+                BasicBlock{line.substr(0, line.size() - 1), {}, line_no});
             current_block = &current_fn->blocks.back();
             continue;
         }
@@ -257,6 +282,7 @@ parseModule(const std::string &text)
 
         // [%result =] opcode [type] [@callee] operands...
         Instruction inst;
+        inst.line = line_no;
         std::string rest = line;
         if (rest[0] == '%') {
             const auto eq = rest.find('=');
@@ -369,6 +395,14 @@ printModule(const Module &module)
             out << " aux=@" << meta.auxFn;
         if (meta.runtimeLinked)
             out << " runtime=true";
+        if (meta.truncated)
+            out << " truncated=true";
+        out << "\n";
+    }
+    for (const auto &meta : module.auxClones) {
+        out << "auxclone " << meta.clone << " origin=@" << meta.origin;
+        if (!meta.stateDep.empty())
+            out << " statedep=" << meta.stateDep;
         out << "\n";
     }
 

@@ -1,5 +1,6 @@
 #include "ir/verifier.hpp"
 
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -12,6 +13,12 @@ isBuiltinCallee(const std::string &name)
         "sqrt", "exp", "log", "sin", "cos", "fabs", "rand_uniform",
     };
     return builtins.count(name) > 0;
+}
+
+bool
+isEffectfulBuiltin(const std::string &name)
+{
+    return name == "rand_uniform";
 }
 
 namespace {
@@ -124,6 +131,41 @@ verifyFunction(const Module &module, const Function &fn,
             }
         }
     }
+
+    // Phi coverage: each phi's incoming labels must exactly match the
+    // block's CFG predecessors (a missing edge would trap at runtime,
+    // an extra edge is dead and hides a wiring bug).
+    std::map<std::string, std::set<std::string>> preds;
+    for (const auto &block : fn.blocks) {
+        const Instruction *term = block.terminator();
+        if (!term)
+            continue;
+        for (const auto &target : term->labels) {
+            if (labels.count(target))
+                preds[target].insert(block.label);
+        }
+    }
+    for (const auto &block : fn.blocks) {
+        const auto &incoming_from = preds[block.label];
+        for (const auto &inst : block.instructions) {
+            if (inst.op != Opcode::Phi)
+                continue;
+            const std::set<std::string> incoming(inst.labels.begin(),
+                                                 inst.labels.end());
+            for (const auto &pred : incoming_from) {
+                if (!incoming.count(pred))
+                    report("phi %" + inst.result + " in '" + block.label +
+                           "' missing incoming for predecessor '" +
+                           pred + "'");
+            }
+            for (const auto &label : incoming) {
+                if (!incoming_from.count(label))
+                    report("phi %" + inst.result + " in '" + block.label +
+                           "' has incoming for non-predecessor '" +
+                           label + "'");
+            }
+        }
+    }
 }
 
 } // namespace
@@ -154,6 +196,21 @@ verifyModule(const Module &module)
         if (!meta.auxFn.empty() && !module.findFunction(meta.auxFn))
             problems.push_back("statedep " + meta.name +
                                " references unknown aux @" + meta.auxFn);
+    }
+    for (const auto &meta : module.auxClones) {
+        if (!module.findFunction(meta.clone))
+            problems.push_back("auxclone " + meta.clone +
+                               " names an unknown clone function");
+        if (!module.findFunction(meta.origin))
+            problems.push_back("auxclone " + meta.clone +
+                               " references unknown origin @" +
+                               meta.origin);
+        if (!meta.stateDep.empty() &&
+            !module.findStateDep(meta.stateDep)) {
+            problems.push_back("auxclone " + meta.clone +
+                               " references unknown statedep " +
+                               meta.stateDep);
+        }
     }
     return problems;
 }

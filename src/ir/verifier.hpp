@@ -6,7 +6,8 @@
  * exist; temporaries are defined (as a parameter or instruction
  * result) before use within the function; call targets exist in the
  * module or are known builtins; phi incoming labels name existing
- * blocks; metadata references existing functions.
+ * blocks and exactly cover the block's CFG predecessors; metadata
+ * references existing functions.
  */
 
 #pragma once
@@ -20,6 +21,13 @@ namespace stats::ir {
 
 /** Names callable without a module definition (math builtins). */
 bool isBuiltinCallee(const std::string &name);
+
+/**
+ * Builtins with side effects or nondeterminism (the PRVG hook).
+ * These are what the speculation-safety escape check must keep out
+ * of auxiliary code.
+ */
+bool isEffectfulBuiltin(const std::string &name);
 
 /** Returns a list of problems; empty means the module verifies. */
 std::vector<std::string> verifyModule(const Module &module);

@@ -42,12 +42,14 @@ generateAuxiliaryCode(ir::Module &module, std::size_t max_instructions)
         // analysis), stopping at the instruction budget.
         std::vector<std::string> to_clone{dep.computeFn};
         std::size_t budget = compute->instructionCount();
+        bool dep_truncated = false;
         for (const auto &callee : graph.reachableFrom(dep.computeFn)) {
             if (callee == dep.computeFn || !carriers.count(callee))
                 continue;
             const ir::Function *fn = module.findFunction(callee);
             if (budget + fn->instructionCount() > max_instructions) {
                 report.budgetReached = true;
+                dep_truncated = true;
                 continue;
             }
             budget += fn->instructionCount();
@@ -93,6 +95,8 @@ generateAuxiliaryCode(ir::Module &module, std::size_t max_instructions)
                     module.findFunction(meta.placeholder)) {
                 ir::Function ph_clone = *ph;
                 ph_clone.name = meta.placeholder + auxSuffix(d);
+                module.auxClones.push_back(
+                    {ph_clone.name, meta.placeholder, dep.name, 0});
                 module.functions.push_back(std::move(ph_clone));
             }
         }
@@ -116,13 +120,19 @@ generateAuxiliaryCode(ir::Module &module, std::size_t max_instructions)
             }
             report.instructionsAdded += clone.instructionCount();
             report.clonedFunctions.push_back(clone.name);
+            // Origin-of-clone metadata: the static aux-clone auditor
+            // (src/analysis/clone_audit.*) needs the provenance to
+            // prove the clone faithful to its origin.
+            module.auxClones.push_back(
+                {clone.name, fn_name, dep.name, 0});
             module.functions.push_back(std::move(clone));
         }
 
         for (auto &meta : new_tradeoffs)
             module.tradeoffs.push_back(std::move(meta));
-        module.findStateDep(dep.name)->auxFn =
-            dep.computeFn + auxSuffix(d);
+        ir::StateDepMeta *linked = module.findStateDep(dep.name);
+        linked->auxFn = dep.computeFn + auxSuffix(d);
+        linked->truncated = dep_truncated;
     }
     return report;
 }

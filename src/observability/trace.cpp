@@ -173,6 +173,7 @@ Trace::threadTrack()
 void
 Trace::push(Sink &sink, const Event &event)
 {
+    std::lock_guard<std::mutex> lock(sink.mutex);
     sink.ring[sink.head] = event;
     sink.head = (sink.head + 1) % sink.ring.size();
     ++sink.written;
@@ -230,6 +231,7 @@ Trace::collect() const
     std::lock_guard<std::mutex> lock(_registryMutex);
     std::vector<Event> events;
     for (const auto &sink : _sinks) {
+        std::lock_guard<std::mutex> sink_lock(sink->mutex);
         const std::size_t capacity = sink->ring.size();
         const std::size_t count =
             std::min<std::uint64_t>(sink->written, capacity);
@@ -262,6 +264,7 @@ Trace::dropped() const
     std::lock_guard<std::mutex> lock(_registryMutex);
     std::uint64_t dropped = 0;
     for (const auto &sink : _sinks) {
+        std::lock_guard<std::mutex> sink_lock(sink->mutex);
         if (sink->written > sink->ring.size())
             dropped += sink->written - sink->ring.size();
     }

@@ -207,6 +207,10 @@ class Trace
   private:
     struct Sink
     {
+        /** Guards ring/head/written: the owning thread writes, any
+         *  thread may collect()/dropped() concurrently. Uncontended
+         *  on the record hot path. */
+        mutable std::mutex mutex;
         std::vector<Event> ring; ///< Fixed capacity, overwritten FIFO.
         std::size_t head = 0;    ///< Next write position.
         std::uint64_t written = 0;

@@ -57,7 +57,12 @@ class WorkStealDeque
         if (b - t > static_cast<std::int64_t>(buffer->mask)) {
             buffer = grow(buffer, t, b);
         }
-        buffer->slot(b).store(item, std::memory_order_relaxed);
+        // Lê et al. publish with a release fence and relaxed stores;
+        // the release slot store is equivalent here (and visible to
+        // ThreadSanitizer, which does not model fences): it carries
+        // the happens-before edge from the item's construction to the
+        // thief's acquire load in steal().
+        buffer->slot(b).store(item, std::memory_order_release);
         std::atomic_thread_fence(std::memory_order_release);
         _bottom.store(b + 1, std::memory_order_relaxed);
     }
@@ -99,7 +104,8 @@ class WorkStealDeque
         if (t >= b)
             return nullptr; // Empty.
         Buffer *buffer = _buffer.load(std::memory_order_acquire);
-        T *item = buffer->slot(t).load(std::memory_order_relaxed);
+        // Acquire pairs with push()'s release slot store (see there).
+        T *item = buffer->slot(t).load(std::memory_order_acquire);
         if (!_top.compare_exchange_strong(t, t + 1,
                                           std::memory_order_seq_cst,
                                           std::memory_order_relaxed)) {

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Golden-file tests of the analyzer's exact output. Each seeded-bad
+ * module under examples/ir/bad/ exercises one pass; the goldens under
+ * tests/golden/ pin both renderers byte-for-byte, so any change to
+ * the diagnostic format, rule wording, or pass behavior shows up as a
+ * readable diff.
+ *
+ * Goldens are regenerated from the repo root with:
+ *   build/tools/stats-lint examples/ir/bad/<name>.ir > tests/golden/<name>.txt
+ *   build/tools/stats-lint --analysis-format=json ... > tests/golden/<name>.json
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hpp"
+#include "ir/parser.hpp"
+
+namespace {
+
+using namespace stats;
+using namespace stats::analysis;
+
+struct BadModule
+{
+    const char *name;
+    std::vector<const char *> rules; ///< Expected distinct rule IDs.
+};
+
+const std::vector<BadModule> &
+badModules()
+{
+    static const std::vector<BadModule> modules = {
+        {"bad_divergent_clone", {"AUD03", "AUD04"}},
+        {"bad_impure_clone", {"ESC01"}},
+        {"bad_missing_cast", {"FRZ03"}},
+        {"bad_phi_mismatch", {"VER01"}},
+        {"bad_unfrozen_tradeoff", {"FRZ01"}},
+    };
+    return modules;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** The goldens carry the repo-relative path stats-lint was run with. */
+std::string
+relativeIrPath(const std::string &name)
+{
+    return "examples/ir/bad/" + name + ".ir";
+}
+
+std::vector<Diagnostic>
+analyzeBadModule(const std::string &name)
+{
+    const std::string source = readFile(std::string(STATS_SOURCE_DIR) +
+                                        "/" + relativeIrPath(name));
+    return runAnalyses(ir::parseModule(source));
+}
+
+TEST(AnalysisGolden, EachBadModuleTriggersItsDesignedRules)
+{
+    for (const auto &bad : badModules()) {
+        const auto diags = analyzeBadModule(bad.name);
+        EXPECT_TRUE(hasErrors(diags)) << bad.name;
+        std::vector<std::string> seen;
+        for (const auto &diag : diags)
+            seen.push_back(diag.rule);
+        std::sort(seen.begin(), seen.end());
+        seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+        std::vector<std::string> expected(bad.rules.begin(),
+                                          bad.rules.end());
+        EXPECT_EQ(seen, expected) << bad.name;
+    }
+}
+
+TEST(AnalysisGolden, TextReportsMatchGoldens)
+{
+    for (const auto &bad : badModules()) {
+        const auto diags = analyzeBadModule(bad.name);
+        std::ostringstream out;
+        writeDiagnosticsText(out, relativeIrPath(bad.name), diags);
+        const std::string golden =
+            readFile(std::string(STATS_SOURCE_DIR) + "/tests/golden/" +
+                     bad.name + ".txt");
+        EXPECT_EQ(out.str(), golden) << bad.name;
+    }
+}
+
+TEST(AnalysisGolden, JsonReportsMatchGoldens)
+{
+    for (const auto &bad : badModules()) {
+        const auto diags = analyzeBadModule(bad.name);
+        std::ostringstream out;
+        writeDiagnosticsJson(out, bad.name, relativeIrPath(bad.name),
+                             diags);
+        const std::string golden =
+            readFile(std::string(STATS_SOURCE_DIR) + "/tests/golden/" +
+                     bad.name + ".json");
+        EXPECT_EQ(out.str(), golden) << bad.name;
+    }
+}
+
+/** Every diagnostic in the goldens points at a real source line. */
+TEST(AnalysisGolden, DiagnosticsCarrySourceLines)
+{
+    for (const auto &bad : badModules()) {
+        for (const auto &diag : analyzeBadModule(bad.name))
+            EXPECT_GT(diag.line, 0u)
+                << bad.name << ": " << diag.rule << " " << diag.message;
+    }
+}
+
+} // namespace

@@ -364,4 +364,48 @@ entry:
               module.tradeoffs[1].nameChoices);
 }
 
+TEST(IrVerifier, FlagsPhiIncomingPredecessorMismatch)
+{
+    // A phi's incoming labels must exactly cover the block's CFG
+    // predecessors: a missing edge traps at runtime, an extra edge is
+    // dead and hides a wiring bug.
+    const char *missing = R"(
+module "phi_missing"
+func @pick(i64 %n) -> i64 {
+entry:
+  %c = cmplt i64 %n, 10
+  br %c, low, high
+low:
+  jmp join
+high:
+  jmp join
+join:
+  %r = phi i64 [1, low]
+  ret i64 %r
+}
+)";
+    auto problems = verifyModule(parseModule(missing));
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("missing incoming for predecessor "
+                               "'high'"),
+              std::string::npos);
+
+    const char *extra = R"(
+module "phi_extra"
+func @pick(i64 %n) -> i64 {
+entry:
+  jmp join
+dead:
+  jmp join
+join:
+  %r = phi i64 [1, entry], [2, dead], [3, join]
+  ret i64 %r
+}
+)";
+    problems = verifyModule(parseModule(extra));
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("incoming for non-predecessor 'join'"),
+              std::string::npos);
+}
+
 } // namespace

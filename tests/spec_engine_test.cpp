@@ -285,14 +285,19 @@ TEST(SpecEngine, FullHistoryStateNeverMatchesAndStaysCorrect)
 {
     // fluidanimate-like: the state depends on *all* previous inputs,
     // so auxiliary code starting from the initial state cannot
-    // reproduce it (paper section 4.8).
+    // reproduce it (paper section 4.8). The hash chain wraps, so step
+    // it in unsigned arithmetic.
     const auto inputs = makeInputs(16);
-    auto compute = [](const int &input, ToyState &state,
-                      const sdi::ComputeContext &) -> Engine::Invocation {
+    auto step = [](long long v, int input) {
+        return (long long)((unsigned long long)v * 31u +
+                           (unsigned long long)input);
+    };
+    auto compute = [step](const int &input, ToyState &state,
+                          const sdi::ComputeContext &) -> Engine::Invocation {
         auto out = std::make_unique<ToyOutput>();
         out->observedPriorState = state.v;
         out->input = input;
-        state.v = state.v * 31 + input;
+        state.v = step(state.v, input);
         return {std::move(out), exec::Work{0.001, 0.0}};
     };
 
@@ -301,7 +306,7 @@ TEST(SpecEngine, FullHistoryStateNeverMatchesAndStaysCorrect)
         ToyState state;
         for (int input : inputs) {
             want.push_back({state.v, input});
-            state.v = state.v * 31 + input;
+            state.v = step(state.v, input);
         }
     }
 

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * stats-lint — batch speculation-safety linter.
+ *
+ * Runs the full analysis suite (docs/ANALYSIS.md) over one or more
+ * textual IR modules and exits nonzero when any error-severity
+ * diagnostic is found, so CI can gate on it.
+ *
+ *   stats-lint [options] <ir-file>...
+ *     --analyze=PASS        run one pass (default: all)
+ *     --analysis-format=FMT text|json (default text)
+ *     --midend              run the middle-end before analyzing
+ *     --quiet               print nothing for clean modules
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "ir/parser.hpp"
+#include "midend/midend.hpp"
+#include "support/log.hpp"
+#include "support/string_utils.hpp"
+
+namespace {
+
+using namespace stats;
+
+struct Options
+{
+    std::string pass;
+    std::string format = "text";
+    bool midend = false;
+    bool quiet = false;
+    std::vector<std::string> files;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: stats-lint [--analyze=PASS] "
+                 "[--analysis-format=text|json] [--midend] [--quiet] "
+                 "<ir-file>...\n";
+    std::exit(2);
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string word = argv[i];
+        if (!support::startsWith(word, "--")) {
+            options.files.push_back(word);
+            continue;
+        }
+        if (word == "--midend") {
+            options.midend = true;
+        } else if (word == "--quiet") {
+            options.quiet = true;
+        } else if (support::startsWith(word, "--analyze=")) {
+            options.pass = word.substr(10);
+            if (!analysis::isPassName(options.pass))
+                support::fatal("unknown analysis pass '", options.pass,
+                               "'");
+        } else if (support::startsWith(word, "--analysis-format=")) {
+            options.format = word.substr(18);
+            if (options.format != "text" && options.format != "json")
+                support::fatal("unknown format '", options.format,
+                               "' (expected text|json)");
+        } else {
+            usage();
+        }
+    }
+    if (options.files.empty())
+        usage();
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options options = parseOptions(argc, argv);
+
+    std::size_t failed = 0;
+    for (const auto &file : options.files) {
+        std::ifstream in(file);
+        if (!in)
+            support::fatal("cannot open '", file, "'");
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+
+        ir::Module module = ir::parseModule(buffer.str());
+        if (options.midend)
+            midend::runMiddleEnd(module);
+
+        analysis::LintOptions lint;
+        lint.pass = options.pass;
+        const auto diags = analysis::runAnalyses(module, lint);
+        const bool errors = analysis::hasErrors(diags);
+        if (errors)
+            ++failed;
+
+        if (options.quiet && diags.empty())
+            continue;
+        if (options.format == "json")
+            analysis::writeDiagnosticsJson(std::cout, module.name, file,
+                                           diags);
+        else
+            analysis::writeDiagnosticsText(std::cout, file, diags);
+    }
+
+    if (options.files.size() > 1 && !options.quiet) {
+        std::cout << failed << " of " << options.files.size()
+                  << " module(s) failed\n";
+    }
+    return failed == 0 ? 0 : 1;
+}
