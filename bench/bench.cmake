@@ -13,7 +13,7 @@ target_include_directories(stats_bench_common PUBLIC
     ${PROJECT_SOURCE_DIR}/bench)
 target_link_libraries(stats_bench_common PUBLIC
     stats_profiler stats_baselines stats_frontend stats_midend
-    stats_backend)
+    stats_backend stats_replay)
 
 function(stats_add_figure name)
     add_executable(${name} bench/${name}.cpp)

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "profiler/profiler.hpp"
 #include "sim/machine.hpp"
 #include "support/json.hpp"
+#include "support/rng.hpp"
 #include "support/table.hpp"
 
 namespace stats::benchx {
@@ -103,17 +105,24 @@ void printHeader(const std::string &figure, const std::string &caption,
                  const std::string &paper_expectation);
 
 /**
- * Observability session of one figure binary. Construct it first
- * thing in main with argc/argv; it recognises
+ * Observability + record/replay session of one figure binary.
+ * Construct it first thing in main with argc/argv; it recognises
  *
  *   --trace=FILE   (or `--trace FILE`)   chrome://tracing JSON
  *   --metrics=FILE (or `--metrics FILE`) trace-derived metrics JSON
+ *   --seed=N       pin the process PRVGs (deterministic run)
+ *   --record=FILE  record the engine choice points (implies --seed;
+ *                  defaults to seed 1 when none is given)
+ *   --replay=FILE  re-drive the harness from a recording; any
+ *                  divergence is fatal (nonzero exit, for CI)
+ *   --faults=PLAN  inject faults (docs/REPLAY.md §4 grammar)
  *
- * and, when either is present, enables the global trace for the whole
- * run. The destructor collects the events, writes the requested
- * files, and prints the summary table to stderr (stdout carries the
- * figure's own tables/JSON). Without these flags the session is
- * inert. See docs/OBSERVABILITY.md.
+ * When --trace/--metrics is present, enables the global trace for the
+ * whole run. The destructor collects the events, writes the requested
+ * files, prints the summary table to stderr (stdout carries the
+ * figure's own tables/JSON), then saves the recording or reports the
+ * replay verdict. Without these flags the session is inert. See
+ * docs/OBSERVABILITY.md and docs/REPLAY.md.
  */
 class ObsSession
 {
@@ -126,10 +135,19 @@ class ObsSession
 
     bool active() const { return _active; }
 
+    /** Root seed pinning this run (0 = entropy, unpinned). */
+    std::uint64_t seed() const { return _seed; }
+
   private:
     std::string _tracePath;
     std::string _metricsPath;
+    std::string _recordPath;
+    std::string _replayPath;
+    std::uint64_t _seed = 0;
     bool _active = false;
+
+    /** Process-wide PRVG pin making the whole harness deterministic. */
+    std::optional<support::ScopedDeterministicSeeds> _pinned;
 };
 
 } // namespace stats::benchx

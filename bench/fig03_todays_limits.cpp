@@ -45,7 +45,10 @@ main(int argc, char **argv)
         bests.push_back(speeds[best]);
         rows.emplace_back(name, speeds[best]);
     }
-    table.addRow("geo. mean", {support::geomean(bests)}, 2);
+    table.addRow({"geo. mean",
+                  support::TextTable::formatDouble(
+                      support::geomean(bests), 2),
+                  ""});
     table.print(std::cout);
     std::cout << "\n(The distance from the ideal 28x shows the need for "
                  "scavenging additional TLP.)\n";

@@ -23,7 +23,17 @@
  *   --budget=N                tuning evaluations        (default 60)
  *   --objective=time|energy   tuning objective          (default time)
  *   --db=FILE                 results store to reuse/update
- *   --seed=N                  pin the program PRVGs (0 = entropy)
+ *   --seed=N                  root seed; derives the workload, run,
+ *                             and tuner streams via SeedSequence
+ *                             (0 = entropy)
+ *
+ * Record/replay + fault injection (run/tune; see docs/REPLAY.md):
+ *   --record=FILE             record the engine's nondeterministic
+ *                             choice points to a replayable log
+ *   --replay=FILE             re-drive the engine from a recorded
+ *                             log; exits 1 on the first divergence
+ *   --faults=PLAN             inject faults (spec string or file;
+ *                             grammar in docs/REPLAY.md §4)
  *
  * Observability (run/tune; see docs/OBSERVABILITY.md):
  *   --trace=FILE              record speculation events, export a
@@ -54,7 +64,11 @@
 #include "ir/verifier.hpp"
 #include "midend/midend.hpp"
 #include "profiler/profiler.hpp"
+#include "replay/fault_plan.hpp"
+#include "replay/record_log.hpp"
+#include "replay/session.hpp"
 #include "support/log.hpp"
+#include "support/seed_sequence.hpp"
 #include "support/string_utils.hpp"
 #include "support/table.hpp"
 
@@ -166,6 +180,116 @@ struct ObsOptions
     }
 };
 
+/**
+ * Record/replay + fault-injection options shared by `run` and `tune`
+ * (docs/REPLAY.md). Lifecycle: fromArgs() loads the log and installs
+ * the fault plan, metadata defaults may then be consulted, start()
+ * flips the global session on, finish() saves the recording or
+ * reports the replay verdict (the process exit code).
+ */
+struct ReplayOptions
+{
+    std::string recordPath;
+    std::string replayPath;
+    replay::RecordLog log; ///< Loaded log; consumed by start().
+
+    bool recording() const { return !recordPath.empty(); }
+    bool replaying() const { return !replayPath.empty(); }
+
+    static ReplayOptions
+    fromArgs(const Args &args)
+    {
+        ReplayOptions options;
+        options.recordPath = args.option("record", "");
+        options.replayPath = args.option("replay", "");
+        if (options.recording() && options.replaying())
+            support::fatal("--record and --replay are exclusive");
+        const std::string fault_spec = args.option("faults", "");
+        if (!fault_spec.empty()) {
+            std::string error;
+            auto plan = replay::FaultPlan::fromSpec(fault_spec, error);
+            if (!plan)
+                support::fatal(error);
+            replay::ReplaySession::global().setFaultPlan(*plan);
+            std::cout << "fault plan: " << plan->describe() << "\n";
+        }
+        if (options.replaying()) {
+            std::string error;
+            auto loaded =
+                replay::RecordLog::loadFile(options.replayPath, error);
+            if (!loaded)
+                support::fatal("--replay: ", error);
+            options.log = std::move(*loaded);
+        }
+        return options;
+    }
+
+    /**
+     * A recorded command-line default: on replay, options not given
+     * explicitly fall back to what the recording stored.
+     */
+    std::string
+    recorded(const Args &args, const std::string &key,
+             const std::string &fallback) const
+    {
+        return args.option(key, replaying() ? log.meta(key, fallback)
+                                            : fallback);
+    }
+
+    /** Begin the session; returns the effective root seed. */
+    std::uint64_t
+    start(std::uint64_t requested_seed)
+    {
+        auto &session = replay::ReplaySession::global();
+        if (replaying()) {
+            const std::uint64_t seed = log.rootSeed;
+            session.startReplay(std::move(log));
+            return seed;
+        }
+        if (recording()) {
+            std::uint64_t seed = requested_seed;
+            if (seed == 0) {
+                // Entropy seeding cannot be reproduced; pin the run.
+                seed = 1;
+                std::cout << "note: --record without --seed; pinning "
+                             "root seed to 1 for determinism\n";
+            }
+            session.startRecording(seed);
+            return seed;
+        }
+        return requested_seed;
+    }
+
+    /** Save/verify; returns the process exit code (1 = divergence). */
+    int
+    finish() const
+    {
+        auto &session = replay::ReplaySession::global();
+        if (recording()) {
+            const replay::RecordLog recorded =
+                session.finishRecording();
+            recorded.saveFile(recordPath);
+            std::cout << "recorded " << recorded.records.size()
+                      << " choice points (" << recorded.runCount()
+                      << " engine runs, seed " << recorded.rootSeed
+                      << ") to " << recordPath << "\n";
+            return 0;
+        }
+        if (replaying()) {
+            const replay::ReplayReport report = session.finishReplay();
+            if (report.diverged) {
+                std::cout << "replay DIVERGED: "
+                          << report.first.describe() << "\n";
+                return 1;
+            }
+            std::cout << "replay OK: matched " << report.recordsMatched
+                      << " choice points across " << report.runsReplayed
+                      << " engine runs\n";
+        }
+        return 0;
+    }
+};
+
 Mode
 parseMode(const std::string &word)
 {
@@ -211,17 +335,46 @@ cmdList(const Args &)
 int
 cmdRun(const Args &args)
 {
-    if (args.positional.empty())
+    ReplayOptions replay_options = ReplayOptions::fromArgs(args);
+    // On replay the recording itself supplies the benchmark and any
+    // option not overridden on the command line.
+    const std::string bench_name =
+        !args.positional.empty()
+            ? args.positional[0]
+            : replay_options.log.meta("benchmark", "");
+    if (bench_name.empty())
         support::fatal("usage: statscc run <benchmark> [options]");
-    auto bench = createBenchmark(args.positional[0]);
+    auto bench = createBenchmark(bench_name);
     const ObsOptions obs_options = ObsOptions::fromArgs(args);
 
     RunRequest request;
-    request.mode = parseMode(args.option("mode", "par"));
-    request.threads = args.intOption("threads", 28);
-    request.workload = parseWorkload(args.option("workload", "rep"));
-    request.runSeed =
-        static_cast<std::uint64_t>(args.intOption("seed", 0));
+    request.mode =
+        parseMode(replay_options.recorded(args, "mode", "par"));
+    request.threads =
+        std::stoi(replay_options.recorded(args, "threads", "28"));
+    request.workload = parseWorkload(
+        replay_options.recorded(args, "workload", "rep"));
+
+    const auto requested_seed = static_cast<std::uint64_t>(
+        std::stoll(replay_options.recorded(args, "seed", "0")));
+    const std::uint64_t root_seed =
+        replay_options.start(requested_seed);
+    if (root_seed != 0) {
+        // One root seed drives every stream (docs/REPLAY.md §1).
+        const support::SeedSequence seeds(root_seed);
+        request.workloadSeed = seeds.derive("workload");
+        request.runSeed = seeds.derive("run");
+    }
+    if (replay_options.recording()) {
+        auto &session = replay::ReplaySession::global();
+        session.setMetadata("benchmark", bench->name());
+        session.setMetadata("mode", args.option("mode", "par"));
+        session.setMetadata("threads",
+                            std::to_string(request.threads));
+        session.setMetadata("workload",
+                            args.option("workload", "rep"));
+        session.setMetadata("seed", std::to_string(root_seed));
+    }
 
     const RunResult result = bench->run(request);
     const auto oracle =
@@ -243,7 +396,7 @@ cmdRun(const Args &args)
               << " extra-work=" << 100.0 * stats.extraWorkFraction()
               << "%\n";
     obs_options.finish();
-    return 0;
+    return replay_options.finish();
 }
 
 int
@@ -252,6 +405,7 @@ cmdTune(const Args &args)
     if (args.positional.empty())
         support::fatal("usage: statscc tune <benchmark> [options]");
     auto bench = createBenchmark(args.positional[0]);
+    ReplayOptions replay_options = ReplayOptions::fromArgs(args);
     const ObsOptions obs_options = ObsOptions::fromArgs(args);
 
     const Mode mode = parseMode(args.option("mode", "par"));
@@ -262,13 +416,22 @@ cmdTune(const Args &args)
                                : profiler::Objective::Time;
     const std::string db_path = args.option("db", "");
 
+    const std::uint64_t root_seed = replay_options.start(
+        static_cast<std::uint64_t>(args.intOption("seed", 1)));
+    const support::SeedSequence seeds(root_seed);
+    if (replay_options.recording()) {
+        auto &session = replay::ReplaySession::global();
+        session.setMetadata("benchmark", bench->name());
+        session.setMetadata("command", "tune");
+        session.setMetadata("seed", std::to_string(root_seed));
+    }
+
     sim::MachineConfig machine;
     profiler::Profiler profiler(*bench, mode, threads, machine,
                                 parseWorkload(args.option("workload",
                                                           "rep")));
-    autotuner::Autotuner tuner(
-        bench->stateSpace(threads),
-        static_cast<std::uint64_t>(args.intOption("seed", 1)));
+    autotuner::Autotuner tuner(bench->stateSpace(threads),
+                               seeds.derive("tuner"));
 
     // Reuse a previous exploration of the same objective, if any.
     if (!db_path.empty()) {
@@ -321,7 +484,7 @@ cmdTune(const Args &args)
                   << " audit entries to " << audit_path << "\n";
     }
     obs_options.finish();
-    return 0;
+    return replay_options.finish();
 }
 
 int

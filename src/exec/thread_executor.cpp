@@ -1,6 +1,10 @@
 #include "exec/thread_executor.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "observability/trace.hpp"
+#include "replay/session.hpp"
 
 namespace stats::exec {
 
@@ -30,6 +34,32 @@ ThreadExecutor::runTask(Task &task, bool cancelled)
     const bool traced =
         obs::traceActive() && task.tag.kind != obs::TaskKind::None;
     if (!cancelled) {
+        // StalledWorker fault: delay the task on its worker before
+        // dispatch. Timing-only — the stall is deliberately NOT part
+        // of the record log, so a stalled recording replays cleanly
+        // without the plan (stalls perturb interleaving, not the
+        // engine's decision sequence; see docs/REPLAY.md §4).
+        if (replay::sessionEngaged() &&
+            task.tag.kind != obs::TaskKind::None) {
+            auto &session = replay::ReplaySession::global();
+            const double stall = session.taskStallSeconds(
+                static_cast<int>(task.tag.kind), task.tag.group);
+            if (stall > 0.0) {
+                session.countExternalFault(
+                    replay::FaultKind::StalledWorker);
+                if (traced) {
+                    obs::Trace &trace = obs::Trace::global();
+                    trace.record(
+                        obs::EventType::FaultInjected, task.tag.group,
+                        task.tag.inputBegin, task.tag.inputEnd,
+                        _pool.clockSeconds(), trace.threadTrack(),
+                        static_cast<std::int64_t>(
+                            replay::FaultKind::StalledWorker));
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(stall));
+            }
+        }
         const double begin = _pool.clockSeconds();
         task.run();
         if (traced) {

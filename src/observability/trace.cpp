@@ -30,6 +30,8 @@ eventTypeName(EventType type)
       case EventType::WorkerPark:       return "WorkerPark";
       case EventType::WorkerUnpark:     return "WorkerUnpark";
       case EventType::QueueDepth:       return "QueueDepth";
+      case EventType::ReplayDivergence: return "ReplayDivergence";
+      case EventType::FaultInjected:    return "FaultInjected";
     }
     support::panic("eventTypeName: unknown event type ",
                    static_cast<int>(type));

@@ -78,10 +78,16 @@ enum class EventType : std::uint8_t
     WorkerUnpark, ///< Parked worker woke up (arg: 0).
     QueueDepth,   ///< Pre-park snapshot: inputBegin = own deque depth,
                   ///< inputEnd = shared-queue depth, arg = pool pending.
+
+    // Record/replay instants (recorded by the engine and executors
+    // when the replay session or a fault plan is engaged; see
+    // docs/REPLAY.md).
+    ReplayDivergence, ///< Replay left the recorded path (arg: epoch).
+    FaultInjected,    ///< Fault-plan injection fired (arg: FaultKind).
 };
 
-inline constexpr int kEventTypeCount = 20;
-inline constexpr int kSchemaVersion = 2;
+inline constexpr int kEventTypeCount = 22;
+inline constexpr int kSchemaVersion = 3;
 
 /** Stable name of an event type (as documented in the schema). */
 const char *eventTypeName(EventType type);

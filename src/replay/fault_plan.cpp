@@ -1,0 +1,260 @@
+#include "replay/fault_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+#include "support/string_utils.hpp"
+
+namespace stats::replay {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::ForcedMismatch: return "ForcedMismatch";
+      case FaultKind::StormMismatch:  return "StormMismatch";
+      case FaultKind::CorruptState:   return "CorruptState";
+      case FaultKind::StalledWorker:  return "StalledWorker";
+      case FaultKind::Mistrain:       return "Mistrain";
+    }
+    support::panic("faultKindName: unknown fault kind ",
+                   static_cast<int>(kind));
+}
+
+bool
+FaultPlan::active() const
+{
+    return !mismatchGroups.empty() || stormProbability > 0.0 ||
+           !corruptGroups.empty() || corruptProbability > 0.0 ||
+           stallMicros > 0.0 || mistrainAmplitude > 0.0;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    // The summary is itself a valid plan spec, so it can be pasted
+    // straight back into --faults=.
+    std::ostringstream out;
+    out << "seed=" << seed;
+    for (std::int64_t g : mismatchGroups)
+        out << "; mismatch@g" << g;
+    if (stormProbability > 0.0)
+        out << "; storm=" << stormProbability;
+    for (std::int64_t g : corruptGroups)
+        out << "; corrupt@g" << g;
+    if (corruptProbability > 0.0)
+        out << "; corrupt=" << corruptProbability;
+    if (stallMicros > 0.0) {
+        out << "; stall=" << stallMicros << "us";
+        if (stallProbability < 1.0)
+            out << "; stallp=" << stallProbability;
+    }
+    if (mistrainAmplitude > 0.0)
+        out << "; mistrain=" << mistrainAmplitude;
+    return out.str();
+}
+
+namespace {
+
+/** Parse "gN" (group designators in `mismatch@g3`). */
+bool
+parseGroup(const std::string &word, std::int64_t &group)
+{
+    if (word.size() < 2 || word[0] != 'g')
+        return false;
+    for (std::size_t i = 1; i < word.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(word[i])))
+            return false;
+    }
+    group = std::stoll(word.substr(1));
+    return true;
+}
+
+bool
+parseDouble(const std::string &word, double &value)
+{
+    try {
+        std::size_t used = 0;
+        value = std::stod(word, &used);
+        return used == word.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+/**
+ * Deterministic per-site coin: hash of (seed, salt, x, y) mapped to
+ * [0, 1). Order-independent by construction — the whole point.
+ */
+double
+siteUniform(std::uint64_t seed, std::uint64_t salt, std::uint64_t x,
+            std::uint64_t y)
+{
+    std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+    state ^= support::splitmix64(state) + x;
+    state ^= support::splitmix64(state) + y;
+    const std::uint64_t mixed = support::splitmix64(state);
+    return (mixed >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kSaltStorm = 1;
+constexpr std::uint64_t kSaltCorrupt = 2;
+constexpr std::uint64_t kSaltStall = 3;
+constexpr std::uint64_t kSaltMistrain = 4;
+
+} // namespace
+
+std::optional<FaultPlan>
+FaultPlan::parse(const std::string &spec, std::string &error)
+{
+    FaultPlan plan;
+    // Accept both ';' and ',' as clause separators.
+    std::string normalized = spec;
+    std::replace(normalized.begin(), normalized.end(), ',', ';');
+    for (const auto &raw : support::split(normalized, ';')) {
+        const std::string clause = support::trim(raw);
+        if (clause.empty())
+            continue;
+        const auto eq = clause.find('=');
+        const auto at = clause.find('@');
+        const auto fail = [&](const std::string &why) {
+            error = "fault plan: " + why + " in clause '" + clause + "'";
+            return std::nullopt;
+        };
+        if (at != std::string::npos && eq == std::string::npos) {
+            // key@gN clauses.
+            const std::string key = clause.substr(0, at);
+            std::int64_t group = -1;
+            if (!parseGroup(clause.substr(at + 1), group))
+                return fail("expected a group designator gN");
+            if (key == "mismatch")
+                plan.mismatchGroups.push_back(group);
+            else if (key == "corrupt")
+                plan.corruptGroups.push_back(group);
+            else
+                return fail("unknown fault site '" + key + "'");
+            continue;
+        }
+        if (eq == std::string::npos)
+            return fail("expected key=value or key@gN");
+        const std::string key = clause.substr(0, eq);
+        const std::string value = clause.substr(eq + 1);
+        double number = 0.0;
+        if (key == "seed") {
+            if (!parseDouble(value, number) || number < 0)
+                return fail("expected a non-negative seed");
+            plan.seed = static_cast<std::uint64_t>(number);
+        } else if (key == "storm") {
+            if (!parseDouble(value, number) || number < 0 || number > 1)
+                return fail("expected a probability in [0,1]");
+            plan.stormProbability = number;
+        } else if (key == "corrupt") {
+            if (!parseDouble(value, number) || number < 0 || number > 1)
+                return fail("expected a probability in [0,1]");
+            plan.corruptProbability = number;
+        } else if (key == "stall") {
+            std::string micros = value;
+            if (support::endsWith(micros, "us"))
+                micros = micros.substr(0, micros.size() - 2);
+            if (!parseDouble(micros, number) || number < 0)
+                return fail("expected non-negative microseconds");
+            plan.stallMicros = number;
+        } else if (key == "stallp") {
+            if (!parseDouble(value, number) || number < 0 || number > 1)
+                return fail("expected a probability in [0,1]");
+            plan.stallProbability = number;
+        } else if (key == "mistrain") {
+            if (!parseDouble(value, number) || number < 0)
+                return fail("expected a non-negative amplitude");
+            plan.mistrainAmplitude = number;
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
+    }
+    return plan;
+}
+
+std::optional<FaultPlan>
+FaultPlan::fromSpec(const std::string &spec, std::string &error)
+{
+    std::ifstream in(spec);
+    if (!in)
+        return parse(spec, error);
+    std::string merged;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = support::trim(line);
+        if (line.empty())
+            continue;
+        if (!merged.empty())
+            merged += ';';
+        merged += line;
+    }
+    return parse(merged, error);
+}
+
+bool
+FaultPlan::forcesMismatch(std::uint32_t run, std::int32_t group) const
+{
+    for (std::int64_t g : mismatchGroups) {
+        if (g == group)
+            return true;
+    }
+    if (stormProbability > 0.0 &&
+        siteUniform(seed, kSaltStorm, run,
+                    static_cast<std::uint64_t>(group)) <
+            stormProbability) {
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultPlan::corruptsSpecState(std::uint32_t run, std::int32_t group) const
+{
+    for (std::int64_t g : corruptGroups) {
+        if (g == group)
+            return true;
+    }
+    if (corruptProbability > 0.0 &&
+        siteUniform(seed, kSaltCorrupt, run,
+                    static_cast<std::uint64_t>(group)) <
+            corruptProbability) {
+        return true;
+    }
+    return false;
+}
+
+double
+FaultPlan::stallSeconds(int task_kind, std::int32_t group) const
+{
+    if (stallMicros <= 0.0)
+        return 0.0;
+    if (stallProbability < 1.0 &&
+        siteUniform(seed, kSaltStall,
+                    static_cast<std::uint64_t>(task_kind),
+                    static_cast<std::uint64_t>(group)) >=
+            stallProbability) {
+        return 0.0;
+    }
+    return stallMicros * 1e-6;
+}
+
+double
+FaultPlan::mistrainFactor(std::uint64_t evaluation) const
+{
+    if (mistrainAmplitude <= 0.0)
+        return 1.0;
+    const double u =
+        2.0 * siteUniform(seed, kSaltMistrain, evaluation, 0) - 1.0;
+    return 1.0 + mistrainAmplitude * u;
+}
+
+} // namespace stats::replay

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Declarative, seed-deterministic fault injection for the speculation
+ * engine (docs/REPLAY.md §4 is the grammar reference).
+ *
+ * A FaultPlan is parsed from a compact spec string (or a file holding
+ * one) and asked yes/no questions at the engine's fault points. Every
+ * answer is a pure hash of (plan seed, site coordinates) — never a
+ * draw from a shared sequential generator — so the same plan injects
+ * the same faults at the same sites regardless of thread timing or
+ * how many questions were asked before. That is what lets a faulty
+ * run be recorded and replayed bit-for-bit.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stats::replay {
+
+/** What a fault injection did (Record/trace `a` argument). */
+enum class FaultKind : std::uint8_t
+{
+    ForcedMismatch, ///< Validation verdict forced to "no match".
+    StormMismatch,  ///< Probabilistic verdict override (abort storms).
+    CorruptState,   ///< Speculative start replaced by a stale state.
+    StalledWorker,  ///< Executor delayed a task before dispatch.
+    Mistrain,       ///< Autotuner objective perturbed.
+};
+
+inline constexpr int kFaultKindCount = 5;
+
+const char *faultKindName(FaultKind kind);
+
+/** A parsed fault plan; inert when default-constructed. */
+struct FaultPlan
+{
+    /** Root of every injection decision (`seed=N`). */
+    std::uint64_t seed = 1;
+
+    /** Groups whose validation is always forced to mismatch
+     *  (`mismatch@gN`, repeatable). */
+    std::vector<std::int64_t> mismatchGroups;
+
+    /** Per-validation probability of a forced mismatch (`storm=P`). */
+    double stormProbability = 0.0;
+
+    /** Groups whose speculative start is replaced by a stale clone of
+     *  the initial state (`corrupt@gN`, repeatable). */
+    std::vector<std::int64_t> corruptGroups;
+
+    /** Per-group probability of the same corruption (`corrupt=P`). */
+    double corruptProbability = 0.0;
+
+    /** Pre-dispatch delay injected by ThreadExecutor (`stall=MICROS`),
+     *  applied to each task with probability stallProbability
+     *  (`stallp=P`, default 1 when stall is set). */
+    double stallMicros = 0.0;
+    double stallProbability = 1.0;
+
+    /** Relative amplitude of autotuner objective noise
+     *  (`mistrain=A`): measured objectives are scaled by
+     *  1 + A * u, u deterministic in [-1, 1). */
+    double mistrainAmplitude = 0.0;
+
+    bool active() const;
+
+    /** One-line human summary of what the plan injects. */
+    std::string describe() const;
+
+    /**
+     * Parse a plan spec: `;`/`,`-separated clauses (see REPLAY.md §4).
+     * Returns nullopt and sets `error` on an unknown clause or a
+     * malformed value.
+     */
+    static std::optional<FaultPlan> parse(const std::string &spec,
+                                          std::string &error);
+
+    /**
+     * Resolve a `--faults=` argument: if `spec` names a readable
+     * file, parse the file's contents (ignoring blank lines and
+     * `#` comments), else parse `spec` itself.
+     */
+    static std::optional<FaultPlan> fromSpec(const std::string &spec,
+                                             std::string &error);
+
+    // -- injection decisions (pure functions of seed + coordinates) --
+
+    /** Forced-mismatch decision at (run, group) validation. */
+    bool forcesMismatch(std::uint32_t run, std::int32_t group) const;
+
+    /** Stale-state substitution decision at (run, group) aux result. */
+    bool corruptsSpecState(std::uint32_t run, std::int32_t group) const;
+
+    /** Seconds a task at (task kind, group) is stalled; 0 = none. */
+    double stallSeconds(int task_kind, std::int32_t group) const;
+
+    /** Multiplicative objective noise for autotuner evaluation i. */
+    double mistrainFactor(std::uint64_t evaluation) const;
+};
+
+} // namespace stats::replay

@@ -32,6 +32,7 @@
 
 #include "exec/task.hpp"
 #include "observability/trace.hpp"
+#include "replay/session.hpp"
 #include "sdi/spec_config.hpp"
 #include "support/log.hpp"
 
@@ -107,6 +108,24 @@ class SpecEngine
 
         buildGroups();
 
+        // Record/replay: fingerprint the effective run configuration.
+        // A replayed log only makes sense against the same setup, so a
+        // config skew surfaces as an immediate divergence.
+        if (replay::sessionEngaged()) {
+            replay::RunConfigRecord rc;
+            rc.useAuxiliary = _conventional ? 0 : 1;
+            rc.groupSize = _config.groupSize;
+            rc.auxWindow = _config.auxWindow;
+            rc.maxReexecutions = _config.maxReexecutions;
+            rc.rollbackDepth = _config.rollbackDepth;
+            rc.sdThreads = _config.sdThreads;
+            rc.innerThreads = _config.innerThreads;
+            rc.inputCount = static_cast<std::int64_t>(_inputs.size());
+            replayMark(
+                replay::ReplaySession::global().engineRunBegin(rc), 0,
+                0, _inputs.size());
+        }
+
         // All engine bookkeeping must happen in serialized completion
         // callbacks; bootstrap via a zero-cost task.
         exec::Task bootstrap;
@@ -123,6 +142,18 @@ class SpecEngine
         if (!_started)
             support::panic("SpecEngine::join before start");
         _executor.drain();
+        if (replay::sessionEngaged()) {
+            replay::RunStatsRecord rs;
+            rs.validations = _stats.validations;
+            rs.mismatches = _stats.mismatches;
+            rs.reexecutions = _stats.reexecutions;
+            rs.aborts = _stats.aborts;
+            rs.squashedGroups = _stats.squashedGroups;
+            rs.invocations = _stats.invocations;
+            replayMark(
+                replay::ReplaySession::global().engineRunEnd(rs), 0, 0,
+                _inputs.size());
+        }
         assembleOutputs();
     }
 
@@ -195,6 +226,26 @@ class SpecEngine
             static_cast<std::int64_t>(input_begin),
             static_cast<std::int64_t>(input_end), _executor.now(),
             obs::kFrontierTrack, arg);
+    }
+
+    /**
+     * Surface a replay divergence as a trace instant. The session has
+     * no clock, so hooks return "this was the first divergence" and
+     * the engine stamps the event with executor time (arg: the
+     * diverging epoch; details via stats-replay / ReplayReport).
+     */
+    void
+    replayMark(bool diverged, std::size_t group, std::size_t input_begin,
+               std::size_t input_end)
+    {
+        if (!diverged)
+            return;
+        traceEvent(obs::EventType::ReplayDivergence, group, input_begin,
+                   input_end,
+                   static_cast<std::int64_t>(
+                       replay::ReplaySession::global()
+                           .firstDivergence()
+                           .epoch));
     }
 
     void
@@ -344,6 +395,18 @@ class SpecEngine
             ++_stats.stateClones;
             _stats.auxWorkSeconds += *work_done;
             g.specStart = std::move(**result);
+            // CorruptState fault: hand the group a stale clone of the
+            // initial state in place of the aux result, as if the
+            // auxiliary code had learned nothing from its window.
+            if (replay::sessionEngaged() &&
+                replay::ReplaySession::global().corruptSpecState(
+                    static_cast<std::int32_t>(j))) {
+                g.specStart = _initialState;
+                traceEvent(obs::EventType::FaultInjected, j, g.begin,
+                           g.end,
+                           static_cast<std::int64_t>(
+                               replay::FaultKind::CorruptState));
+            }
             g.status = GroupStatus::BodyRunning;
             submitBody(j);
             // A validation may have been waiting for this aux result.
@@ -424,6 +487,11 @@ class SpecEngine
             group.originalFinals.push_back(*group.finalState);
             traceEvent(obs::EventType::Commit, j, group.begin,
                        group.end);
+            if (replay::sessionEngaged()) {
+                replayMark(replay::ReplaySession::global().commit(
+                               static_cast<std::int32_t>(j)),
+                           j, group.begin, group.end);
+            }
             _frontier = j + 1;
             traceEvent(obs::EventType::FrontierAdvance, j, group.begin,
                        group.end,
@@ -472,9 +540,25 @@ class SpecEngine
         }
         _pendingValidation = -1;
 
-        const int matched =
+        int matched =
             _match ? _match(*group.specStart, producer.originalFinals)
                    : 0; // No comparison fn: valid by construction.
+        // Record/replay: the verdict is the engine's central
+        // nondeterministic choice point. The session may override it —
+        // with a fault-forced mismatch, or with the logged verdict
+        // during replay — and the overridden value is what the rest of
+        // the engine (and the ValidateMatch/Mismatch events) sees.
+        if (replay::sessionEngaged()) {
+            auto &session = replay::ReplaySession::global();
+            const replay::VerdictOutcome outcome = session.matchVerdict(
+                static_cast<std::int32_t>(j), matched);
+            if (outcome.faultInjected) {
+                traceEvent(obs::EventType::FaultInjected, j,
+                           group.begin, group.end, outcome.faultKind);
+            }
+            replayMark(outcome.diverged, j, group.begin, group.end);
+            matched = outcome.verdict;
+        }
         if (matched >= 0) {
             traceEvent(obs::EventType::ValidateMatch, j, group.begin,
                        group.end, matched);
@@ -524,6 +608,12 @@ class SpecEngine
         // its checkpoint) before re-executing.
         traceEvent(obs::EventType::Rollback, p, producer.checkpointPos,
                    producer.end, producer.reexecsDone);
+        if (replay::sessionEngaged()) {
+            replayMark(replay::ReplaySession::global().reexecution(
+                           static_cast<std::int32_t>(p),
+                           producer.reexecsDone),
+                       p, producer.checkpointPos, producer.end);
+        }
 
         auto outputs =
             std::make_shared<std::vector<std::unique_ptr<Output>>>();
@@ -575,6 +665,11 @@ class SpecEngine
         ++_stats.aborts;
         traceEvent(obs::EventType::Abort, j, _groups[j].begin,
                    _inputs.size(), static_cast<std::int64_t>(j));
+        if (replay::sessionEngaged()) {
+            replayMark(replay::ReplaySession::global().abortSpeculation(
+                           static_cast<std::int32_t>(j)),
+                       j, _groups[j].begin, _inputs.size());
+        }
         for (std::size_t g = j; g < _groups.size(); ++g) {
             if (_groups[g].status != GroupStatus::Committed) {
                 _groups[g].status = GroupStatus::Squashed;
@@ -584,6 +679,13 @@ class SpecEngine
                 traceEvent(obs::EventType::Squash, g, _groups[g].begin,
                            _groups[g].end,
                            static_cast<std::int64_t>(j));
+                if (replay::sessionEngaged()) {
+                    replayMark(
+                        replay::ReplaySession::global().squash(
+                            static_cast<std::int32_t>(g),
+                            static_cast<std::int32_t>(j)),
+                        g, _groups[g].begin, _groups[g].end);
+                }
             }
         }
 

@@ -132,6 +132,9 @@ entropySeed()
 }
 
 ScopedDeterministicSeeds::ScopedDeterministicSeeds(std::uint64_t base)
+    : _savedBase(deterministicBase.load()),
+      _savedCounter(seedCounter.load()),
+      _savedEnabled(deterministicEnabled.load())
 {
     deterministicBase.store(base);
     deterministicEnabled.store(true);
@@ -140,7 +143,9 @@ ScopedDeterministicSeeds::ScopedDeterministicSeeds(std::uint64_t base)
 
 ScopedDeterministicSeeds::~ScopedDeterministicSeeds()
 {
-    deterministicEnabled.store(false);
+    deterministicBase.store(_savedBase);
+    seedCounter.store(_savedCounter);
+    deterministicEnabled.store(_savedEnabled);
 }
 
 } // namespace stats::support

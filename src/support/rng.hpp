@@ -81,7 +81,10 @@ std::uint64_t entropySeed();
  * Global switch that makes entropySeed() deterministic.
  *
  * Tests that need reproducible "nondeterminism" install a fixed seed
- * sequence; production/bench code leaves it disabled.
+ * sequence; production/bench code leaves it disabled. Scopes nest:
+ * the destructor restores the enclosing scope's base and counter, so
+ * a per-run pin (RunRequest::runSeed) composes with a process-wide
+ * pin installed by record mode (docs/REPLAY.md).
  */
 class ScopedDeterministicSeeds
 {
@@ -92,6 +95,11 @@ class ScopedDeterministicSeeds
     ScopedDeterministicSeeds(const ScopedDeterministicSeeds &) = delete;
     ScopedDeterministicSeeds &
     operator=(const ScopedDeterministicSeeds &) = delete;
+
+  private:
+    std::uint64_t _savedBase;
+    std::uint64_t _savedCounter;
+    bool _savedEnabled;
 };
 
 } // namespace stats::support

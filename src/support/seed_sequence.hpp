@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Centralized seed derivation.
+ *
+ * Historically every layer seeded its PRVGs ad hoc (workload seeds,
+ * run seeds, autotuner seeds, test constants). A SeedSequence derives
+ * all of them from one root seed by *hashing*, not by drawing from a
+ * shared generator: the seed of a stream depends only on
+ * (root, stream name, index), never on how many seeds were derived
+ * before it or on which thread asked first. That order-independence
+ * is what makes recorded runs faithfully replayable
+ * (docs/REPLAY.md §2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace stats::support {
+
+/** Derives named, order-independent child seeds from one root seed. */
+class SeedSequence
+{
+  public:
+    explicit SeedSequence(std::uint64_t root) : _root(root) {}
+
+    std::uint64_t root() const { return _root; }
+
+    /** Seed of the named stream (pure function of root + name). */
+    std::uint64_t derive(std::string_view stream) const;
+
+    /** Seed of the `index`-th member of a named stream family. */
+    std::uint64_t derive(std::string_view stream,
+                         std::uint64_t index) const;
+
+    /**
+     * A child sequence rooted at the named stream's seed, for layers
+     * that hand sub-seeds onward (e.g. per-benchmark namespaces).
+     */
+    SeedSequence child(std::string_view stream) const
+    {
+        return SeedSequence(derive(stream));
+    }
+
+  private:
+    std::uint64_t _root;
+};
+
+} // namespace stats::support
