@@ -9,6 +9,22 @@
  *   frontend <file|benchmark>     run the front-end compiler
  *   pipeline <ir-file> [options]  middle-end + back-end on an IR file
  *   analyze <ir-file> [options]   speculation-safety static analysis
+ *   fuzz [options]                generative differential testing
+ *
+ * Fuzzing options (see docs/TESTING.md):
+ *   --seed=N                  campaign root seed         (default 1)
+ *   --runs=N                  generated cases            (default 500)
+ *   --artifacts=DIR           failure artifacts ("" = none)
+ *                             (default fuzz-artifacts)
+ *   --case=FILE               replay one case file instead
+ *   --near-miss-every=N       every Nth case must be rejected
+ *   --faults-every=N          every Nth case gets a fault storm
+ *   --max-inputs=N            cap generated input counts
+ *   --no-shrink               keep failing cases unminimized
+ *   --shrink-evals=N          shrinker oracle budget     (default 400)
+ *   --max-failures=N          stop after N failures      (default 8)
+ *   --no-analysis             skip the static-analysis stage
+ *   --verbose                 log every case, not only failures
  *
  * Analysis options (see docs/ANALYSIS.md):
  *   --analyze[=pass]          pass to run: verify, purity,
@@ -71,6 +87,7 @@
 #include "support/seed_sequence.hpp"
 #include "support/string_utils.hpp"
 #include "support/table.hpp"
+#include "testing/fuzzer.hpp"
 
 namespace {
 
@@ -633,6 +650,45 @@ cmdPipeline(const Args &args)
     return 0;
 }
 
+int
+cmdFuzz(const Args &args)
+{
+    testing::OracleOptions oracle;
+    oracle.runAnalysis = !args.options.count("no-analysis");
+
+    // Corpus-replay mode: re-run the oracle on one saved case file.
+    const std::string case_path =
+        args.option("case", args.positional.empty() ? ""
+                                                    : args.positional[0]);
+    if (!case_path.empty()) {
+        const auto result =
+            testing::replayCaseFile(case_path, oracle, std::cout);
+        return result.ok ? 0 : 1;
+    }
+
+    testing::CampaignOptions options;
+    options.seed =
+        static_cast<std::uint64_t>(std::stoull(args.option("seed", "1")));
+    options.runs = args.intOption("runs", 500);
+    options.artifactsDir = args.option("artifacts", "fuzz-artifacts");
+    options.generator.nearMissEvery =
+        args.intOption("near-miss-every", options.generator.nearMissEvery);
+    options.generator.faultsEvery =
+        args.intOption("faults-every", options.generator.faultsEvery);
+    options.generator.maxInputs =
+        args.intOption("max-inputs", options.generator.maxInputs);
+    options.shrink = !args.options.count("no-shrink");
+    options.shrinkEvaluations = args.intOption("shrink-evals", 400);
+    options.maxFailures = args.intOption("max-failures", 8);
+    options.verbose = args.options.count("verbose") != 0;
+    options.oracle = oracle;
+    if (options.runs < 1)
+        support::fatal("--runs must be at least 1");
+
+    const auto summary = testing::runCampaign(options, std::cout);
+    return summary.ok() ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -644,7 +700,8 @@ usage()
         << "  tune <benchmark> [options]   autotune a benchmark\n"
         << "  frontend <file|benchmark>    run the front-end compiler\n"
         << "  pipeline <ir-file>           middle-end + back-end\n"
-        << "  analyze <ir-file>            speculation-safety checks\n";
+        << "  analyze <ir-file>            speculation-safety checks\n"
+        << "  fuzz [case-file]             differential testing campaign\n";
 }
 
 } // namespace
@@ -670,6 +727,8 @@ main(int argc, char **argv)
         return cmdPipeline(args);
     if (command == "analyze")
         return cmdAnalyze(args);
+    if (command == "fuzz")
+        return cmdFuzz(args);
     usage();
     return 1;
 }

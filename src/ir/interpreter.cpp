@@ -1,6 +1,7 @@
 #include "ir/interpreter.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "support/log.hpp"
 #include "support/rng.hpp"
@@ -158,14 +159,28 @@ Interpreter::call(const std::string &function,
                     env[inst.result] = RtValue::ofFloat(r, inst.type);
                 } else {
                     const std::int64_t x = a.asInt(), y = b.asInt();
+                    // i64 arithmetic wraps (two's complement): signed
+                    // overflow is UB in C++, so compute in uint64.
+                    const auto ux = static_cast<std::uint64_t>(x);
+                    const auto uy = static_cast<std::uint64_t>(y);
                     std::int64_t r = 0;
-                    if (inst.op == Opcode::Add) r = x + y;
-                    else if (inst.op == Opcode::Sub) r = x - y;
-                    else if (inst.op == Opcode::Mul) r = x * y;
+                    if (inst.op == Opcode::Add)
+                        r = static_cast<std::int64_t>(ux + uy);
+                    else if (inst.op == Opcode::Sub)
+                        r = static_cast<std::int64_t>(ux - uy);
+                    else if (inst.op == Opcode::Mul)
+                        r = static_cast<std::int64_t>(ux * uy);
                     else {
                         if (y == 0)
                             support::panic("interpreter: division by 0");
-                        r = x / y;
+                        // INT64_MIN / -1 overflows (hardware traps);
+                        // wrap it to INT64_MIN like the * and +
+                        // cases.
+                        if (x == std::numeric_limits<std::int64_t>::min() &&
+                            y == -1)
+                            r = x;
+                        else
+                            r = x / y;
                     }
                     env[inst.result] = RtValue::ofInt(r);
                 }

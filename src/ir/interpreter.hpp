@@ -33,9 +33,26 @@ struct RtValue
     static RtValue ofFloat(double v, Type type = Type::F64);
 
     double asFloat() const { return isFloating(type) ? f : double(i); }
+
+    /**
+     * Float-to-int conversion saturates (like LLVM's fptosi.sat):
+     * NaN maps to 0 and out-of-range values clamp to the i64 bounds.
+     * A plain cast would be undefined behaviour for exactly those
+     * inputs, i.e. the result could differ between a run and its
+     * replay.
+     */
     std::int64_t asInt() const
     {
-        return isFloating(type) ? static_cast<std::int64_t>(f) : i;
+        if (!isFloating(type))
+            return i;
+        if (f != f)
+            return 0; // NaN
+        // 2^63 is exactly representable; INT64_MAX is not.
+        if (f >= 9223372036854775808.0)
+            return 9223372036854775807LL;
+        if (f < -9223372036854775808.0)
+            return -9223372036854775807LL - 1;
+        return static_cast<std::int64_t>(f);
     }
 };
 

@@ -1,0 +1,113 @@
+#include "replay/log_render.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "replay/fault_plan.hpp"
+
+namespace stats::replay {
+
+namespace {
+
+/** snprintf into a std::string (the lines are printf-formatted). */
+template <class... Args>
+std::string
+format(const char *fmt, Args... args)
+{
+    char buffer[256];
+    std::snprintf(buffer, sizeof buffer, fmt, args...);
+    return buffer;
+}
+
+} // namespace
+
+std::string
+renderRecord(const Record &record)
+{
+    std::string out = format("  [run %u epoch %4u] %-13s", record.run,
+                             record.epoch, recordKindName(record.kind));
+    if (record.group >= 0)
+        out += format(" group %-4d", record.group);
+    switch (record.kind) {
+      case RecordKind::RunBegin:
+        if (auto config = decodeConfig(record.payload)) {
+            out += format(" G=%lld k=%lld R=%lld b=%lld sd=%lld "
+                          "inner=%lld inputs=%lld%s",
+                          static_cast<long long>(config->groupSize),
+                          static_cast<long long>(config->auxWindow),
+                          static_cast<long long>(config->maxReexecutions),
+                          static_cast<long long>(config->rollbackDepth),
+                          static_cast<long long>(config->sdThreads),
+                          static_cast<long long>(config->innerThreads),
+                          static_cast<long long>(config->inputCount),
+                          config->useAuxiliary ? "" : " [conventional]");
+        }
+        break;
+      case RecordKind::MatchVerdict:
+        out += format(" verdict=%lld%s", static_cast<long long>(record.a),
+                      record.b != 0 ? " [fault-forced]" : "");
+        break;
+      case RecordKind::Reexec:
+        out += format(" attempt=%lld", static_cast<long long>(record.a));
+        break;
+      case RecordKind::Squash:
+        out += format(" abortedBy=%lld", static_cast<long long>(record.a));
+        break;
+      case RecordKind::FaultInjected:
+        out += format(" kind=%s",
+                      faultKindName(static_cast<FaultKind>(record.a)));
+        break;
+      case RecordKind::RunEnd:
+        if (auto stats = decodeStats(record.payload)) {
+            out += format(
+                " validations=%lld mismatches=%lld reexecs=%lld "
+                "aborts=%lld squashed=%lld invocations=%lld",
+                static_cast<long long>(stats->validations),
+                static_cast<long long>(stats->mismatches),
+                static_cast<long long>(stats->reexecutions),
+                static_cast<long long>(stats->aborts),
+                static_cast<long long>(stats->squashedGroups),
+                static_cast<long long>(stats->invocations));
+        }
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+    return out;
+}
+
+DiffRender
+renderDiff(const RecordLog &a, const RecordLog &b)
+{
+    DiffRender render;
+    if (a.rootSeed != b.rootSeed) {
+        render.text +=
+            format("root seeds differ: %llu vs %llu\n",
+                   static_cast<unsigned long long>(a.rootSeed),
+                   static_cast<unsigned long long>(b.rootSeed));
+    }
+    const std::size_t common =
+        std::min(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (a.records[i] == b.records[i])
+            continue;
+        render.text += format("first difference at record %zu:\n", i);
+        render.text += "< " + renderRecord(a.records[i]);
+        render.text += "> " + renderRecord(b.records[i]);
+        return render;
+    }
+    if (a.records.size() != b.records.size()) {
+        render.text += format(
+            "records differ in count: %zu vs %zu (first %zu "
+            "identical)\n",
+            a.records.size(), b.records.size(), common);
+        return render;
+    }
+    render.text +=
+        format("logs are identical (%zu records)\n", a.records.size());
+    render.identical = true;
+    return render;
+}
+
+} // namespace stats::replay

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Text rendering of record logs: the single source of the line
+ * formats `stats-replay inspect` and `stats-replay diff` print.
+ *
+ * Extracted from the tool so the formats can be golden-tested
+ * (tests/replay_diff_golden_test.cpp): the renderers return strings
+ * byte-identical to what the tool writes to stdout.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "replay/record_log.hpp"
+
+namespace stats::replay {
+
+/** One record listing line, trailing newline included. */
+std::string renderRecord(const Record &record);
+
+struct DiffRender
+{
+    /** Exactly what `stats-replay diff a b` prints. */
+    std::string text;
+
+    /** True when the logs match (the tool's exit-0 condition). */
+    bool identical = false;
+};
+
+/** Compare two logs the way `stats-replay diff` does. */
+DiffRender renderDiff(const RecordLog &a, const RecordLog &b);
+
+} // namespace stats::replay

@@ -310,7 +310,11 @@ class SpecEngine
                 *checkpoint = state; // Clone for rollback.
                 units += _config.stateCloneCost;
             }
-            Invocation inv = _compute(_inputs[pos], state, context);
+            // Auxiliary tasks run the auxiliary clone (the tradeoff-
+            // truncated approximation), not the precise body.
+            Invocation inv = context.auxiliary && _auxiliary
+                                 ? _auxiliary(_inputs[pos], state, context)
+                                 : _compute(_inputs[pos], state, context);
             units += inv.cost.units;
             mem_weighted += inv.cost.units * inv.cost.memBound;
             outputs.push_back(std::move(inv.output));

@@ -1,0 +1,190 @@
+#include "testing/fuzz_case.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "ir/parser.hpp"
+#include "support/string_utils.hpp"
+
+namespace stats::testing {
+
+const char *
+matcherKindName(MatcherKind kind)
+{
+    switch (kind) {
+      case MatcherKind::ExactAny: return "exact-any";
+      case MatcherKind::ExactSingle: return "exact-single";
+      case MatcherKind::AlwaysMatch: return "always";
+    }
+    return "?";
+}
+
+std::optional<MatcherKind>
+matcherKindFromName(const std::string &name)
+{
+    if (name == "exact-any")
+        return MatcherKind::ExactAny;
+    if (name == "exact-single")
+        return MatcherKind::ExactSingle;
+    if (name == "always")
+        return MatcherKind::AlwaysMatch;
+    return std::nullopt;
+}
+
+std::string
+serializeCase(const FuzzCase &fuzz_case)
+{
+    const Scenario &s = fuzz_case.scenario;
+    const sdi::SpecConfig &c = s.config;
+    std::ostringstream out;
+    out << "; fuzz-case: v1\n";
+    if (!fuzz_case.name.empty())
+        out << "; name=" << fuzz_case.name << "\n";
+    out << "; seed=" << s.seed << " inputs=" << s.inputs
+        << " init=" << s.initialState << " seqruns=" << s.sequentialRuns
+        << "\n";
+    out << "; noise=" << s.noisyPercent << " maxnoise=" << s.maxNoise
+        << " matcher=" << matcherKindName(s.matcher) << "\n";
+    out << "; engine: aux=" << (c.useAuxiliary ? 1 : 0)
+        << " group=" << c.groupSize << " window=" << c.auxWindow
+        << " reexec=" << c.maxReexecutions
+        << " rollback=" << c.rollbackDepth << " sdthreads=" << c.sdThreads
+        << " inner=" << c.innerThreads << "\n";
+    if (!s.faults.empty())
+        out << "; faults=" << s.faults << "\n";
+    out << "; expect="
+        << (fuzz_case.expect == Expectation::Pass
+                ? "pass"
+                : "reject:" + fuzz_case.expectStage)
+        << "\n";
+    if (!fuzz_case.rootCause.empty())
+        out << "; root-cause: " << fuzz_case.rootCause << "\n";
+    out << "\n" << ir::printModule(fuzz_case.module);
+    return out.str();
+}
+
+namespace {
+
+/** Apply one `key=value` token to the case; false on unknown keys. */
+bool
+applyToken(FuzzCase &fuzz_case, const std::string &key,
+           const std::string &value)
+{
+    Scenario &s = fuzz_case.scenario;
+    sdi::SpecConfig &c = s.config;
+    try {
+        if (key == "name") fuzz_case.name = value;
+        else if (key == "seed") s.seed = std::stoull(value);
+        else if (key == "inputs") s.inputs = std::stoi(value);
+        else if (key == "init") s.initialState = std::stoll(value);
+        else if (key == "seqruns") s.sequentialRuns = std::stoi(value);
+        else if (key == "noise") s.noisyPercent = std::stoi(value);
+        else if (key == "maxnoise") s.maxNoise = std::stoi(value);
+        else if (key == "matcher") {
+            auto kind = matcherKindFromName(value);
+            if (!kind)
+                return false;
+            s.matcher = *kind;
+        }
+        else if (key == "aux") c.useAuxiliary = value != "0";
+        else if (key == "group") c.groupSize = std::stoi(value);
+        else if (key == "window") c.auxWindow = std::stoi(value);
+        else if (key == "reexec") c.maxReexecutions = std::stoi(value);
+        else if (key == "rollback") c.rollbackDepth = std::stoi(value);
+        else if (key == "sdthreads") c.sdThreads = std::stoi(value);
+        else if (key == "inner") c.innerThreads = std::stoi(value);
+        else if (key == "faults") s.faults = value;
+        else if (key == "expect") {
+            if (value == "pass") {
+                fuzz_case.expect = Expectation::Pass;
+            } else if (support::startsWith(value, "reject:")) {
+                fuzz_case.expect = Expectation::Reject;
+                fuzz_case.expectStage = value.substr(7);
+            } else {
+                return false;
+            }
+        }
+        else
+            return false;
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<FuzzCase>
+parseCase(const std::string &text, std::string &error)
+{
+    FuzzCase fuzz_case;
+    bool sawHeader = false;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string trimmed = support::trim(line);
+        if (trimmed.empty())
+            continue;
+        if (trimmed[0] != ';')
+            break; // Module text begins; the parser re-reads it all.
+        std::string body = support::trim(trimmed.substr(1));
+        if (support::startsWith(body, "fuzz-case:")) {
+            if (support::trim(body.substr(10)) != "v1") {
+                error = "unsupported fuzz-case version";
+                return std::nullopt;
+            }
+            sawHeader = true;
+            continue;
+        }
+        if (support::startsWith(body, "root-cause:")) {
+            fuzz_case.rootCause = support::trim(body.substr(11));
+            continue;
+        }
+        if (support::startsWith(body, "engine:"))
+            body = support::trim(body.substr(7));
+        // `faults=` may contain spaces and `=`; it consumes the rest
+        // of its line, so it must be the line's only token.
+        if (support::startsWith(body, "faults=")) {
+            fuzz_case.scenario.faults = support::trim(body.substr(7));
+            continue;
+        }
+        for (const auto &token : support::split(body, ' ')) {
+            const std::string word = support::trim(token);
+            if (word.empty())
+                continue;
+            const auto eq = word.find('=');
+            if (eq == std::string::npos) {
+                error = "bad scenario token '" + word + "'";
+                return std::nullopt;
+            }
+            if (!applyToken(fuzz_case, word.substr(0, eq),
+                            word.substr(eq + 1))) {
+                error = "bad scenario token '" + word + "'";
+                return std::nullopt;
+            }
+        }
+    }
+    if (!sawHeader) {
+        error = "missing `; fuzz-case: v1` header";
+        return std::nullopt;
+    }
+    fuzz_case.module = ir::parseModule(text);
+    if (fuzz_case.name.empty())
+        fuzz_case.name = fuzz_case.module.name;
+    return fuzz_case;
+}
+
+std::optional<FuzzCase>
+loadCaseFile(const std::string &path, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseCase(buffer.str(), error);
+}
+
+} // namespace stats::testing

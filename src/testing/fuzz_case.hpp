@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The unit of generative differential testing: one *fuzz case*.
+ *
+ * A case bundles a mini-IR module with the scenario under which the
+ * differential oracle runs it — the engine configuration, the
+ * nondeterminism model (how much per-invocation noise the "program"
+ * exhibits), the state matcher, an optional fault plan, and the
+ * expected outcome (valid cases must uphold the oracle; near-miss
+ * cases must be *rejected* by the verifier or the static analyzer).
+ *
+ * Cases serialize to a single `.ir` file whose leading `;` comment
+ * lines carry the scenario (the IR parser ignores comments, so the
+ * same file feeds both the oracle harness and any plain IR tool).
+ * That one-file form is what `tests/corpus/` checks in and what the
+ * shrinker emits for failing cases.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "sdi/spec_config.hpp"
+
+namespace stats::testing {
+
+/** Which doesSpecStateMatchAny shape the scenario uses. */
+enum class MatcherKind
+{
+    ExactAny,    ///< Equality against any original final state.
+    ExactSingle, ///< Equality against the first only (Fast Track).
+    AlwaysMatch, ///< Valid by construction: every state accepted.
+};
+
+const char *matcherKindName(MatcherKind kind);
+std::optional<MatcherKind> matcherKindFromName(const std::string &name);
+
+/** What the pipeline is expected to do with the case. */
+enum class Expectation
+{
+    Pass,   ///< Valid module: the differential oracle must hold.
+    Reject, ///< Near-miss module: verifier/analyzer must flag it.
+};
+
+/** Everything the oracle needs besides the module itself. */
+struct Scenario
+{
+    /** Root of every stream the case derives (inputs, noise, config). */
+    std::uint64_t seed = 1;
+
+    /** Number of inputs fed to the state dependence. */
+    int inputs = 24;
+
+    /** Initial state value. */
+    long long initialState = 0;
+
+    /**
+     * Nondeterminism model: percent of (input, attempt) pairs whose
+     * state transition is perturbed, and the perturbation magnitude.
+     * The noise value is a pure hash of (seed, input, attempt), so the
+     * set of legal sequential outcomes is exactly enumerable.
+     */
+    int noisyPercent = 0;
+    int maxNoise = 3;
+
+    MatcherKind matcher = MatcherKind::ExactAny;
+
+    /** Engine configuration for the speculative run. */
+    sdi::SpecConfig config;
+
+    /** Fault-plan spec for the storm re-run ("" = no fault run). */
+    std::string faults;
+
+    /** Sequential sample runs collected for the outcome set. */
+    int sequentialRuns = 5;
+};
+
+struct FuzzCase
+{
+    std::string name;
+    Scenario scenario;
+    Expectation expect = Expectation::Pass;
+
+    /** Reject cases: pipeline stage that must flag it
+     *  ("verify" or "analysis"). */
+    std::string expectStage;
+
+    /** Corpus cases: one-line root cause of the original failure. */
+    std::string rootCause;
+
+    ir::Module module;
+};
+
+/** Serialize to the one-file corpus form (scenario header + IR). */
+std::string serializeCase(const FuzzCase &fuzz_case);
+
+/**
+ * Parse the one-file form. Returns nullopt and sets `error` on a
+ * malformed scenario header; panics (like parseModule) on bad IR.
+ */
+std::optional<FuzzCase> parseCase(const std::string &text,
+                                  std::string &error);
+
+/** parseCase over a file's contents. */
+std::optional<FuzzCase> loadCaseFile(const std::string &path,
+                                     std::string &error);
+
+} // namespace stats::testing

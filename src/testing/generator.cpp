@@ -1,0 +1,757 @@
+#include "testing/generator.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/seed_sequence.hpp"
+
+namespace stats::testing {
+
+namespace {
+
+using support::Xoshiro256;
+
+ir::Instruction
+ins(ir::Opcode op, ir::Type type, std::string result,
+    std::vector<ir::Operand> operands, std::string callee = "",
+    std::vector<std::string> labels = {})
+{
+    ir::Instruction inst;
+    inst.op = op;
+    inst.type = type;
+    inst.result = std::move(result);
+    inst.operands = std::move(operands);
+    inst.callee = std::move(callee);
+    inst.labels = std::move(labels);
+    return inst;
+}
+
+/** A function the expression DAG may call (all are unary or nullary). */
+struct Callable
+{
+    std::string name;
+    bool hasArg = true;
+    ir::Type argType = ir::Type::I64;
+    ir::Type retType = ir::Type::I64;
+};
+
+/**
+ * Emits one function body as a random typed expression DAG.
+ *
+ * Invariants the emitter maintains (they are what keeps generated
+ * modules interpretable):
+ *  - a value lands in a pool only if it is defined on *every* path to
+ *    the pool's uses (branch-local temps stay local, joins go through
+ *    phis), so the interpreter never reads an unexecuted definition;
+ *  - integer division only by nonzero constants;
+ *  - every loop has a constant trip count.
+ */
+class BodyGen
+{
+  public:
+    BodyGen(Xoshiro256 &rng, ir::Function &fn,
+            const std::vector<Callable> &callables)
+        : _rng(rng), _fn(fn), _callables(callables)
+    {
+    }
+
+    std::string
+    freshTemp()
+    {
+        return "t" + std::to_string(_next++);
+    }
+
+    ir::BasicBlock &
+    block()
+    {
+        return _fn.blocks.back();
+    }
+
+    void
+    addValue(ir::Type type, const std::string &name)
+    {
+        (type == ir::Type::I64 ? _i64s : _f64s).push_back(name);
+    }
+
+    /** Random i64 operand: pooled temp or a small constant. */
+    ir::Operand
+    pickI64()
+    {
+        if (_i64s.empty() || _rng.nextBelow(100) < 25)
+            return ir::Operand::constInt(
+                _rng.uniformInt(0, 9));
+        return ir::Operand::temp(
+            _i64s[_rng.nextBelow(_i64s.size())]);
+    }
+
+    ir::Operand
+    pickF64()
+    {
+        if (_f64s.empty() || _rng.nextBelow(100) < 25)
+            return ir::Operand::constFloat(
+                0.5 * double(_rng.uniformInt(-8, 8)));
+        return ir::Operand::temp(
+            _f64s[_rng.nextBelow(_f64s.size())]);
+    }
+
+    /** A pooled i64 *temp*, materializing a constant if needed. */
+    std::string
+    pickI64Temp()
+    {
+        if (!_i64s.empty())
+            return _i64s[_rng.nextBelow(_i64s.size())];
+        const std::string name = freshTemp();
+        block().instructions.push_back(
+            ins(ir::Opcode::Add, ir::Type::I64, name,
+                {ir::Operand::constInt(_rng.uniformInt(0, 9)),
+                 ir::Operand::constInt(1)}));
+        _i64s.push_back(name);
+        return name;
+    }
+
+    void
+    emitStep()
+    {
+        const std::uint64_t roll = _rng.nextBelow(100);
+        if (roll < 40)
+            emitIntStep();
+        else if (roll < 60 && !_f64s.empty())
+            emitFloatStep();
+        else if (roll < 75)
+            emitCastStep();
+        else if (!_callables.empty())
+            emitCallStep();
+        else
+            emitIntStep();
+    }
+
+    void
+    emitSteps(int count)
+    {
+        for (int i = 0; i < count; ++i)
+            emitStep();
+    }
+
+    /** Append `count` random instructions into a foreign block without
+     *  polluting the pools (used for branch arms). The returned temp
+     *  is defined in that block. */
+    std::string
+    emitLocalArm(ir::BasicBlock &arm)
+    {
+        const std::string name = freshTemp();
+        const ir::Opcode op =
+            _rng.nextBelow(2) ? ir::Opcode::Add : ir::Opcode::Mul;
+        arm.instructions.push_back(ins(
+            op, ir::Type::I64, name,
+            {pickI64(), ir::Operand::constInt(_rng.uniformInt(1, 5))}));
+        return name;
+    }
+
+    /** Straight-line / diamond / bounded-loop body shapes. */
+    void
+    emitShape()
+    {
+        emitSteps(2 + int(_rng.nextBelow(4)));
+        const std::uint64_t shape = _rng.nextBelow(100);
+        if (shape < 25)
+            emitDiamond();
+        else if (shape < 50)
+            emitLoop();
+        emitSteps(1 + int(_rng.nextBelow(4)));
+    }
+
+    Xoshiro256 &_rng;
+    ir::Function &_fn;
+    const std::vector<Callable> &_callables;
+    std::vector<std::string> _i64s, _f64s;
+    int _next = 0;
+
+  private:
+    void
+    emitIntStep()
+    {
+        const std::string name = freshTemp();
+        const std::uint64_t roll = _rng.nextBelow(100);
+        if (roll < 55) {
+            const ir::Opcode ops[] = {ir::Opcode::Add, ir::Opcode::Sub,
+                                      ir::Opcode::Mul};
+            block().instructions.push_back(
+                ins(ops[_rng.nextBelow(3)], ir::Type::I64, name,
+                    {pickI64(), pickI64()}));
+        } else if (roll < 70) {
+            // Division: only by a nonzero constant, so interpretation
+            // can never hit the divide-by-zero panic.
+            block().instructions.push_back(
+                ins(ir::Opcode::Div, ir::Type::I64, name,
+                    {pickI64(),
+                     ir::Operand::constInt(_rng.uniformInt(1, 7))}));
+        } else if (roll < 85) {
+            const ir::Opcode ops[] = {ir::Opcode::CmpLt,
+                                      ir::Opcode::CmpLe,
+                                      ir::Opcode::CmpEq};
+            block().instructions.push_back(
+                ins(ops[_rng.nextBelow(3)], ir::Type::I64, name,
+                    {pickI64(), pickI64()}));
+        } else {
+            block().instructions.push_back(
+                ins(ir::Opcode::Select, ir::Type::I64, name,
+                    {pickI64(), pickI64(), pickI64()}));
+        }
+        _i64s.push_back(name);
+    }
+
+    void
+    emitFloatStep()
+    {
+        const std::string name = freshTemp();
+        const std::uint64_t roll = _rng.nextBelow(100);
+        if (roll < 75) {
+            const ir::Opcode ops[] = {ir::Opcode::Add, ir::Opcode::Sub,
+                                      ir::Opcode::Mul};
+            block().instructions.push_back(
+                ins(ops[_rng.nextBelow(3)], ir::Type::F64, name,
+                    {pickF64(), pickF64()}));
+        } else {
+            const double divisors[] = {2.0, 4.0, 0.5, 8.0};
+            block().instructions.push_back(
+                ins(ir::Opcode::Div, ir::Type::F64, name,
+                    {pickF64(),
+                     ir::Operand::constFloat(
+                         divisors[_rng.nextBelow(4)])}));
+        }
+        _f64s.push_back(name);
+    }
+
+    void
+    emitCastStep()
+    {
+        const std::string name = freshTemp();
+        if (_f64s.empty() || _rng.nextBelow(2)) {
+            block().instructions.push_back(
+                ins(ir::Opcode::Cast, ir::Type::F64, name, {pickI64()}));
+            _f64s.push_back(name);
+        } else {
+            block().instructions.push_back(
+                ins(ir::Opcode::Cast, ir::Type::I64, name, {pickF64()}));
+            _i64s.push_back(name);
+        }
+    }
+
+    void
+    emitCallStep()
+    {
+        const Callable &callee =
+            _callables[_rng.nextBelow(_callables.size())];
+        std::vector<ir::Operand> args;
+        if (callee.hasArg) {
+            if (callee.argType == ir::Type::I64) {
+                args.push_back(pickI64());
+            } else if (!_f64s.empty()) {
+                args.push_back(pickF64());
+            } else {
+                const std::string cast = freshTemp();
+                block().instructions.push_back(ins(
+                    ir::Opcode::Cast, ir::Type::F64, cast, {pickI64()}));
+                _f64s.push_back(cast);
+                args.push_back(ir::Operand::temp(cast));
+            }
+        }
+        const std::string name = freshTemp();
+        block().instructions.push_back(ins(ir::Opcode::Call,
+                                           callee.retType, name,
+                                           std::move(args), callee.name));
+        addValue(callee.retType, name);
+    }
+
+    /**
+     * if/else over a random comparison, joined by a phi. Arm-local
+     * temps are referenced only by the phi: the verifier has no
+     * dominance check, but the interpreter would panic on a read of a
+     * temp whose branch never executed.
+     */
+    void
+    emitDiamond()
+    {
+        const std::string label = block().label;
+        const std::string cond = freshTemp();
+        block().instructions.push_back(
+            ins(ir::Opcode::CmpLt, ir::Type::I64, cond,
+                {pickI64(),
+                 ir::Operand::constInt(_rng.uniformInt(1, 9))}));
+        const std::string then_label = label + "_then";
+        const std::string else_label = label + "_else";
+        const std::string join_label = label + "_join";
+        block().instructions.push_back(
+            ins(ir::Opcode::Br, ir::Type::Void, "",
+                {ir::Operand::temp(cond)}, "",
+                {then_label, else_label}));
+
+        ir::BasicBlock then_block;
+        then_block.label = then_label;
+        const std::string then_value = emitLocalArm(then_block);
+        then_block.instructions.push_back(ins(ir::Opcode::Jmp,
+                                              ir::Type::Void, "", {}, "",
+                                              {join_label}));
+        _fn.blocks.push_back(std::move(then_block));
+
+        ir::BasicBlock else_block;
+        else_block.label = else_label;
+        const std::string else_value = emitLocalArm(else_block);
+        else_block.instructions.push_back(ins(ir::Opcode::Jmp,
+                                              ir::Type::Void, "", {}, "",
+                                              {join_label}));
+        _fn.blocks.push_back(std::move(else_block));
+
+        ir::BasicBlock join_block;
+        join_block.label = join_label;
+        const std::string phi = freshTemp();
+        join_block.instructions.push_back(
+            ins(ir::Opcode::Phi, ir::Type::I64, phi,
+                {ir::Operand::temp(then_value),
+                 ir::Operand::temp(else_value)},
+                "", {then_label, else_label}));
+        _fn.blocks.push_back(std::move(join_block));
+        _i64s.push_back(phi);
+    }
+
+    /** A counted accumulator loop with a constant trip count. */
+    void
+    emitLoop()
+    {
+        const std::string pre_label = block().label;
+        const std::string loop_label = pre_label + "_loop";
+        const std::string exit_label = pre_label + "_done";
+        const std::string seed_value = pickI64Temp();
+        const long long trip = _rng.uniformInt(2, 6);
+        block().instructions.push_back(
+            ins(ir::Opcode::Jmp, ir::Type::Void, "", {}, "",
+                {loop_label}));
+
+        ir::BasicBlock loop;
+        loop.label = loop_label;
+        const std::string iv = freshTemp();
+        const std::string acc = freshTemp();
+        const std::string acc_next = freshTemp();
+        const std::string iv_next = freshTemp();
+        const std::string cont = freshTemp();
+        loop.instructions.push_back(
+            ins(ir::Opcode::Phi, ir::Type::I64, iv,
+                {ir::Operand::constInt(0), ir::Operand::temp(iv_next)},
+                "", {pre_label, loop_label}));
+        loop.instructions.push_back(
+            ins(ir::Opcode::Phi, ir::Type::I64, acc,
+                {ir::Operand::temp(seed_value),
+                 ir::Operand::temp(acc_next)},
+                "", {pre_label, loop_label}));
+        loop.instructions.push_back(
+            ins(_rng.nextBelow(2) ? ir::Opcode::Add : ir::Opcode::Mul,
+                ir::Type::I64, acc_next,
+                {ir::Operand::temp(acc),
+                 ir::Operand::constInt(_rng.uniformInt(1, 3))}));
+        loop.instructions.push_back(
+            ins(ir::Opcode::Add, ir::Type::I64, iv_next,
+                {ir::Operand::temp(iv), ir::Operand::constInt(1)}));
+        loop.instructions.push_back(
+            ins(ir::Opcode::CmpLt, ir::Type::I64, cont,
+                {ir::Operand::temp(iv_next),
+                 ir::Operand::constInt(trip)}));
+        loop.instructions.push_back(
+            ins(ir::Opcode::Br, ir::Type::Void, "",
+                {ir::Operand::temp(cont)}, "",
+                {loop_label, exit_label}));
+        _fn.blocks.push_back(std::move(loop));
+
+        ir::BasicBlock exit;
+        exit.label = exit_label;
+        _fn.blocks.push_back(std::move(exit));
+        _i64s.push_back(acc_next);
+    }
+};
+
+ir::Function
+makeFunction(const std::string &name, ir::Type ret,
+             std::vector<ir::Parameter> params)
+{
+    ir::Function fn;
+    fn.name = name;
+    fn.returnType = ret;
+    fn.params = std::move(params);
+    ir::BasicBlock entry;
+    entry.label = "entry";
+    fn.blocks.push_back(std::move(entry));
+    return fn;
+}
+
+/** `name() -> i64 { ret i64 value }` (size/default/placeholder fns). */
+ir::Function
+makeConstFn(const std::string &name, long long value)
+{
+    ir::Function fn = makeFunction(name, ir::Type::I64, {});
+    fn.blocks[0].instructions.push_back(
+        ins(ir::Opcode::Ret, ir::Type::I64, "",
+            {ir::Operand::constInt(value)}));
+    return fn;
+}
+
+struct ModuleGen
+{
+    Xoshiro256 &rng;
+    ir::Module module;
+    std::vector<Callable> callables;
+    int tradeoffId = 40;
+
+    void
+    addConstantTradeoff()
+    {
+        const std::string base = "T_" + std::to_string(tradeoffId++);
+        const long long size = rng.uniformInt(2, 6);
+        const long long def = rng.uniformInt(0, size - 1);
+        const long long a = rng.uniformInt(1, 5);
+        const long long b = rng.uniformInt(0, 7);
+
+        module.functions.push_back(makeConstFn(base, a * def + b));
+        ir::Function get = makeFunction(base + "_getValue", ir::Type::I64,
+                                        {{"i", ir::Type::I64}});
+        get.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Mul, ir::Type::I64, "scaled",
+                {ir::Operand::temp("i"), ir::Operand::constInt(a)}));
+        get.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Add, ir::Type::I64, "value",
+                {ir::Operand::temp("scaled"), ir::Operand::constInt(b)}));
+        get.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Ret, ir::Type::I64, "",
+                {ir::Operand::temp("value")}));
+        module.functions.push_back(std::move(get));
+        module.functions.push_back(makeConstFn(base + "_size", size));
+        module.functions.push_back(makeConstFn(base + "_default", def));
+
+        ir::TradeoffMeta meta;
+        meta.name = base;
+        meta.kind = ir::TradeoffKind::Constant;
+        meta.placeholder = base;
+        meta.getValueFn = base + "_getValue";
+        meta.sizeFn = base + "_size";
+        meta.defaultIndexFn = base + "_default";
+        module.tradeoffs.push_back(std::move(meta));
+        callables.push_back({base, false, ir::Type::I64, ir::Type::I64});
+    }
+
+    /** `name(i64 %i) -> i64 { ret i64 %i }`: getValue for tradeoffs
+     *  whose values are picked from nameChoices, where the index only
+     *  needs to round-trip. */
+    void
+    addIdentityGetValue(const std::string &name)
+    {
+        ir::Function get =
+            makeFunction(name, ir::Type::I64, {{"i", ir::Type::I64}});
+        get.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Ret, ir::Type::I64, "",
+                {ir::Operand::temp("i")}));
+        module.functions.push_back(std::move(get));
+    }
+
+    void
+    addDataTypeTradeoff()
+    {
+        const std::string base = "T_" + std::to_string(tradeoffId++);
+        ir::Function ph = makeFunction(base + "_ty", ir::Type::F64,
+                                       {{"v", ir::Type::F64}});
+        ph.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Ret, ir::Type::F64, "",
+                {ir::Operand::temp("v")}));
+        module.functions.push_back(std::move(ph));
+        addIdentityGetValue(base + "_getValue");
+        module.functions.push_back(makeConstFn(base + "_size", 2));
+        module.functions.push_back(
+            makeConstFn(base + "_default", rng.uniformInt(0, 1)));
+
+        ir::TradeoffMeta meta;
+        meta.name = base;
+        meta.kind = ir::TradeoffKind::DataType;
+        meta.placeholder = base + "_ty";
+        meta.getValueFn = base + "_getValue";
+        meta.sizeFn = base + "_size";
+        meta.defaultIndexFn = base + "_default";
+        meta.nameChoices = {"f64", "f32"};
+        module.tradeoffs.push_back(std::move(meta));
+        callables.push_back(
+            {base + "_ty", true, ir::Type::F64, ir::Type::F64});
+    }
+
+    void
+    addFunctionChoiceTradeoff()
+    {
+        const std::string base = "T_" + std::to_string(tradeoffId++);
+        const std::string va = base + "_fine";
+        const std::string vb = base + "_coarse";
+        ir::Function fa =
+            makeFunction(va, ir::Type::F64, {{"x", ir::Type::F64}});
+        fa.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Add, ir::Type::F64, "r",
+                {ir::Operand::temp("x"),
+                 ir::Operand::constFloat(
+                     0.25 * double(rng.uniformInt(1, 8)))}));
+        fa.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Ret, ir::Type::F64, "",
+                {ir::Operand::temp("r")}));
+        module.functions.push_back(std::move(fa));
+        ir::Function fb =
+            makeFunction(vb, ir::Type::F64, {{"x", ir::Type::F64}});
+        fb.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Mul, ir::Type::F64, "r",
+                {ir::Operand::temp("x"),
+                 ir::Operand::constFloat(
+                     0.5 * double(rng.uniformInt(1, 4)))}));
+        fb.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Ret, ir::Type::F64, "",
+                {ir::Operand::temp("r")}));
+        module.functions.push_back(std::move(fb));
+
+        const long long def = rng.uniformInt(0, 1);
+        ir::Function ph = makeFunction(base + "_fn", ir::Type::F64,
+                                       {{"x", ir::Type::F64}});
+        ph.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Call, ir::Type::F64, "r",
+                {ir::Operand::temp("x")}, def == 0 ? va : vb));
+        ph.blocks[0].instructions.push_back(
+            ins(ir::Opcode::Ret, ir::Type::F64, "",
+                {ir::Operand::temp("r")}));
+        module.functions.push_back(std::move(ph));
+        addIdentityGetValue(base + "_getValue");
+        module.functions.push_back(makeConstFn(base + "_size", 2));
+        module.functions.push_back(makeConstFn(base + "_default", def));
+
+        ir::TradeoffMeta meta;
+        meta.name = base;
+        meta.kind = ir::TradeoffKind::FunctionChoice;
+        meta.placeholder = base + "_fn";
+        meta.getValueFn = base + "_getValue";
+        meta.sizeFn = base + "_size";
+        meta.defaultIndexFn = base + "_default";
+        meta.nameChoices = {va, vb};
+        module.tradeoffs.push_back(std::move(meta));
+        callables.push_back(
+            {base + "_fn", true, ir::Type::F64, ir::Type::F64});
+    }
+
+    void
+    addHelper(int index)
+    {
+        const bool integer = rng.nextBelow(100) < 60;
+        const ir::Type type = integer ? ir::Type::I64 : ir::Type::F64;
+        ir::Function fn = makeFunction("helper" + std::to_string(index),
+                                       type, {{"x", type}});
+        BodyGen body(rng, fn, callables);
+        body.addValue(type, "x");
+        body.emitSteps(2 + int(rng.nextBelow(4)));
+        // Return a value of the function's type, casting if the DAG
+        // only produced the other kind.
+        std::string ret_value;
+        if (integer) {
+            ret_value = body._i64s[rng.nextBelow(body._i64s.size())];
+        } else if (!body._f64s.empty()) {
+            ret_value = body._f64s[rng.nextBelow(body._f64s.size())];
+        } else {
+            ret_value = body.freshTemp();
+            fn.blocks.back().instructions.push_back(
+                ins(ir::Opcode::Cast, ir::Type::F64, ret_value,
+                    {body.pickI64()}));
+        }
+        fn.blocks.back().instructions.push_back(
+            ins(ir::Opcode::Ret, type, "",
+                {ir::Operand::temp(ret_value)}));
+        module.functions.push_back(std::move(fn));
+        callables.push_back(
+            {"helper" + std::to_string(index), true, type, type});
+    }
+
+    void
+    addComputeOutput()
+    {
+        ir::Function fn = makeFunction(
+            "computeOutput", ir::Type::I64,
+            {{"input", ir::Type::I64}, {"state", ir::Type::I64}});
+        BodyGen body(rng, fn, callables);
+        body.addValue(ir::Type::I64, "input");
+        body.emitShape();
+
+        // Explicit state memory: result = dag(input) + state * M.
+        // M = 0 makes the dependence forgetful (speculation can line
+        // up exactly); M = 1 makes every output depend on the carried
+        // state (mismatch/abort paths get exercised).
+        const long long memory = rng.nextBelow(100) < 45 ? 1 : 0;
+        const std::string mem_term = body.freshTemp();
+        const std::string result = body.freshTemp();
+        fn.blocks.back().instructions.push_back(
+            ins(ir::Opcode::Mul, ir::Type::I64, mem_term,
+                {ir::Operand::temp("state"),
+                 ir::Operand::constInt(memory)}));
+        fn.blocks.back().instructions.push_back(
+            ins(ir::Opcode::Add, ir::Type::I64, result,
+                {body.pickI64(), ir::Operand::temp(mem_term)}));
+        fn.blocks.back().instructions.push_back(
+            ins(ir::Opcode::Ret, ir::Type::I64, "",
+                {ir::Operand::temp(result)}));
+        module.functions.push_back(std::move(fn));
+
+        ir::StateDepMeta dep;
+        dep.name = "SD0";
+        dep.computeFn = "computeOutput";
+        module.stateDeps.push_back(std::move(dep));
+    }
+};
+
+void
+randomScenario(Scenario &scenario, Xoshiro256 &rng,
+               const GeneratorOptions &options)
+{
+    scenario.inputs =
+        8 + int(rng.nextBelow(
+                std::uint64_t(std::max(1, options.maxInputs - 7))));
+    scenario.initialState = rng.uniformInt(0, 31);
+    scenario.noisyPercent =
+        rng.nextBelow(100) < 30 ? 0 : int(10 + rng.nextBelow(51));
+    scenario.maxNoise = 1 + int(rng.nextBelow(3));
+    const std::uint64_t matcher = rng.nextBelow(100);
+    scenario.matcher = matcher < 70   ? MatcherKind::ExactAny
+                       : matcher < 85 ? MatcherKind::ExactSingle
+                                      : MatcherKind::AlwaysMatch;
+    scenario.sequentialRuns = 4 + int(rng.nextBelow(4));
+
+    sdi::SpecConfig &config = scenario.config;
+    config.useAuxiliary = rng.nextBelow(100) < 85;
+    config.groupSize = 1 + int(rng.nextBelow(8));
+    config.auxWindow = int(rng.nextBelow(6));
+    config.maxReexecutions = int(rng.nextBelow(4));
+    config.rollbackDepth = 1 + int(rng.nextBelow(4));
+    config.sdThreads = 1 + int(rng.nextBelow(8));
+    config.innerThreads = 1;
+}
+
+std::string
+randomFaultSpec(Xoshiro256 &rng)
+{
+    const std::string seed =
+        "seed=" + std::to_string(1 + rng.nextBelow(1000));
+    switch (rng.nextBelow(5)) {
+      case 0: return seed + ";storm=0.1";
+      case 1: return seed + ";storm=0.05;corrupt=0.2";
+      case 2: return seed + ";corrupt=0.3";
+      case 3: return seed + ";mismatch@g1;corrupt@g2";
+      default: return seed + ";storm=0.2;corrupt=0.1";
+    }
+}
+
+/** Break one thing a pipeline stage must catch. */
+void
+applyNearMiss(FuzzCase &fuzz_case, Xoshiro256 &rng)
+{
+    fuzz_case.expect = Expectation::Reject;
+    fuzz_case.expectStage = "verify";
+    fuzz_case.scenario.faults.clear();
+    ir::Module &module = fuzz_case.module;
+    ir::Function *compute = module.findFunction("computeOutput");
+
+    std::uint64_t kind = rng.nextBelow(5);
+    if (kind == 0) {
+        // Phi with a dangling incoming label (needs a phi to exist).
+        for (auto &fn : module.functions) {
+            for (auto &bb : fn.blocks) {
+                for (auto &inst : bb.instructions) {
+                    if (inst.op == ir::Opcode::Phi) {
+                        inst.labels[0] = "no_such_block";
+                        return;
+                    }
+                }
+            }
+        }
+        kind = 1; // No phi generated: fall through to undef-temp.
+    }
+    if (kind == 1) {
+        // computeOutput's epilogue always reads %state via a temp
+        // operand; renaming one operand leaves a dangling use.
+        auto &insts = compute->blocks.back().instructions;
+        for (auto it = insts.rbegin(); it != insts.rend(); ++it) {
+            for (auto &operand : it->operands) {
+                if (operand.kind == ir::Operand::Kind::Temp) {
+                    operand.name = "never_defined";
+                    return;
+                }
+            }
+        }
+    }
+    if (kind == 2) {
+        auto &insts = compute->blocks.back().instructions;
+        insts.insert(insts.end() - 1,
+                     ins(ir::Opcode::Call, ir::Type::I64, "nm_call", {},
+                         "missing_helper"));
+        return;
+    }
+    if (kind == 3) {
+        module.stateDeps[0].computeFn = "missing_compute";
+        return;
+    }
+    // Effectful PRVG call: structurally fine (rand_uniform is a known
+    // builtin), but the aux-reachability escape check must reject it.
+    fuzz_case.expectStage = "analysis";
+    auto &insts = compute->blocks.back().instructions;
+    insts.insert(insts.end() - 1,
+                 ins(ir::Opcode::Call, ir::Type::F64, "nm_rand", {},
+                     "rand_uniform"));
+}
+
+} // namespace
+
+FuzzCase
+generateCase(std::uint64_t root_seed, std::uint64_t index,
+             const GeneratorOptions &options)
+{
+    const support::SeedSequence sequence(root_seed);
+    const std::uint64_t case_seed = sequence.derive("case", index);
+    Xoshiro256 rng(case_seed);
+
+    FuzzCase fuzz_case;
+    fuzz_case.name =
+        "s" + std::to_string(root_seed) + "-c" + std::to_string(index);
+    fuzz_case.scenario.seed = case_seed;
+
+    ModuleGen gen{rng, {}, {}, 40};
+    gen.module.name = "fuzz_s" + std::to_string(root_seed) + "_c" +
+                      std::to_string(index);
+    const int tradeoffs =
+        int(rng.nextBelow(std::uint64_t(options.maxTradeoffs + 1)));
+    for (int t = 0; t < tradeoffs; ++t) {
+        const std::uint64_t kind = rng.nextBelow(100);
+        if (kind < 50)
+            gen.addConstantTradeoff();
+        else if (kind < 75)
+            gen.addDataTypeTradeoff();
+        else
+            gen.addFunctionChoiceTradeoff();
+    }
+    const int helpers =
+        int(rng.nextBelow(std::uint64_t(options.maxHelpers + 1)));
+    for (int h = 0; h < helpers; ++h)
+        gen.addHelper(h);
+    gen.addComputeOutput();
+    fuzz_case.module = std::move(gen.module);
+
+    randomScenario(fuzz_case.scenario, rng, options);
+
+    const bool near_miss =
+        options.nearMissEvery > 0 &&
+        index % std::uint64_t(options.nearMissEvery) ==
+            std::uint64_t(options.nearMissEvery) - 1;
+    if (near_miss) {
+        applyNearMiss(fuzz_case, rng);
+    } else if (options.faultsEvery > 0 &&
+               index % std::uint64_t(options.faultsEvery) ==
+                   std::uint64_t(options.faultsEvery) - 1) {
+        fuzz_case.scenario.faults = randomFaultSpec(rng);
+    }
+    return fuzz_case;
+}
+
+} // namespace stats::testing

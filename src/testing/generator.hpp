@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Seed-deterministic generator of random-but-valid mini-IR modules
+ * (plus deliberate near-miss modules that must be rejected).
+ *
+ * Every generated module is a miniature STATS program: a
+ * `computeOutput(i64 input, i64 state) -> i64` state dependence whose
+ * body is a random typed expression DAG (optionally with a
+ * branch/phi diamond), calling into a random call-graph of helper
+ * functions and tradeoff placeholders of all three kinds (constant,
+ * data-type, function-choice). The module is constructed so that:
+ *
+ *  - it passes the structural verifier and, after the middle-end,
+ *    the full speculation-safety analysis;
+ *  - interpretation always terminates (acyclic call graph, loop-free
+ *    or bounded-trip-count CFGs) and never divides by zero;
+ *  - its state memory is explicit: `ret = f(input) + state * M` with
+ *    M in {0, 1}, so scenarios cover both forgetful programs (where
+ *    speculation can commit) and stateful ones (where it aborts).
+ *
+ * Near-miss cases take a valid module and break exactly one thing a
+ * pipeline stage must catch: a phi with a dangling incoming label, a
+ * use of an undefined temp, a call to a missing function, dangling
+ * state-dependence metadata (all verifier), or an effectful PRVG call
+ * reachable from auxiliary code (static analysis, rules ESC/PUR).
+ *
+ * Determinism contract: generateCase(root, index) is a pure function
+ * of (root, index, options) — the same arguments always produce the
+ * same case, byte for byte. All internal streams are derived with
+ * support::SeedSequence.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "testing/fuzz_case.hpp"
+
+namespace stats::testing {
+
+struct GeneratorOptions
+{
+    int maxInputs = 48;
+    int maxHelpers = 4;
+    int maxTradeoffs = 3;
+
+    /** Every K-th case is a near-miss (0 = never). */
+    int nearMissEvery = 8;
+
+    /** Every K-th valid case carries a fault-storm plan (0 = never). */
+    int faultsEvery = 4;
+};
+
+/** Generate the `index`-th case of the `root_seed` campaign. */
+FuzzCase generateCase(std::uint64_t root_seed, std::uint64_t index,
+                      const GeneratorOptions &options = {});
+
+} // namespace stats::testing

@@ -1,0 +1,500 @@
+#include "testing/shrinker.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stats::testing {
+
+namespace {
+
+ir::Operand
+unitConstant(ir::Type type)
+{
+    if (type == ir::Type::I64)
+        return ir::Operand::constInt(1);
+    return ir::Operand::constFloat(1.0);
+}
+
+/** Replace every use of `temp` in the function with `replacement`. */
+void
+replaceUses(ir::Function &fn, const std::string &temp,
+            const ir::Operand &replacement)
+{
+    for (auto &block : fn.blocks) {
+        for (auto &inst : block.instructions) {
+            for (auto &operand : inst.operands) {
+                if (operand.kind == ir::Operand::Kind::Temp &&
+                    operand.name == temp)
+                    operand = replacement;
+            }
+        }
+    }
+}
+
+/** Function names the module's metadata or call sites still need. */
+std::set<std::string>
+referencedFunctions(const ir::Module &module)
+{
+    std::set<std::string> keep;
+    for (const auto &dep : module.stateDeps) {
+        keep.insert(dep.computeFn);
+        if (!dep.auxFn.empty())
+            keep.insert(dep.auxFn);
+    }
+    for (const auto &tradeoff : module.tradeoffs) {
+        keep.insert(tradeoff.placeholder);
+        keep.insert(tradeoff.getValueFn);
+        keep.insert(tradeoff.sizeFn);
+        keep.insert(tradeoff.defaultIndexFn);
+        if (tradeoff.kind == ir::TradeoffKind::FunctionChoice) {
+            for (const auto &choice : tradeoff.nameChoices)
+                keep.insert(choice);
+        }
+    }
+    for (const auto &clone : module.auxClones) {
+        keep.insert(clone.clone);
+        keep.insert(clone.origin);
+    }
+    for (const auto &fn : module.functions) {
+        for (const auto &block : fn.blocks) {
+            for (const auto &inst : block.instructions) {
+                if (inst.op == ir::Opcode::Call)
+                    keep.insert(inst.callee);
+            }
+        }
+    }
+    return keep;
+}
+
+/**
+ * Functions whose *values* carry range contracts (a tradeoff's
+ * default index must stay below its size, or the back-end panics).
+ * The shrinker must not edit their bodies.
+ */
+std::set<std::string>
+fragileFunctions(const ir::Module &module)
+{
+    std::set<std::string> fragile;
+    for (const auto &tradeoff : module.tradeoffs) {
+        fragile.insert(tradeoff.sizeFn);
+        fragile.insert(tradeoff.defaultIndexFn);
+    }
+    return fragile;
+}
+
+/** True if any terminator jumps backward (a loop lives here). */
+bool
+hasBackEdge(const ir::Function &fn)
+{
+    std::map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < fn.blocks.size(); ++i)
+        index[fn.blocks[i].label] = i;
+    for (std::size_t i = 0; i < fn.blocks.size(); ++i) {
+        const ir::Instruction *term = fn.blocks[i].terminator();
+        if (!term)
+            continue;
+        for (const auto &label : term->labels) {
+            const auto it = index.find(label);
+            if (it != index.end() && it->second <= i)
+                return true;
+        }
+    }
+    return false;
+}
+
+/** Drop unreachable blocks, then re-derive phi incoming lists so
+ *  they exactly cover the surviving predecessors. */
+void
+pruneCfg(ir::Function &fn)
+{
+    if (fn.blocks.empty())
+        return;
+    std::map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < fn.blocks.size(); ++i)
+        index[fn.blocks[i].label] = i;
+    std::vector<bool> reachable(fn.blocks.size(), false);
+    std::vector<std::size_t> stack{0};
+    reachable[0] = true;
+    while (!stack.empty()) {
+        const std::size_t i = stack.back();
+        stack.pop_back();
+        const ir::Instruction *term = fn.blocks[i].terminator();
+        if (!term)
+            continue;
+        for (const auto &label : term->labels) {
+            const auto it = index.find(label);
+            if (it != index.end() && !reachable[it->second]) {
+                reachable[it->second] = true;
+                stack.push_back(it->second);
+            }
+        }
+    }
+    std::vector<ir::BasicBlock> kept;
+    for (std::size_t i = 0; i < fn.blocks.size(); ++i) {
+        if (reachable[i])
+            kept.push_back(std::move(fn.blocks[i]));
+    }
+    fn.blocks = std::move(kept);
+
+    std::map<std::string, std::set<std::string>> preds;
+    for (const auto &block : fn.blocks) {
+        const ir::Instruction *term = block.terminator();
+        if (!term)
+            continue;
+        for (const auto &label : term->labels)
+            preds[label].insert(block.label);
+    }
+    for (auto &block : fn.blocks) {
+        for (std::size_t k = 0; k < block.instructions.size();) {
+            ir::Instruction &inst = block.instructions[k];
+            if (inst.op != ir::Opcode::Phi) {
+                ++k;
+                continue;
+            }
+            const std::set<std::string> &incoming =
+                preds[block.label];
+            std::vector<ir::Operand> operands;
+            std::vector<std::string> labels;
+            for (std::size_t o = 0; o < inst.operands.size(); ++o) {
+                if (incoming.count(inst.labels[o])) {
+                    operands.push_back(inst.operands[o]);
+                    labels.push_back(inst.labels[o]);
+                }
+            }
+            if (operands.empty()) {
+                replaceUses(fn, inst.result, unitConstant(inst.type));
+                block.instructions.erase(block.instructions.begin() +
+                                         std::ptrdiff_t(k));
+                continue;
+            }
+            inst.operands = std::move(operands);
+            inst.labels = std::move(labels);
+            ++k;
+        }
+    }
+}
+
+/** Straighten a conditional branch into the forward direction `dir`.
+ *  Backward targets are refused: they would manufacture loops. */
+bool
+straightenBranch(ir::Function &fn, std::size_t block_index, int dir)
+{
+    ir::BasicBlock &block = fn.blocks[block_index];
+    if (block.instructions.empty())
+        return false;
+    ir::Instruction &term = block.instructions.back();
+    if (term.op != ir::Opcode::Br)
+        return false;
+    const std::string target = term.labels[std::size_t(dir)];
+    for (std::size_t i = 0; i <= block_index && i < fn.blocks.size();
+         ++i) {
+        if (fn.blocks[i].label == target)
+            return false;
+    }
+    term.op = ir::Opcode::Jmp;
+    term.type = ir::Type::Void;
+    term.result.clear();
+    term.operands.clear();
+    term.labels = {target};
+    pruneCfg(fn);
+    return true;
+}
+
+struct Shrinker
+{
+    std::string targetKind;
+    ShrinkOptions options;
+    int evaluations = 0;
+
+    bool
+    budgetLeft() const
+    {
+        return evaluations < options.maxEvaluations;
+    }
+
+    /** Does the candidate still fail with the same kind? */
+    bool
+    stillFails(const FuzzCase &candidate)
+    {
+        if (!budgetLeft())
+            return false;
+        ++evaluations;
+        const OracleResult result =
+            runOracle(candidate, options.oracle);
+        return !result.ok && result.failKind == targetKind;
+    }
+
+    /** Try one whole-case transformation; keep it if it reproduces. */
+    bool
+    tryStep(FuzzCase &best,
+            const std::function<bool(FuzzCase &)> &transform)
+    {
+        FuzzCase candidate = best;
+        if (!transform(candidate))
+            return false;
+        if (!stillFails(candidate))
+            return false;
+        best = std::move(candidate);
+        return true;
+    }
+
+    bool
+    shrinkScenario(FuzzCase &best)
+    {
+        bool changed = false;
+        const auto set_int = [&](int Scenario::*field, int value) {
+            return [field, value](FuzzCase &c) {
+                if (c.scenario.*field == value)
+                    return false;
+                c.scenario.*field = value;
+                return true;
+            };
+        };
+        while (best.scenario.inputs > 4 &&
+               tryStep(best, [](FuzzCase &c) {
+                   c.scenario.inputs =
+                       std::max(4, c.scenario.inputs / 2);
+                   return true;
+               }))
+            changed = true;
+        changed |= tryStep(best, set_int(&Scenario::sequentialRuns, 1));
+        changed |= tryStep(best, set_int(&Scenario::noisyPercent, 0));
+        changed |= tryStep(best, [](FuzzCase &c) {
+            if (c.scenario.faults.empty())
+                return false;
+            c.scenario.faults.clear();
+            return true;
+        });
+        const auto set_cfg = [&](int sdi::SpecConfig::*field,
+                                 int value) {
+            return [field, value](FuzzCase &c) {
+                if (c.scenario.config.*field == value)
+                    return false;
+                c.scenario.config.*field = value;
+                return true;
+            };
+        };
+        changed |=
+            tryStep(best, set_cfg(&sdi::SpecConfig::auxWindow, 0));
+        changed |=
+            tryStep(best, set_cfg(&sdi::SpecConfig::maxReexecutions, 0));
+        changed |=
+            tryStep(best, set_cfg(&sdi::SpecConfig::rollbackDepth, 1));
+        changed |=
+            tryStep(best, set_cfg(&sdi::SpecConfig::sdThreads, 1));
+        changed |=
+            tryStep(best, set_cfg(&sdi::SpecConfig::groupSize, 1));
+        return changed;
+    }
+
+    bool
+    shrinkBranches(FuzzCase &best)
+    {
+        bool changed = false;
+        bool progress = true;
+        while (progress && budgetLeft()) {
+            progress = false;
+            for (std::size_t f = 0;
+                 f < best.module.functions.size() && !progress; ++f) {
+                const std::size_t block_count =
+                    best.module.functions[f].blocks.size();
+                for (std::size_t b = 0; b < block_count && !progress;
+                     ++b) {
+                    for (int dir = 0; dir < 2 && !progress; ++dir) {
+                        progress = tryStep(best, [=](FuzzCase &c) {
+                            return straightenBranch(
+                                c.module.functions[f], b, dir);
+                        });
+                    }
+                }
+            }
+            changed |= progress;
+        }
+        return changed;
+    }
+
+    bool
+    shrinkTradeoffs(FuzzCase &best)
+    {
+        bool changed = false;
+        for (std::size_t t = best.module.tradeoffs.size(); t-- > 0;) {
+            if (t >= best.module.tradeoffs.size())
+                continue;
+            changed |= tryStep(best, [t](FuzzCase &c) {
+                const ir::TradeoffMeta meta = c.module.tradeoffs[t];
+                for (auto &fn : c.module.functions) {
+                    for (auto &block : fn.blocks) {
+                        for (auto &inst : block.instructions) {
+                            if (inst.op != ir::Opcode::Call ||
+                                inst.callee != meta.placeholder)
+                                continue;
+                            // Placeholder call -> a unit constant of
+                            // the call's type.
+                            inst.op = ir::Opcode::Add;
+                            inst.callee.clear();
+                            inst.labels.clear();
+                            inst.operands = {
+                                unitConstant(inst.type),
+                                inst.type == ir::Type::I64
+                                    ? ir::Operand::constInt(0)
+                                    : ir::Operand::constFloat(0.0)};
+                        }
+                    }
+                }
+                c.module.tradeoffs.erase(
+                    c.module.tradeoffs.begin() + std::ptrdiff_t(t));
+                return true;
+            });
+        }
+        return changed;
+    }
+
+    bool
+    shrinkFunctions(FuzzCase &best)
+    {
+        bool changed = false;
+        bool progress = true;
+        while (progress && budgetLeft()) {
+            progress = false;
+            const std::set<std::string> keep =
+                referencedFunctions(best.module);
+            for (std::size_t f = best.module.functions.size();
+                 f-- > 0;) {
+                if (keep.count(best.module.functions[f].name))
+                    continue;
+                progress |= tryStep(best, [f](FuzzCase &c) {
+                    c.module.functions.erase(
+                        c.module.functions.begin() + std::ptrdiff_t(f));
+                    return true;
+                });
+                if (progress)
+                    break; // References changed; recompute the set.
+            }
+            changed |= progress;
+        }
+        return changed;
+    }
+
+    bool
+    shrinkInstructions(FuzzCase &best)
+    {
+        bool changed = false;
+        const std::set<std::string> fragile =
+            fragileFunctions(best.module);
+        for (std::size_t f = 0; f < best.module.functions.size(); ++f) {
+            if (fragile.count(best.module.functions[f].name))
+                continue;
+            if (hasBackEdge(best.module.functions[f]))
+                continue; // Deleting loop plumbing can unbound it.
+            for (std::size_t b = 0;
+                 b < best.module.functions[f].blocks.size(); ++b) {
+                for (std::size_t k = best.module.functions[f]
+                                         .blocks[b]
+                                         .instructions.size();
+                     k-- > 0;) {
+                    if (!budgetLeft())
+                        return changed;
+                    const auto &insts =
+                        best.module.functions[f].blocks[b].instructions;
+                    if (k >= insts.size() ||
+                        ir::isTerminator(insts[k].op))
+                        continue;
+                    changed |= tryStep(best, [f, b, k](FuzzCase &c) {
+                        ir::Function &fn = c.module.functions[f];
+                        auto &block_insts = fn.blocks[b].instructions;
+                        const ir::Instruction inst = block_insts[k];
+                        block_insts.erase(block_insts.begin() +
+                                          std::ptrdiff_t(k));
+                        if (!inst.result.empty())
+                            replaceUses(fn, inst.result,
+                                        unitConstant(inst.type));
+                        return true;
+                    });
+                }
+            }
+        }
+        return changed;
+    }
+
+    bool
+    shrinkConstants(FuzzCase &best)
+    {
+        bool changed = false;
+        const std::set<std::string> fragile =
+            fragileFunctions(best.module);
+        for (std::size_t f = 0; f < best.module.functions.size(); ++f) {
+            if (fragile.count(best.module.functions[f].name))
+                continue;
+            for (std::size_t b = 0;
+                 b < best.module.functions[f].blocks.size(); ++b) {
+                const std::size_t inst_count = best.module.functions[f]
+                                                   .blocks[b]
+                                                   .instructions.size();
+                for (std::size_t k = 0; k < inst_count; ++k) {
+                    const std::size_t operand_count =
+                        best.module.functions[f]
+                            .blocks[b]
+                            .instructions[k]
+                            .operands.size();
+                    for (std::size_t o = 0; o < operand_count; ++o) {
+                        while (budgetLeft() &&
+                               tryStep(best, [=](FuzzCase &c) {
+                                   auto &operand =
+                                       c.module.functions[f]
+                                           .blocks[b]
+                                           .instructions[k]
+                                           .operands[o];
+                                   if (operand.kind !=
+                                           ir::Operand::Kind::
+                                               ConstInt ||
+                                       std::llabs(operand.intValue) <=
+                                           1)
+                                       return false;
+                                   operand.intValue /= 2;
+                                   return true;
+                               }))
+                            changed = true;
+                    }
+                }
+            }
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+ShrinkResult
+shrinkCase(const FuzzCase &failing, const ShrinkOptions &options)
+{
+    ShrinkResult result;
+    result.minimized = failing;
+
+    const OracleResult original = runOracle(failing, options.oracle);
+    result.evaluations = 1;
+    if (original.ok)
+        return result; // Nothing to minimize.
+    result.failKind = original.failKind;
+
+    Shrinker shrinker{original.failKind, options, result.evaluations};
+    bool progress = true;
+    while (progress && shrinker.budgetLeft()) {
+        progress = false;
+        progress |= shrinker.shrinkScenario(result.minimized);
+        progress |= shrinker.shrinkBranches(result.minimized);
+        progress |= shrinker.shrinkTradeoffs(result.minimized);
+        progress |= shrinker.shrinkFunctions(result.minimized);
+        progress |= shrinker.shrinkInstructions(result.minimized);
+        progress |= shrinker.shrinkConstants(result.minimized);
+        result.changed |= progress;
+    }
+    result.evaluations = shrinker.evaluations;
+    return result;
+}
+
+} // namespace stats::testing

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Greedy failing-case minimizer.
+ *
+ * Given a case the oracle fails, repeatedly applies
+ * smaller-but-still-failing transformations until a fixpoint (or the
+ * evaluation budget): scenario reductions (fewer inputs, noise off,
+ * smaller engine knobs, no fault plan), dropping tradeoffs and
+ * unreferenced functions, straightening branches (with CFG pruning
+ * and phi repair), deleting individual instructions, and halving
+ * integer constants. A candidate is kept only when the oracle still
+ * fails with the *same* failure kind, so the minimized module
+ * reproduces the original root cause, not some new one.
+ *
+ * Safety: transformations never create unbounded loops (backward
+ * jumps are off-limits), so the interpreter's runaway-loop panic
+ * cannot fire mid-shrink.
+ */
+
+#pragma once
+
+#include "testing/fuzz_case.hpp"
+#include "testing/oracle.hpp"
+
+namespace stats::testing {
+
+struct ShrinkOptions
+{
+    /** Oracle evaluations allowed (each candidate costs one). */
+    int maxEvaluations = 400;
+
+    OracleOptions oracle;
+};
+
+struct ShrinkResult
+{
+    FuzzCase minimized;
+    int evaluations = 0;
+    bool changed = false;
+
+    /** Failure kind the minimization preserved. */
+    std::string failKind;
+};
+
+/**
+ * Minimize a failing case. The input must fail the oracle; if it
+ * doesn't, the result is the input itself (changed = false).
+ */
+ShrinkResult shrinkCase(const FuzzCase &failing,
+                        const ShrinkOptions &options = {});
+
+} // namespace stats::testing

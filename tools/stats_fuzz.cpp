@@ -1,0 +1,201 @@
+/**
+ * @file
+ * stats-fuzz — developer driver for the generative testing subsystem.
+ *
+ * `statscc fuzz` is the one-shot campaign entry point; this tool
+ * exposes the individual stages for debugging a finding:
+ *
+ *   stats-fuzz gen --seed=S --index=I          print generated case I
+ *   stats-fuzz run <case-file>...              oracle each case file
+ *   stats-fuzz shrink <case-file> [--out=F]    minimize a failing case
+ *   stats-fuzz campaign [options]              same as `statscc fuzz`
+ *
+ * Common options:
+ *   --seed=N --runs=N --artifacts=DIR --near-miss-every=N
+ *   --faults-every=N --max-inputs=N --no-shrink --shrink-evals=N
+ *   --max-failures=N --no-analysis --verbose
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/log.hpp"
+#include "support/string_utils.hpp"
+#include "testing/fuzzer.hpp"
+
+namespace {
+
+using namespace stats;
+
+struct Options
+{
+    std::uint64_t seed = 1;
+    std::uint64_t index = 0;
+    std::string out;
+    testing::CampaignOptions campaign;
+    std::vector<std::string> files;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: stats-fuzz <gen|run|shrink|campaign> [options]\n"
+        << "  gen --seed=S --index=I        print one generated case\n"
+        << "  run <case-file>...            run the oracle on cases\n"
+        << "  shrink <case-file> [--out=F]  minimize a failing case\n"
+        << "  campaign [options]            full fuzzing campaign\n";
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64(const std::string &word)
+{
+    try {
+        return std::stoull(word);
+    } catch (const std::exception &) {
+        support::fatal("expected a number, got '", word, "'");
+    }
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string word = argv[i];
+        if (!support::startsWith(word, "--")) {
+            options.files.push_back(word);
+            continue;
+        }
+        const auto eq = word.find('=');
+        const std::string key =
+            eq == std::string::npos ? word.substr(2)
+                                    : word.substr(2, eq - 2);
+        const std::string value =
+            eq == std::string::npos ? "" : word.substr(eq + 1);
+        auto intValue = [&] {
+            return static_cast<int>(parseU64(value));
+        };
+        if (key == "seed") {
+            options.seed = parseU64(value);
+            options.campaign.seed = options.seed;
+        } else if (key == "index") {
+            options.index = parseU64(value);
+        } else if (key == "out") {
+            options.out = value;
+        } else if (key == "runs") {
+            options.campaign.runs = intValue();
+        } else if (key == "artifacts") {
+            options.campaign.artifactsDir = value;
+        } else if (key == "near-miss-every") {
+            options.campaign.generator.nearMissEvery = intValue();
+        } else if (key == "faults-every") {
+            options.campaign.generator.faultsEvery = intValue();
+        } else if (key == "max-inputs") {
+            options.campaign.generator.maxInputs = intValue();
+        } else if (key == "no-shrink") {
+            options.campaign.shrink = false;
+        } else if (key == "shrink-evals") {
+            options.campaign.shrinkEvaluations = intValue();
+        } else if (key == "max-failures") {
+            options.campaign.maxFailures = intValue();
+        } else if (key == "no-analysis") {
+            options.campaign.oracle.runAnalysis = false;
+        } else if (key == "verbose") {
+            options.campaign.verbose = true;
+        } else {
+            usage();
+        }
+    }
+    return options;
+}
+
+int
+cmdGen(const Options &options)
+{
+    const testing::FuzzCase fuzz_case = testing::generateCase(
+        options.seed, options.index, options.campaign.generator);
+    std::cout << testing::serializeCase(fuzz_case);
+    return 0;
+}
+
+int
+cmdRun(const Options &options)
+{
+    if (options.files.empty())
+        usage();
+    int failed = 0;
+    for (const auto &file : options.files) {
+        const auto result = testing::replayCaseFile(
+            file, options.campaign.oracle, std::cout);
+        if (!result.ok)
+            ++failed;
+    }
+    return failed == 0 ? 0 : 1;
+}
+
+int
+cmdShrink(const Options &options)
+{
+    if (options.files.size() != 1)
+        usage();
+    std::string error;
+    const auto loaded = testing::loadCaseFile(options.files[0], error);
+    if (!loaded)
+        support::fatal("cannot load '", options.files[0], "': ", error);
+
+    testing::ShrinkOptions shrink;
+    shrink.maxEvaluations = options.campaign.shrinkEvaluations;
+    shrink.oracle = options.campaign.oracle;
+    const auto result = testing::shrinkCase(*loaded, shrink);
+    if (result.failKind.empty()) {
+        std::cerr << "case does not fail the oracle; nothing to shrink\n";
+        return 1;
+    }
+    std::cerr << "; shrunk in " << result.evaluations
+              << " oracle evaluation(s), failure kind '"
+              << result.failKind << "'\n";
+
+    const std::string text = testing::serializeCase(result.minimized);
+    if (options.out.empty()) {
+        std::cout << text;
+    } else {
+        std::ofstream out(options.out, std::ios::binary);
+        if (!out)
+            support::fatal("cannot write '", options.out, "'");
+        out << text;
+        std::cerr << "; wrote " << options.out << "\n";
+    }
+    return 0;
+}
+
+int
+cmdCampaign(const Options &options)
+{
+    const auto summary =
+        testing::runCampaign(options.campaign, std::cout);
+    return summary.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string command = argv[1];
+    const Options options = parseOptions(argc, argv);
+    if (command == "gen")
+        return cmdGen(options);
+    if (command == "run")
+        return cmdRun(options);
+    if (command == "shrink")
+        return cmdShrink(options);
+    if (command == "campaign")
+        return cmdCampaign(options);
+    usage();
+}

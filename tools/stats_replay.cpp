@@ -18,6 +18,7 @@
 
 #include "benchmarks/common/benchmark.hpp"
 #include "replay/fault_plan.hpp"
+#include "replay/log_render.hpp"
 #include "replay/record_log.hpp"
 #include "replay/session.hpp"
 #include "support/seed_sequence.hpp"
@@ -75,58 +76,7 @@ loadOrDie(const std::string &path)
 void
 printRecord(const replay::Record &record)
 {
-    std::printf("  [run %u epoch %4u] %-13s", record.run, record.epoch,
-                replay::recordKindName(record.kind));
-    if (record.group >= 0)
-        std::printf(" group %-4d", record.group);
-    switch (record.kind) {
-      case replay::RecordKind::RunBegin:
-        if (auto config = replay::decodeConfig(record.payload)) {
-            std::printf(" G=%lld k=%lld R=%lld b=%lld sd=%lld "
-                        "inner=%lld inputs=%lld%s",
-                        static_cast<long long>(config->groupSize),
-                        static_cast<long long>(config->auxWindow),
-                        static_cast<long long>(config->maxReexecutions),
-                        static_cast<long long>(config->rollbackDepth),
-                        static_cast<long long>(config->sdThreads),
-                        static_cast<long long>(config->innerThreads),
-                        static_cast<long long>(config->inputCount),
-                        config->useAuxiliary ? "" : " [conventional]");
-        }
-        break;
-      case replay::RecordKind::MatchVerdict:
-        std::printf(" verdict=%lld%s", static_cast<long long>(record.a),
-                    record.b != 0 ? " [fault-forced]" : "");
-        break;
-      case replay::RecordKind::Reexec:
-        std::printf(" attempt=%lld", static_cast<long long>(record.a));
-        break;
-      case replay::RecordKind::Squash:
-        std::printf(" abortedBy=%lld",
-                    static_cast<long long>(record.a));
-        break;
-      case replay::RecordKind::FaultInjected:
-        std::printf(" kind=%s",
-                    replay::faultKindName(
-                        static_cast<replay::FaultKind>(record.a)));
-        break;
-      case replay::RecordKind::RunEnd:
-        if (auto stats = replay::decodeStats(record.payload)) {
-            std::printf(
-                " validations=%lld mismatches=%lld reexecs=%lld "
-                "aborts=%lld squashed=%lld invocations=%lld",
-                static_cast<long long>(stats->validations),
-                static_cast<long long>(stats->mismatches),
-                static_cast<long long>(stats->reexecutions),
-                static_cast<long long>(stats->aborts),
-                static_cast<long long>(stats->squashedGroups),
-                static_cast<long long>(stats->invocations));
-        }
-        break;
-      default:
-        break;
-    }
-    std::printf("\n");
+    std::fputs(replay::renderRecord(record).c_str(), stdout);
 }
 
 int
@@ -184,31 +134,9 @@ cmdDiff(const Options &options)
     const replay::RecordLog a = loadOrDie(options.positional[0]);
     const replay::RecordLog b = loadOrDie(options.positional[1]);
 
-    if (a.rootSeed != b.rootSeed) {
-        std::printf("root seeds differ: %llu vs %llu\n",
-                    static_cast<unsigned long long>(a.rootSeed),
-                    static_cast<unsigned long long>(b.rootSeed));
-    }
-    const std::size_t common =
-        std::min(a.records.size(), b.records.size());
-    for (std::size_t i = 0; i < common; ++i) {
-        if (a.records[i] == b.records[i])
-            continue;
-        std::printf("first difference at record %zu:\n", i);
-        std::printf("< ");
-        printRecord(a.records[i]);
-        std::printf("> ");
-        printRecord(b.records[i]);
-        return 1;
-    }
-    if (a.records.size() != b.records.size()) {
-        std::printf("records differ in count: %zu vs %zu (first %zu "
-                    "identical)\n",
-                    a.records.size(), b.records.size(), common);
-        return 1;
-    }
-    std::printf("logs are identical (%zu records)\n", a.records.size());
-    return 0;
+    const replay::DiffRender render = replay::renderDiff(a, b);
+    std::fputs(render.text.c_str(), stdout);
+    return render.identical ? 0 : 1;
 }
 
 int
