@@ -54,3 +54,11 @@ target_link_libraries(micro_scheduler PRIVATE
     stats_exec stats_threading stats_observability stats_support)
 set_target_properties(micro_scheduler PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Execution-tier benchmark: AST walker vs bytecode VM vs batched SoA
+# mode, with the same --check regression gate (docs/INTERPRETER.md §8).
+add_executable(micro_interpreter bench/micro_interpreter.cpp)
+target_link_libraries(micro_interpreter PRIVATE
+    stats_bytecode stats_ir stats_support)
+set_target_properties(micro_interpreter PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -74,4 +74,16 @@ instantiate(const ir::Module &midend_ir, const BackendConfig &config)
     return module;
 }
 
+Executable
+instantiateExecutable(const ir::Module &midend_ir,
+                      const BackendConfig &config)
+{
+    Executable executable;
+    executable.module = std::make_shared<const ir::Module>(
+        instantiate(midend_ir, config));
+    executable.exec = std::make_shared<ir::ExecutableModule>(
+        *executable.module, config.execTier);
+    return executable;
+}
+
 } // namespace stats::backend

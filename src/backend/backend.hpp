@@ -17,9 +17,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
+#include "ir/exec_tier.hpp"
 #include "ir/ir.hpp"
 
 namespace stats::backend {
@@ -40,6 +42,13 @@ struct BackendConfig
      * and panic.
      */
     bool auditFrozen = true;
+
+    /**
+     * Execution tier for instantiateExecutable (the paper's LLVM-JIT
+     * step): `auto` compiles each function to bytecode and keeps the
+     * AST walker for the rest (docs/INTERPRETER.md §6).
+     */
+    ir::ExecTier execTier = ir::ExecTier::Auto;
 };
 
 /**
@@ -51,5 +60,24 @@ struct BackendConfig
  */
 ir::Module instantiate(const ir::Module &midend_ir,
                        const BackendConfig &config);
+
+/**
+ * An instantiated configuration bound to its execution tier: the
+ * frozen module plus the ExecutableModule that runs it. The module is
+ * owned here because the executable holds a reference into it.
+ */
+struct Executable
+{
+    std::shared_ptr<const ir::Module> module;
+    std::shared_ptr<ir::ExecutableModule> exec;
+};
+
+/**
+ * Instantiate one configuration and stand up its execution tier
+ * (config.execTier). Equivalent to instantiate() followed by
+ * ExecutableModule construction, with lifetimes tied together.
+ */
+Executable instantiateExecutable(const ir::Module &midend_ir,
+                                 const BackendConfig &config);
 
 } // namespace stats::backend

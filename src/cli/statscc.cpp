@@ -9,7 +9,14 @@
  *   frontend <file|benchmark>     run the front-end compiler
  *   pipeline <ir-file> [options]  middle-end + back-end on an IR file
  *   analyze <ir-file> [options]   speculation-safety static analysis
+ *   disasm <ir-file> [options]    compile to bytecode and disassemble
  *   fuzz [options]                generative differential testing
+ *
+ * Execution-tier options (see docs/INTERPRETER.md):
+ *   --exec-tier=ast|bytecode|auto tier for executing getValue() and
+ *                                 fuzz transitions (default auto)
+ *   --function=NAME               disasm: one function only
+ *   --midend                      disasm: run the middle-end first
  *
  * Fuzzing options (see docs/TESTING.md):
  *   --seed=N                  campaign root seed         (default 1)
@@ -76,6 +83,8 @@
 #include "benchmarks/common/benchmark.hpp"
 #include "benchmarks/common/extended_sources.hpp"
 #include "frontend/frontend.hpp"
+#include "ir/disasm.hpp"
+#include "ir/exec_tier.hpp"
 #include "ir/parser.hpp"
 #include "ir/verifier.hpp"
 #include "midend/midend.hpp"
@@ -598,6 +607,44 @@ cmdAnalyze(const Args &args)
                : 0;
 }
 
+/** Parse `--exec-tier=` (docs/INTERPRETER.md §6). */
+ir::ExecTier
+execTierOption(const Args &args)
+{
+    const std::string word = args.option("exec-tier", "auto");
+    const auto tier = ir::parseExecTier(word);
+    if (!tier)
+        support::fatal("unknown --exec-tier '", word,
+                       "' (expected ast|bytecode|auto)");
+    return *tier;
+}
+
+int
+cmdDisasm(const Args &args)
+{
+    ir::Module module =
+        loadModule(args, "statscc disasm <ir-file> [options]");
+    const auto problems = ir::verifyModule(module);
+    if (!problems.empty()) {
+        for (const auto &problem : problems)
+            std::cerr << "verify: " << problem << "\n";
+        return 1;
+    }
+    if (args.option("midend", "") == "true")
+        midend::runMiddleEnd(module);
+    const ir::bc::BcModule bytecode = ir::bc::compileModule(module);
+    const std::string fn_name = args.option("function", "");
+    if (!fn_name.empty()) {
+        const ir::bc::BcFunction *fn = bytecode.find(fn_name);
+        if (!fn)
+            support::fatal("disasm: unknown function @", fn_name);
+        std::cout << ir::bc::disassemble(*fn);
+    } else {
+        std::cout << ir::bc::disassemble(bytecode);
+    }
+    return 0;
+}
+
 int
 cmdPipeline(const Args &args)
 {
@@ -633,6 +680,7 @@ cmdPipeline(const Args &args)
                        "' (expected midend|binary)");
 
     backend::BackendConfig config;
+    config.execTier = execTierOption(args);
     for (const auto &dep : module.stateDeps)
         config.auxiliaryDeps.insert(dep.name);
     const std::string assignments = args.option("config", "");
@@ -645,8 +693,14 @@ cmdPipeline(const Args &args)
                 std::stoll(pair.substr(colon + 1));
         }
     }
-    const ir::Module binary = backend::instantiate(module, config);
-    std::cout << ir::printModule(binary);
+    const backend::Executable executable =
+        backend::instantiateExecutable(module, config);
+    std::cerr << "; back-end: tier "
+              << ir::execTierName(config.execTier) << ", "
+              << executable.exec->bytecode().compiledCount() << "/"
+              << executable.module->functions.size()
+              << " function(s) compiled to bytecode\n";
+    std::cout << ir::printModule(*executable.module);
     return 0;
 }
 
@@ -655,6 +709,7 @@ cmdFuzz(const Args &args)
 {
     testing::OracleOptions oracle;
     oracle.runAnalysis = !args.options.count("no-analysis");
+    oracle.execTier = execTierOption(args);
 
     // Corpus-replay mode: re-run the oracle on one saved case file.
     const std::string case_path =
@@ -701,6 +756,7 @@ usage()
         << "  frontend <file|benchmark>    run the front-end compiler\n"
         << "  pipeline <ir-file>           middle-end + back-end\n"
         << "  analyze <ir-file>            speculation-safety checks\n"
+        << "  disasm <ir-file>             bytecode disassembly\n"
         << "  fuzz [case-file]             differential testing campaign\n";
 }
 
@@ -727,6 +783,8 @@ main(int argc, char **argv)
         return cmdPipeline(args);
     if (command == "analyze")
         return cmdAnalyze(args);
+    if (command == "disasm")
+        return cmdDisasm(args);
     if (command == "fuzz")
         return cmdFuzz(args);
     usage();

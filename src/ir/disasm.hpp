@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Bytecode disassembler: deterministic, byte-stable text for compiled
+ * modules (docs/INTERPRETER.md §3). `statscc disasm` prints it, and
+ * tests/disasm_golden_test.cpp pins it against goldens under
+ * tests/golden/.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/bytecode.hpp"
+
+namespace stats::ir::bc {
+
+/** Disassemble one function (compiled or fallback header only). */
+std::string disassemble(const BcFunction &fn);
+
+/** Disassemble every function of a module, in module order. */
+std::string disassemble(const BcModule &module);
+
+} // namespace stats::ir::bc

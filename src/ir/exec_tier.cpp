@@ -1,0 +1,146 @@
+#include "ir/exec_tier.hpp"
+
+#include "support/log.hpp"
+
+namespace stats::ir {
+
+std::optional<ExecTier>
+parseExecTier(const std::string &name)
+{
+    if (name == "ast")
+        return ExecTier::Ast;
+    if (name == "bytecode")
+        return ExecTier::Bytecode;
+    if (name == "auto")
+        return ExecTier::Auto;
+    return std::nullopt;
+}
+
+const char *
+execTierName(ExecTier tier)
+{
+    switch (tier) {
+      case ExecTier::Ast: return "ast";
+      case ExecTier::Bytecode: return "bytecode";
+      case ExecTier::Auto: return "auto";
+    }
+    return "?";
+}
+
+ExecutableModule::ExecutableModule(const Module &module, ExecTier tier)
+    : _module(module), _tier(tier), _interp(module),
+      _bc(bc::compileModule(module)), _vm(_bc)
+{
+    _vm.setSlowCall(
+        [this](const std::string &callee, std::vector<RtValue> args) {
+            return _interp.call(callee, args);
+        });
+}
+
+namespace {
+
+/**
+ * A compiled function may only run on arguments whose dynamic class
+ * matches the compiled signature: the compiler folded the walker's
+ * per-use conversions under that assumption, and e.g. an integer
+ * beyond 2^53 passed to a float-classed parameter would otherwise
+ * round on entry where the walker's int-classed uses would not.
+ */
+bool
+argsMatch(const bc::BcFunction &fn, const std::vector<RtValue> &args)
+{
+    if (args.size() != fn.paramClasses.size())
+        return false;
+    for (std::size_t j = 0; j < args.size(); ++j) {
+        const bool want_float =
+            fn.paramClasses[j] == bc::RegClass::Float;
+        if (isFloating(args[j].type) != want_float)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ExecTier
+ExecutableModule::tierFor(const std::string &function) const
+{
+    if (_tier == ExecTier::Ast)
+        return ExecTier::Ast;
+    const bc::BcFunction *fn = _bc.find(function);
+    if (fn != nullptr && fn->compiled)
+        return ExecTier::Bytecode;
+    if (_tier == ExecTier::Bytecode) {
+        support::panic("exec: tier bytecode requested but @", function,
+                       fn != nullptr
+                           ? " did not compile: " + fn->fallbackReason
+                           : " is unknown");
+    }
+    return ExecTier::Ast;
+}
+
+RtValue
+ExecutableModule::call(const std::string &function,
+                       const std::vector<RtValue> &args)
+{
+    if (tierFor(function) == ExecTier::Ast)
+        return _interp.call(function, args);
+    const bc::BcFunction &fn = *_bc.find(function);
+    if (!argsMatch(fn, args)) {
+        if (_tier == ExecTier::Bytecode) {
+            support::panic("exec: tier bytecode requested but a call "
+                           "of @",
+                           function,
+                           " does not match the compiled signature");
+        }
+        return _interp.call(function, args);
+    }
+    return _vm.call(fn, args);
+}
+
+bool
+ExecutableModule::callBatch(const std::string &function,
+                            std::size_t lanes,
+                            const std::vector<const RtValue *> &argColumns,
+                            RtValue *results)
+{
+    if (_tier == ExecTier::Ast)
+        return false;
+    const bc::BcFunction *fn = _bc.find(function);
+    if (fn == nullptr || !fn->compiled || !fn->batchable)
+        return false;
+    return _vm.callBatch(*fn, lanes, argColumns, results);
+}
+
+void
+ExecutableModule::bindExternal(
+    const std::string &name,
+    std::function<RtValue(const std::vector<RtValue> &)> fn,
+    Type result_type)
+{
+    _interp.bindExternal(name, std::move(fn));
+    auto [it, inserted] = _externalTypes.emplace(name, result_type);
+    const bool changed = !inserted && it->second != result_type;
+    it->second = result_type;
+    // The compiler assumed F64 for unlisted externals; any other
+    // result class invalidates the folded conversions.
+    if (changed || result_type != Type::F64) {
+        _bc = bc::compileModule(_module, _externalTypes);
+        _vm.setModule(_bc);
+    }
+}
+
+void
+ExecutableModule::setStepBudget(std::uint64_t budget)
+{
+    _interp.setStepBudget(budget);
+    _vm.setStepBudget(budget);
+}
+
+std::uint64_t
+ExecutableModule::executedInstructions() const
+{
+    return _interp.executedInstructions() + _vm.executedInstructions();
+}
+
+} // namespace stats::ir

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Execution tiers (docs/INTERPRETER.md §6). An ExecutableModule wraps
+ * one verified module behind a tier policy:
+ *
+ *  - `ast`      — every call runs the AST walker (ir/interpreter.cpp);
+ *  - `bytecode` — every call runs compiled bytecode; a function the
+ *                 compiler bailed on, or a call whose argument class
+ *                 disagrees with the compiled signature, is a panic;
+ *  - `auto`     — bytecode when available and applicable, AST walker
+ *                 otherwise (the default everywhere).
+ *
+ * The VM's slow-call hook points back at the wrapped Interpreter, so
+ * externals and fallback callees have exactly one implementation no
+ * matter which tier a call entered through.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/bytecode.hpp"
+#include "ir/interpreter.hpp"
+#include "ir/vm.hpp"
+
+namespace stats::ir {
+
+enum class ExecTier
+{
+    Ast,
+    Bytecode,
+    Auto,
+};
+
+/** Parse "ast" / "bytecode" / "auto"; nullopt on anything else. */
+std::optional<ExecTier> parseExecTier(const std::string &name);
+const char *execTierName(ExecTier tier);
+
+/**
+ * One module behind a tier policy. Not synchronized: concurrent
+ * callers must wrap their own instance (the speculation engine
+ * already gives each worker its own interpreter).
+ */
+class ExecutableModule
+{
+  public:
+    explicit ExecutableModule(const Module &module,
+                              ExecTier tier = ExecTier::Auto);
+
+    /** Call `function` through the tier policy. */
+    RtValue call(const std::string &function,
+                 const std::vector<RtValue> &args);
+
+    /**
+     * Batched SoA execution of `lanes` independent calls (tier `auto`
+     * or `bytecode` only, and only for batchable functions). Returns
+     * false without executing when batching does not apply; the
+     * caller then loops over scalar call().
+     */
+    bool callBatch(const std::string &function, std::size_t lanes,
+                   const std::vector<const RtValue *> &argColumns,
+                   RtValue *results);
+
+    /**
+     * Provide or override an external function. `result_type` is the
+     * static class of its results (the compiler assumes F64, matching
+     * every builtin); binding a non-F64 external recompiles the
+     * bytecode under the corrected assumption.
+     */
+    void bindExternal(
+        const std::string &name,
+        std::function<RtValue(const std::vector<RtValue> &)> fn,
+        Type result_type = Type::F64);
+
+    /** The tier a call of `function` would execute on right now. */
+    ExecTier tierFor(const std::string &function) const;
+
+    ExecTier tier() const { return _tier; }
+    const Module &module() const { return _module; }
+    const bc::BcModule &bytecode() const { return _bc; }
+
+    /** Cap per top-level call, applied to both tiers. Note the two
+     *  tiers meter different instruction streams (docs §7). */
+    void setStepBudget(std::uint64_t budget);
+
+    /** Committed instructions, summed across both tiers. */
+    std::uint64_t executedInstructions() const;
+
+  private:
+    const Module &_module;
+    ExecTier _tier;
+    Interpreter _interp;
+    std::map<std::string, Type> _externalTypes;
+    bc::BcModule _bc;
+    bc::Vm _vm;
+};
+
+} // namespace stats::ir

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Lane-parallel kernels for the VM's batched SoA execution mode
+ * (docs/INTERPRETER.md §5). Each kernel applies one bytecode
+ * operation across W lanes of a register row.
+ *
+ * The portable bodies are plain stride-1 loops the compiler
+ * auto-vectorizes; where it measurably helps and the ISA is
+ * available, explicit SSE2/AVX2 paths are provided (i64 multiply has
+ * no packed form before AVX-512DQ, so the integer-multiply kernels
+ * stay scalar per lane). All float kernels must keep the AST
+ * walker's double-rounding semantics: the including translation unit
+ * is built with -ffp-contract=off so a*b+c never contracts to an
+ * FMA.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ir/vm.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace stats::ir::bc::simd {
+
+inline void
+addI(VmReg *dst, const VmReg *a, const VmReg *b, std::size_t n)
+{
+#if defined(__AVX2__)
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a + w));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b + w));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + w),
+                            _mm256_add_epi64(va, vb));
+    }
+    for (; w < n; ++w)
+        dst[w].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a[w].i) +
+            static_cast<std::uint64_t>(b[w].i));
+#else
+    for (std::size_t w = 0; w < n; ++w)
+        dst[w].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a[w].i) +
+            static_cast<std::uint64_t>(b[w].i));
+#endif
+}
+
+inline void
+subI(VmReg *dst, const VmReg *a, const VmReg *b, std::size_t n)
+{
+#if defined(__AVX2__)
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a + w));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b + w));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + w),
+                            _mm256_sub_epi64(va, vb));
+    }
+    for (; w < n; ++w)
+        dst[w].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a[w].i) -
+            static_cast<std::uint64_t>(b[w].i));
+#else
+    for (std::size_t w = 0; w < n; ++w)
+        dst[w].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a[w].i) -
+            static_cast<std::uint64_t>(b[w].i));
+#endif
+}
+
+/** No packed 64-bit multiply before AVX-512DQ: scalar per lane. */
+inline void
+mulI(VmReg *dst, const VmReg *a, const VmReg *b, std::size_t n)
+{
+    for (std::size_t w = 0; w < n; ++w)
+        dst[w].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a[w].i) *
+            static_cast<std::uint64_t>(b[w].i));
+}
+
+inline void
+addF(VmReg *dst, const VmReg *a, const VmReg *b, std::size_t n)
+{
+#if defined(__AVX2__)
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256d va = _mm256_loadu_pd(&a[w].f);
+        const __m256d vb = _mm256_loadu_pd(&b[w].f);
+        _mm256_storeu_pd(&dst[w].f, _mm256_add_pd(va, vb));
+    }
+    for (; w < n; ++w)
+        dst[w].f = a[w].f + b[w].f;
+#elif defined(__SSE2__)
+    std::size_t w = 0;
+    for (; w + 2 <= n; w += 2) {
+        const __m128d va = _mm_loadu_pd(&a[w].f);
+        const __m128d vb = _mm_loadu_pd(&b[w].f);
+        _mm_storeu_pd(&dst[w].f, _mm_add_pd(va, vb));
+    }
+    for (; w < n; ++w)
+        dst[w].f = a[w].f + b[w].f;
+#else
+    for (std::size_t w = 0; w < n; ++w)
+        dst[w].f = a[w].f + b[w].f;
+#endif
+}
+
+inline void
+subF(VmReg *dst, const VmReg *a, const VmReg *b, std::size_t n)
+{
+#if defined(__AVX2__)
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256d va = _mm256_loadu_pd(&a[w].f);
+        const __m256d vb = _mm256_loadu_pd(&b[w].f);
+        _mm256_storeu_pd(&dst[w].f, _mm256_sub_pd(va, vb));
+    }
+    for (; w < n; ++w)
+        dst[w].f = a[w].f - b[w].f;
+#else
+    for (std::size_t w = 0; w < n; ++w)
+        dst[w].f = a[w].f - b[w].f;
+#endif
+}
+
+inline void
+mulF(VmReg *dst, const VmReg *a, const VmReg *b, std::size_t n)
+{
+#if defined(__AVX2__)
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256d va = _mm256_loadu_pd(&a[w].f);
+        const __m256d vb = _mm256_loadu_pd(&b[w].f);
+        _mm256_storeu_pd(&dst[w].f, _mm256_mul_pd(va, vb));
+    }
+    for (; w < n; ++w)
+        dst[w].f = a[w].f * b[w].f;
+#else
+    for (std::size_t w = 0; w < n; ++w)
+        dst[w].f = a[w].f * b[w].f;
+#endif
+}
+
+inline void
+divF(VmReg *dst, const VmReg *a, const VmReg *b, std::size_t n)
+{
+    for (std::size_t w = 0; w < n; ++w)
+        dst[w].f = a[w].f / b[w].f;
+}
+
+/**
+ * Fused chains keep their two roundings: the explicit temporary plus
+ * -ffp-contract=off pin `t = a*b; dst = t + c` to two IEEE ops, never
+ * a contracted FMA (which would diverge from the AST walker).
+ */
+inline void
+mulAddF(VmReg *dst, const VmReg *a, const VmReg *b, const VmReg *c,
+        std::size_t n)
+{
+#if defined(__AVX2__)
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256d t =
+            _mm256_mul_pd(_mm256_loadu_pd(&a[w].f),
+                          _mm256_loadu_pd(&b[w].f));
+        _mm256_storeu_pd(&dst[w].f,
+                         _mm256_add_pd(t, _mm256_loadu_pd(&c[w].f)));
+    }
+    for (; w < n; ++w) {
+        const double t = a[w].f * b[w].f;
+        dst[w].f = t + c[w].f;
+    }
+#else
+    for (std::size_t w = 0; w < n; ++w) {
+        const double t = a[w].f * b[w].f;
+        dst[w].f = t + c[w].f;
+    }
+#endif
+}
+
+inline void
+addAddF(VmReg *dst, const VmReg *a, const VmReg *b, const VmReg *c,
+        std::size_t n)
+{
+    for (std::size_t w = 0; w < n; ++w) {
+        const double t = a[w].f + b[w].f;
+        dst[w].f = t + c[w].f;
+    }
+}
+
+inline void
+addMulF(VmReg *dst, const VmReg *a, const VmReg *b, const VmReg *c,
+        std::size_t n)
+{
+    for (std::size_t w = 0; w < n; ++w) {
+        const double t = a[w].f + b[w].f;
+        dst[w].f = t * c[w].f;
+    }
+}
+
+inline void
+mulAddI(VmReg *dst, const VmReg *a, const VmReg *b, const VmReg *c,
+        std::size_t n)
+{
+    for (std::size_t w = 0; w < n; ++w)
+        dst[w].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a[w].i) *
+                static_cast<std::uint64_t>(b[w].i) +
+            static_cast<std::uint64_t>(c[w].i));
+}
+
+inline void
+addAddI(VmReg *dst, const VmReg *a, const VmReg *b, const VmReg *c,
+        std::size_t n)
+{
+    for (std::size_t w = 0; w < n; ++w)
+        dst[w].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a[w].i) +
+            static_cast<std::uint64_t>(b[w].i) +
+            static_cast<std::uint64_t>(c[w].i));
+}
+
+inline void
+addMulI(VmReg *dst, const VmReg *a, const VmReg *b, const VmReg *c,
+        std::size_t n)
+{
+    for (std::size_t w = 0; w < n; ++w)
+        dst[w].i = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(a[w].i) +
+             static_cast<std::uint64_t>(b[w].i)) *
+            static_cast<std::uint64_t>(c[w].i));
+}
+
+} // namespace stats::ir::bc::simd

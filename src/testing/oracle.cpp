@@ -9,7 +9,7 @@
 #include "analysis/lint.hpp"
 #include "backend/backend.hpp"
 #include "exec/sim_executor.hpp"
-#include "ir/interpreter.hpp"
+#include "ir/exec_tier.hpp"
 #include "ir/verifier.hpp"
 #include "midend/midend.hpp"
 #include "midend/substitute.hpp"
@@ -61,14 +61,17 @@ fail(std::string stage, std::string kind, std::string detail)
     return result;
 }
 
-/** One interpreted state transition of the instantiated module. */
+/**
+ * One interpreted state transition of the instantiated module. The
+ * ExecutableModule is built once per oracle run (the AST walker used
+ * to be re-constructed per transition) and dispatches through the
+ * configured execution tier.
+ */
 long long
-interpStep(const ir::Module &module, const std::string &function,
+interpStep(ir::ExecutableModule &exec, const std::string &function,
            long long input, long long state)
 {
-    ir::Interpreter interp(module);
-    interp.setStepBudget(1'000'000);
-    const ir::RtValue result = interp.call(
+    const ir::RtValue result = exec.call(
         function,
         {ir::RtValue::ofInt(input), ir::RtValue::ofInt(state)});
     return result.asInt();
@@ -103,7 +106,7 @@ makeMatcher(MatcherKind kind)
 
 /** Execute the instantiated dependence on the speculation engine. */
 EngineRun
-runEngine(const ir::Module &module, const std::string &compute_fn,
+runEngine(ir::ExecutableModule &exec, const std::string &compute_fn,
           const std::string &aux_fn, const Scenario &scenario,
           const std::vector<In> &inputs, int sim_threads)
 {
@@ -120,7 +123,7 @@ runEngine(const ir::Module &module, const std::string &compute_fn,
     const int max_noise = scenario.maxNoise;
 
     using Engine = sdi::SpecEngine<In, long long, Out>;
-    Engine::ComputeFn compute = [&module, &compute_fn, counters,
+    Engine::ComputeFn compute = [&exec, &compute_fn, counters,
                                  noise_seed, noisy, max_noise](
                                     const In &in, long long &state,
                                     const sdi::ComputeContext &) {
@@ -128,7 +131,7 @@ runEngine(const ir::Module &module, const std::string &compute_fn,
         const int attempt = (*counters)[std::size_t(in.pos)].fetch_add(
             1, std::memory_order_relaxed);
         state = wrapState(
-            interpStep(module, compute_fn, in.value, state) +
+            interpStep(exec, compute_fn, in.value, state) +
             noiseFor(noise_seed, in.pos, attempt, noisy, max_noise));
         Engine::Invocation inv;
         inv.output = std::make_unique<Out>(out);
@@ -138,10 +141,10 @@ runEngine(const ir::Module &module, const std::string &compute_fn,
     // Auxiliary code draws no noise: the paper's aux clone is a pure
     // approximation whose value only ever *proposes* a start state.
     Engine::ComputeFn auxiliary =
-        [&module, &aux_fn](const In &in, long long &state,
-                           const sdi::ComputeContext &) {
+        [&exec, &aux_fn](const In &in, long long &state,
+                         const sdi::ComputeContext &) {
             Out out{in.pos, state};
-            state = wrapState(interpStep(module, aux_fn, in.value, state));
+            state = wrapState(interpStep(exec, aux_fn, in.value, state));
             Engine::Invocation inv;
             inv.output = std::make_unique<Out>(out);
             inv.cost = exec::Work{5e-6, 0.2};
@@ -172,7 +175,7 @@ runEngine(const ir::Module &module, const std::string &compute_fn,
  */
 std::string
 checkChain(const std::vector<Out> &outputs,
-           const std::vector<In> &inputs, const ir::Module &module,
+           const std::vector<In> &inputs, ir::ExecutableModule &exec,
            const std::string &compute_fn, const Scenario &scenario)
 {
     const std::uint64_t noise_seed =
@@ -189,7 +192,7 @@ checkChain(const std::vector<Out> &outputs,
     for (std::size_t p = 1; p < outputs.size(); ++p) {
         const long long prev = outputs[p - 1].observed;
         const long long base =
-            interpStep(module, compute_fn, inputs[p - 1].value, prev);
+            interpStep(exec, compute_fn, inputs[p - 1].value, prev);
         bool legal = false;
         for (int a = 0; a < attempts && !legal; ++a) {
             legal = outputs[p].observed ==
@@ -368,6 +371,11 @@ runOracle(const FuzzCase &fuzz_case, const OracleOptions &options)
     const std::string aux_fn =
         dep.auxFn.empty() ? dep.computeFn : dep.auxFn;
 
+    // One executable per oracle run: the bytecode tier compiles each
+    // function once, and fallback calls share the wrapped AST walker.
+    ir::ExecutableModule exec(instantiated, options.execTier);
+    exec.setStepBudget(1'000'000);
+
     // ---- inputs (a pure function of the scenario seed) ----
     support::Xoshiro256 input_rng(sequence.derive("inputs"));
     std::vector<In> inputs;
@@ -378,28 +386,50 @@ runOracle(const FuzzCase &fuzz_case, const OracleOptions &options)
     result.stage = "sequential";
 
     // ---- sequential sampling: fingerprints + determinism check ----
+    // The runs advance lane-parallel, one input at a time: run r is
+    // lane r, its replay is lane runs+r, and straight-line compute
+    // functions go through the VM's batched SoA mode. Each run still
+    // draws its attempts from its own rng stream in input order, so
+    // the sampled histories are the ones the run-at-a-time loop drew.
     const std::uint64_t noise_seed = sequence.derive("noise");
     const int attempts = legalAttempts(scenario);
-    std::set<long long> finals;
-    for (int r = 0; r < std::max(1, scenario.sequentialRuns); ++r) {
-        support::Xoshiro256 run_rng(
+    const int runs = std::max(1, scenario.sequentialRuns);
+    const std::size_t lanes = std::size_t(runs) * 2;
+    std::vector<support::Xoshiro256> run_rngs;
+    for (int r = 0; r < runs; ++r)
+        run_rngs.emplace_back(
             sequence.derive("sequential", std::uint64_t(r)));
-        long long state = scenario.initialState;
-        long long replayed = scenario.initialState;
-        for (const In &in : inputs) {
-            const int attempt =
-                int(run_rng.nextBelow(std::uint64_t(attempts)));
+    std::vector<long long> state(std::size_t(runs),
+                                 (long long)scenario.initialState);
+    std::vector<long long> replayed = state;
+    std::vector<ir::RtValue> in_col(lanes), state_col(lanes),
+        stepped(lanes);
+    for (const In &in : inputs) {
+        for (std::size_t l = 0; l < lanes; ++l) {
+            in_col[l] = ir::RtValue::ofInt(in.value);
+            state_col[l] = ir::RtValue::ofInt(
+                l < std::size_t(runs) ? state[l]
+                                      : replayed[l - std::size_t(runs)]);
+        }
+        const std::vector<const ir::RtValue *> columns{
+            in_col.data(), state_col.data()};
+        if (!exec.callBatch(compute_fn, lanes, columns,
+                            stepped.data())) {
+            for (std::size_t l = 0; l < lanes; ++l)
+                stepped[l] = ir::RtValue::ofInt(interpStep(
+                    exec, compute_fn, in.value, state_col[l].i));
+        }
+        for (int r = 0; r < runs; ++r) {
+            const int attempt = int(
+                run_rngs[std::size_t(r)].nextBelow(std::uint64_t(attempts)));
             const long long noise =
                 noiseFor(noise_seed, in.pos, attempt,
                          scenario.noisyPercent, scenario.maxNoise);
-            state = wrapState(
-                interpStep(instantiated, compute_fn, in.value, state) +
-                noise);
-            replayed = wrapState(
-                interpStep(instantiated, compute_fn, in.value,
-                           replayed) +
-                noise);
-            if (state != replayed) {
+            state[std::size_t(r)] =
+                wrapState(stepped[std::size_t(r)].asInt() + noise);
+            replayed[std::size_t(r)] = wrapState(
+                stepped[std::size_t(runs + r)].asInt() + noise);
+            if (state[std::size_t(r)] != replayed[std::size_t(r)]) {
                 return fail("sequential", "sequential-self-check",
                             "re-interpreting input " +
                                 std::to_string(in.pos) +
@@ -407,19 +437,19 @@ runOracle(const FuzzCase &fuzz_case, const OracleOptions &options)
                                 " gave a different state");
             }
         }
-        finals.insert(state);
     }
+    std::set<long long> finals(state.begin(), state.end());
     result.sequentialFinals.assign(finals.begin(), finals.end());
 
     // ---- speculative run (clean) ----
     result.stage = "speculative";
-    EngineRun clean = runEngine(instantiated, compute_fn, aux_fn,
+    EngineRun clean = runEngine(exec, compute_fn, aux_fn,
                                 scenario, inputs, options.simThreads);
     result.cleanStats = clean.stats;
     if (auto error = checkShape(clean.outputs, inputs); !error.empty())
         return fail("speculative", "output-order", error);
     if (scenario.matcher != MatcherKind::AlwaysMatch) {
-        if (auto error = checkChain(clean.outputs, inputs, instantiated,
+        if (auto error = checkChain(clean.outputs, inputs, exec,
                                     compute_fn, scenario);
             !error.empty())
             return fail("speculative", "chain-violation", error);
@@ -445,7 +475,7 @@ runOracle(const FuzzCase &fuzz_case, const OracleOptions &options)
         result.faulted = true;
         auto &session = replay::ReplaySession::global();
         session.setFaultPlan(*plan);
-        EngineRun faulted = runEngine(instantiated, compute_fn, aux_fn,
+        EngineRun faulted = runEngine(exec, compute_fn, aux_fn,
                                       scenario, inputs,
                                       options.simThreads);
         session.setFaultPlan(replay::FaultPlan{});
@@ -455,7 +485,7 @@ runOracle(const FuzzCase &fuzz_case, const OracleOptions &options)
             return fail("faulted", "output-order", error);
         if (scenario.matcher != MatcherKind::AlwaysMatch) {
             if (auto error =
-                    checkChain(faulted.outputs, inputs, instantiated,
+                    checkChain(faulted.outputs, inputs, exec,
                                compute_fn, scenario);
                 !error.empty())
                 return fail("faulted", "chain-violation", error);

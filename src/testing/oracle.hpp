@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/exec_tier.hpp"
 #include "sdi/spec_config.hpp"
 #include "testing/fuzz_case.hpp"
 
@@ -43,6 +44,15 @@ struct OracleOptions
 {
     /** Run the full speculation-safety analysis on the midend IR. */
     bool runAnalysis = true;
+
+    /**
+     * Execution tier for every interpreted transition (sequential
+     * sampling, engine bodies, chain re-derivation). The tier is an
+     * implementation detail of `getValue()` execution, so oracle
+     * verdicts must not depend on it — tests/tier_differential_test
+     * holds the pipeline to that.
+     */
+    ir::ExecTier execTier = ir::ExecTier::Auto;
 
     /** Simulated threads for the engine runs. */
     int simThreads = 16;

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * AST-vs-bytecode tier differential (ctest label `tierdiff`, see
+ * docs/TESTING.md): every valid fuzzer-generated module is lowered
+ * through the real pipeline (verify -> midend -> backend) and its
+ * state-dependence functions are executed on both tiers with the same
+ * arguments. The tiers must agree bit-for-bit — the bytecode compiler
+ * has no license to re-associate, contract, or re-round anything
+ * (docs/INTERPRETER.md §4).
+ *
+ * The campaign is fixed-seed so a divergence is a reproducible case
+ * name, not a flake. STATS_TIERDIFF_RUNS overrides the module count
+ * (sanitizer CI uses a smaller campaign; the default is 600).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.hpp"
+#include "ir/exec_tier.hpp"
+#include "ir/verifier.hpp"
+#include "midend/midend.hpp"
+#include "support/rng.hpp"
+#include "testing/generator.hpp"
+
+namespace {
+
+using namespace stats;
+using ir::RtValue;
+
+constexpr std::uint64_t kRootSeed = 20260808;
+
+std::size_t
+campaignRuns()
+{
+    if (const char *env = std::getenv("STATS_TIERDIFF_RUNS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return std::size_t(parsed);
+    }
+    return 600;
+}
+
+bool
+sameBits(const RtValue &a, const RtValue &b)
+{
+    if (ir::isFloating(a.type) != ir::isFloating(b.type))
+        return false;
+    if (ir::isFloating(a.type)) {
+        std::uint64_t ab, bb;
+        std::memcpy(&ab, &a.f, 8);
+        std::memcpy(&bb, &b.f, 8);
+        return ab == bb;
+    }
+    return a.i == b.i;
+}
+
+std::string
+describe(const RtValue &v)
+{
+    return ir::isFloating(v.type) ? std::to_string(v.f)
+                                  : std::to_string(v.i);
+}
+
+TEST(TierDifferential, AstAndBytecodeAgreeOnGeneratedModules)
+{
+    const std::size_t runs = campaignRuns();
+    std::size_t executed = 0, skipped = 0, bytecode_fns = 0, calls = 0;
+
+    for (std::size_t index = 0; index < runs; ++index) {
+        const stats::testing::FuzzCase fuzz_case =
+            stats::testing::generateCase(kRootSeed, index);
+        if (fuzz_case.expect == stats::testing::Expectation::Reject) {
+            ++skipped; // Near-miss: the pipeline's job, not ours.
+            continue;
+        }
+        ASSERT_TRUE(ir::verifyModule(fuzz_case.module).empty())
+            << fuzz_case.name;
+
+        ir::Module midend_ir = fuzz_case.module;
+        midend::runMiddleEnd(midend_ir);
+        backend::BackendConfig config;
+        for (const auto &dep : midend_ir.stateDeps)
+            config.auxiliaryDeps.insert(dep.name);
+        const ir::Module instantiated =
+            backend::instantiate(midend_ir, config);
+        ASSERT_FALSE(instantiated.stateDeps.empty()) << fuzz_case.name;
+
+        ir::ExecutableModule ast(instantiated, ir::ExecTier::Ast);
+        ir::ExecutableModule fast(instantiated, ir::ExecTier::Auto);
+        ast.setStepBudget(1'000'000);
+        fast.setStepBudget(1'000'000);
+        bytecode_fns += fast.bytecode().compiledCount();
+
+        const ir::StateDepMeta &dep = instantiated.stateDeps.front();
+        std::vector<std::string> functions{dep.computeFn};
+        if (!dep.auxFn.empty() && dep.auxFn != dep.computeFn)
+            functions.push_back(dep.auxFn);
+
+        // Oracle-domain arguments: inputs like the scenario draws
+        // them, states across the wrapState range plus edge values.
+        support::Xoshiro256 rng(kRootSeed ^ (index * 0x9e3779b9u));
+        std::vector<std::pair<std::int64_t, std::int64_t>> points;
+        for (int k = 0; k < 6; ++k)
+            points.emplace_back(
+                std::int64_t(rng.nextBelow(1000)),
+                std::int64_t(rng.nextBelow(std::uint64_t(1) << 20)));
+        points.emplace_back(0, 0);
+        points.emplace_back(999, (std::int64_t(1) << 20) - 1);
+
+        for (const std::string &fn : functions) {
+            for (const auto &[input, state] : points) {
+                const std::vector<RtValue> args{RtValue::ofInt(input),
+                                                RtValue::ofInt(state)};
+                const RtValue reference = ast.call(fn, args);
+                const RtValue candidate = fast.call(fn, args);
+                ++calls;
+                ASSERT_TRUE(sameBits(reference, candidate))
+                    << fuzz_case.name << " @" << fn << "(" << input
+                    << ", " << state << "): ast="
+                    << describe(reference)
+                    << " bytecode=" << describe(candidate)
+                    << " (tier " << ir::execTierName(fast.tierFor(fn))
+                    << ")";
+            }
+        }
+        ++executed;
+    }
+
+    RecordProperty("modules", std::to_string(executed));
+    RecordProperty("calls", std::to_string(calls));
+    EXPECT_GT(executed, 0u);
+    // The campaign is vacuous if nothing actually ran on bytecode.
+    EXPECT_GT(bytecode_fns, 0u);
+    std::printf("tierdiff: %zu modules (%zu near-miss skipped), "
+                "%zu compiled functions, %zu differential calls\n",
+                executed, skipped, bytecode_fns, calls);
+}
+
+} // namespace
