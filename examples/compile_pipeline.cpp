@@ -18,7 +18,7 @@
 
 #include "backend/backend.hpp"
 #include "frontend/frontend.hpp"
-#include "ir/interpreter.hpp"
+#include "ir/exec_tier.hpp"
 #include "ir/parser.hpp"
 #include "midend/midend.hpp"
 
@@ -129,15 +129,13 @@ main()
         config.tradeoffIndices["aux::T_42"] = index;
         const ir::Module binary = backend::instantiate(module, config);
 
-        ir::Interpreter interp(binary);
+        ir::ExecutableModule exec(binary);
         const double original =
-            interp
-                .call("computeOutput", {ir::RtValue::ofInt(3),
+            exec.call("computeOutput", {ir::RtValue::ofInt(3),
                                         ir::RtValue::ofFloat(10.0)})
                 .asFloat();
         const double auxiliary =
-            interp
-                .call("computeOutput__aux0",
+            exec.call("computeOutput__aux0",
                       {ir::RtValue::ofInt(3), ir::RtValue::ofFloat(10.0)})
                 .asFloat();
         std::printf("aux::iterations index %lld -> original %.4f, "

@@ -14,11 +14,11 @@
 #pragma once
 
 #include <atomic>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "observability/trace.hpp"
+#include "threading/unique_function.hpp"
 
 namespace stats::exec {
 
@@ -54,11 +54,19 @@ struct Task
     /** Logical cores the task occupies (gang width); >= 1. */
     int width = 1;
 
-    /** The computation; returns the virtual cost of what it did. */
-    std::function<Work()> run;
+    /**
+     * The computation; returns the virtual cost of what it did.
+     *
+     * Move-only (threading::UniqueFunction): a Task travels from the
+     * submitter to a worker by moves alone, and a closure that fits
+     * the wrapper's inline storage never touches the heap — the
+     * engine's hot-path closures capture only {engine, index, record}
+     * and stay inline (docs/INTERNALS.md §4).
+     */
+    threading::UniqueFunction<Work()> run;
 
     /** Completion callback (may submit more tasks). May be empty. */
-    std::function<void()> onComplete;
+    threading::UniqueFunction<void()> onComplete;
 
     /**
      * Optional cancellation token. A task whose token is set before

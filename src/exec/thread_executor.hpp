@@ -9,19 +9,36 @@
  * Dispatch rides the work-stealing thread pool directly: pending
  * accounting, drain(), and the wall clock are the pool's own (a single
  * atomic counter and one steady timer), so this layer adds no locks to
- * the submit or completion fast paths. The only mutex left is the
- * commit lane: completion callbacks of tasks with
- * `serialCompletion == true` are serialized under it, matching the
+ * the submit or completion fast paths. Two pieces make the whole
+ * submit → run → commit round trip allocation- and lock-free in
+ * steady state:
+ *
+ *  - every submitted Task moves into a recycled `TaskRecord` (a
+ *    bounded lock-free freelist), so the pool closure captures only
+ *    {executor, record} — 16 bytes, inside the job wrapper's inline
+ *    storage. No heap allocation per submission after warm-up.
+ *  - the commit lane — the serialized region completion callbacks of
+ *    tasks with `serialCompletion == true` run in — is a lock-free
+ *    MPSC stack with a combining drainer instead of a mutex: a
+ *    finishing worker pushes its record (one CAS) and either becomes
+ *    the drainer or hands the callback to the current one and goes
+ *    straight back to scheduling. Match-check → commit never blocks
+ *    on a pool-wide lock (docs/INTERNALS.md §4 documents the
+ *    protocol and why drain() still implies lane-empty).
+ *
+ * At most one completion callback executes at a time, matching the
  * simulator's semantics so the speculation engine runs unmodified on
  * either executor. Tasks with no callback — or with
- * `serialCompletion == false` — never touch it.
+ * `serialCompletion == false` — never touch the lane.
  */
 
 #pragma once
 
-#include <mutex>
+#include <atomic>
+#include <cstdint>
 
 #include "exec/task.hpp"
+#include "threading/primitives.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace stats::exec {
@@ -30,7 +47,17 @@ namespace stats::exec {
 class ThreadExecutor : public Executor
 {
   public:
+    /** Commit-lane / task-record counters (always on, relaxed). */
+    struct CommitStats
+    {
+        std::uint64_t laneEnqueues = 0; ///< Callbacks pushed to the lane.
+        std::uint64_t laneDeferred = 0; ///< Handed to an active drainer.
+        std::uint64_t recordAllocs = 0; ///< Records taken from the heap.
+        std::uint64_t recordReuses = 0; ///< Records recycled (freelist).
+    };
+
     explicit ThreadExecutor(int threads);
+    ~ThreadExecutor() override;
 
     void submit(Task task) override;
 
@@ -49,12 +76,42 @@ class ThreadExecutor : public Executor
         return _pool.stats();
     }
 
-  private:
-    threading::PoolTask wrap(Task task);
-    void runTask(Task &task, bool cancelled);
+    CommitStats commitStats() const;
 
-    threading::ThreadPool _pool;
-    std::mutex _commitMutex;
+  private:
+    struct TaskRecord;
+
+    /**
+     * Record storage. Declared *before* the pool so it outlives it:
+     * the pool's drain-on-shutdown may still release records into
+     * the freelist while this executor is being destroyed.
+     */
+    struct RecordPool
+    {
+        explicit RecordPool(std::size_t capacity);
+        ~RecordPool();
+        threading::MpmcBoundedQueue<TaskRecord *> free;
+    };
+
+    threading::PoolTask wrap(Task task);
+    void runRecord(TaskRecord *rec, bool cancelled);
+    TaskRecord *acquireRecord();
+    void releaseRecord(TaskRecord *rec);
+    void commitEnqueue(TaskRecord *rec);
+    bool drainLane();
+
+    RecordPool _records;
+
+    /** Commit lane: Treiber stack head + single-drainer flag. */
+    std::atomic<TaskRecord *> _laneHead{nullptr};
+    std::atomic<bool> _laneActive{false};
+
+    std::atomic<std::uint64_t> _laneEnqueues{0};
+    std::atomic<std::uint64_t> _laneDeferred{0};
+    std::atomic<std::uint64_t> _recordAllocs{0};
+    std::atomic<std::uint64_t> _recordReuses{0};
+
+    threading::ThreadPool _pool; ///< Last member: destroyed first.
 };
 
 } // namespace stats::exec

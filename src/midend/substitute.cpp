@@ -1,5 +1,6 @@
 #include "midend/substitute.hpp"
 
+#include "ir/exec_tier.hpp"
 #include "support/log.hpp"
 
 namespace stats::midend {
@@ -7,15 +8,15 @@ namespace stats::midend {
 std::int64_t
 defaultIndexOf(const ir::Module &module, const ir::TradeoffMeta &meta)
 {
-    ir::Interpreter interp(module);
-    return interp.call(meta.defaultIndexFn, {}).asInt();
+    ir::ExecutableModule exec(module);
+    return exec.call(meta.defaultIndexFn, {}).asInt();
 }
 
 std::int64_t
 sizeOf(const ir::Module &module, const ir::TradeoffMeta &meta)
 {
-    ir::Interpreter interp(module);
-    return interp.call(meta.sizeFn, {}).asInt();
+    ir::ExecutableModule exec(module);
+    return exec.call(meta.sizeFn, {}).asInt();
 }
 
 ChosenValue
@@ -25,9 +26,9 @@ evaluateTradeoffValue(const ir::Module &module,
     ChosenValue value;
     value.kind = meta.kind;
     if (meta.kind == ir::TradeoffKind::Constant) {
-        ir::Interpreter interp(module);
+        ir::ExecutableModule exec(module);
         value.constant =
-            interp.call(meta.getValueFn, {ir::RtValue::ofInt(index)});
+            exec.call(meta.getValueFn, {ir::RtValue::ofInt(index)});
         return value;
     }
     if (index < 0 ||

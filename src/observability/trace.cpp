@@ -32,6 +32,9 @@ eventTypeName(EventType type)
       case EventType::QueueDepth:       return "QueueDepth";
       case EventType::ReplayDivergence: return "ReplayDivergence";
       case EventType::FaultInjected:    return "FaultInjected";
+      case EventType::ArenaRefill:      return "ArenaRefill";
+      case EventType::CommitLaneEnqueue:
+        return "CommitLaneEnqueue";
     }
     support::panic("eventTypeName: unknown event type ",
                    static_cast<int>(type));
@@ -73,6 +76,8 @@ isSchedulerEvent(EventType type)
       case EventType::WorkerPark:
       case EventType::WorkerUnpark:
       case EventType::QueueDepth:
+      case EventType::ArenaRefill:
+      case EventType::CommitLaneEnqueue:
         return true;
       default:
         return false;

@@ -84,10 +84,18 @@ enum class EventType : std::uint8_t
     // docs/REPLAY.md).
     ReplayDivergence, ///< Replay left the recorded path (arg: epoch).
     FaultInjected,    ///< Fault-plan injection fired (arg: FaultKind).
+
+    // Allocation/commit-pipeline instants (schema v4).
+    ArenaRefill, ///< Task arena switched blocks: inputBegin = block
+                 ///< bytes, inputEnd = 1 when the block came from the
+                 ///< heap / 0 when recycled, arg = arena epoch.
+    CommitLaneEnqueue, ///< Serialized completion entered the commit
+                       ///< lane (arg: 1 when the pushing worker became
+                       ///< the drainer, 0 when handed off).
 };
 
-inline constexpr int kEventTypeCount = 22;
-inline constexpr int kSchemaVersion = 3;
+inline constexpr int kEventTypeCount = 24;
+inline constexpr int kSchemaVersion = 4;
 
 /** Stable name of an event type (as documented in the schema). */
 const char *eventTypeName(EventType type);

@@ -20,6 +20,18 @@
  * same code runs on real threads and on the simulated many-core
  * platform. All engine bookkeeping is mutated exclusively inside
  * completion callbacks, which both executors serialize.
+ *
+ * Hot-path allocation discipline: every in-flight task owns exactly
+ * one record in a per-engine TaskArena (outputs, final state,
+ * checkpoint, and work counter in one bump-pointer allocation) instead
+ * of the former four shared_ptr bundles. Task closures capture only
+ * {engine, group index, record pointer} and therefore fit the
+ * executor's inline closure storage — a window task submission
+ * performs zero heap allocations in steady state. Records are created
+ * and destroyed only inside the serialized completion callbacks, which
+ * is the arena's external-synchronization contract; the arena's epoch
+ * is drained at join(), after the executor's drain() quiescent point
+ * (docs/INTERNALS.md §4).
  */
 
 #pragma once
@@ -31,10 +43,12 @@
 #include <vector>
 
 #include "exec/task.hpp"
+#include "observability/metrics.hpp"
 #include "observability/trace.hpp"
 #include "replay/session.hpp"
 #include "sdi/spec_config.hpp"
 #include "support/log.hpp"
+#include "threading/arena.hpp"
 
 namespace stats::sdi {
 
@@ -80,6 +94,31 @@ class SpecEngine
     using MatchFn = std::function<int(const State &spec,
                                       const std::vector<State> &originals)>;
 
+    /** One aux window in a batched evaluation: the auxiliary clone
+     *  consumes inputs [windowBegin, windowEnd) from the initial
+     *  state; the resulting state seeds the group starting at
+     *  windowEnd. */
+    struct AuxBatchItem
+    {
+        std::size_t windowBegin = 0;
+        std::size_t windowEnd = 0;
+    };
+
+    /** Result of one lane of a batched aux evaluation. */
+    struct AuxBatchResult
+    {
+        State state;
+        double workUnits = 0.0;
+    };
+
+    /**
+     * Batched auxiliary evaluation: all items advance in lockstep
+     * (e.g. as ExecutableModule::callBatch lanes), returning one
+     * result per item, in order.
+     */
+    using BatchAuxFn = std::function<std::vector<AuxBatchResult>(
+        const std::vector<AuxBatchItem> &)>;
+
     SpecEngine(exec::Executor &executor, const std::vector<Input> &inputs,
                State initial_state, ComputeFn compute, ComputeFn auxiliary,
                MatchFn match, SpecConfig config)
@@ -96,6 +135,31 @@ class SpecEngine
         _config.rollbackDepth = std::max(1, _config.rollbackDepth);
         _config.sdThreads = std::max(1, _config.sdThreads);
         _config.innerThreads = std::max(1, _config.innerThreads);
+        _config.auxBatchGroups = std::max(1, _config.auxBatchGroups);
+        _arena.setRefillHook([this](std::size_t bytes, bool heap) {
+            if (!obs::traceActive())
+                return;
+            obs::Trace::global().record(
+                obs::EventType::ArenaRefill, -1,
+                static_cast<std::int64_t>(bytes), heap ? 1 : 0,
+                _executor.now(), obs::kFrontierTrack,
+                static_cast<std::int64_t>(_arena.stats().epoch));
+        });
+    }
+
+    /**
+     * Install a batched auxiliary function (must precede start()).
+     * Used together with SpecConfig::auxBatchGroups > 1: the initial
+     * aux window is then evaluated by ceil(window / auxBatchGroups)
+     * lockstep tasks instead of one task per group.
+     */
+    void
+    setBatchAuxiliary(BatchAuxFn fn)
+    {
+        if (_started)
+            support::panic(
+                "SpecEngine::setBatchAuxiliary after start");
+        _batchAux = std::move(fn);
     }
 
     /** Begin processing; returns immediately (paper Figure 9). */
@@ -142,6 +206,10 @@ class SpecEngine
         if (!_started)
             support::panic("SpecEngine::join before start");
         _executor.drain();
+        publishArenaMetrics();
+        // Quiescent point: every completion callback ran, so every
+        // task record is dead; recycle the arena blocks.
+        _arena.drainEpoch();
         if (replay::sessionEngaged()) {
             replay::RunStatsRecord rs;
             rs.validations = _stats.validations;
@@ -206,6 +274,32 @@ class SpecEngine
         /** Tail outputs of each re-execution (indexes originals 1..). */
         std::vector<std::vector<std::unique_ptr<Output>>> reexecTails;
         int reexecsDone = 0;
+    };
+
+    /**
+     * Arena-backed record of one in-flight task: the outputs, final
+     * state, rollback checkpoint, and work counter that used to be
+     * four separate shared_ptr control blocks live in one bump-pointer
+     * allocation. The task's run/onComplete closures capture only the
+     * record pointer, so they fit the executor's inline storage.
+     * Created and destroyed exclusively inside serialized completion
+     * callbacks (the arena's external-synchronization contract);
+     * every completion path — success, squash, cancellation — frees.
+     */
+    struct TaskRec
+    {
+        std::vector<std::unique_ptr<Output>> outputs;
+        std::optional<State> finalState;
+        std::optional<State> checkpoint;
+        double workDone = 0.0;
+    };
+
+    /** Record of one batched (lockstep) auxiliary task. */
+    struct BatchAuxRec
+    {
+        std::vector<AuxBatchResult> results;
+        double workDone = 0.0;
+        bool ran = false; ///< False when cancelled before dispatch.
     };
 
     /**
@@ -281,16 +375,27 @@ class SpecEngine
         }
         // Group 0's body plus the initial aux window go to the
         // executor as one batch: one enqueue/wake operation instead of
-        // 1 + window separate submissions.
+        // 1 + window separate submissions. With a batched auxiliary
+        // function installed, consecutive windows additionally fuse
+        // into lockstep tasks of up to auxBatchGroups lanes.
         std::vector<exec::Task> batch;
         batch.push_back(makeBodyTask(0));
         _groups[0].status = GroupStatus::BodyRunning;
         _nextToSubmit = 1;
         const auto window = static_cast<std::size_t>(_config.sdThreads);
-        while (_nextToSubmit < _groups.size() &&
-               _nextToSubmit < 1 + window) {
-            batch.push_back(makeAuxTask(_nextToSubmit));
-            ++_nextToSubmit;
+        const std::size_t limit =
+            std::min(_groups.size(), 1 + window);
+        const auto lanes = static_cast<std::size_t>(
+            _batchAux ? _config.auxBatchGroups : 1);
+        while (_nextToSubmit < limit) {
+            const std::size_t count =
+                std::min(lanes, limit - _nextToSubmit);
+            if (count <= 1)
+                batch.push_back(makeAuxTask(_nextToSubmit));
+            else
+                batch.push_back(
+                    makeBatchAuxTask(_nextToSubmit, count));
+            _nextToSubmit += count;
         }
         _executor.submitBatch(std::move(batch));
     }
@@ -326,25 +431,24 @@ class SpecEngine
     void
     submitConventional()
     {
-        auto outputs =
-            std::make_shared<std::vector<std::unique_ptr<Output>>>();
+        TaskRec *rec = _arena.create<TaskRec>();
         exec::Task task;
         task.width = _config.innerThreads;
-        auto work_done = std::make_shared<double>(0.0);
-        task.run = [this, outputs, work_done] {
+        task.run = [this, rec] {
             State state = _initialState;
             ComputeContext context{_config.innerThreads, false};
-            exec::Work work = runRange(0, _inputs.size(), state, *outputs,
-                                       context);
+            exec::Work work = runRange(0, _inputs.size(), state,
+                                       rec->outputs, context);
             work.units += _config.stateCloneCost;
-            *work_done = work.units;
+            rec->workDone = work.units;
             return work;
         };
-        task.onComplete = [this, outputs, work_done] {
-            _stats.bodyWorkSeconds += *work_done;
-            _conventionalOutputs = std::move(*outputs);
+        task.onComplete = [this, rec] {
+            _stats.bodyWorkSeconds += rec->workDone;
+            _conventionalOutputs = std::move(rec->outputs);
             _stats.invocations +=
                 static_cast<std::int64_t>(_inputs.size());
+            _arena.destroy(rec);
         };
         _executor.submit(std::move(task));
     }
@@ -353,6 +457,45 @@ class SpecEngine
     submitAux(std::size_t j)
     {
         _executor.submit(makeAuxTask(j));
+    }
+
+    /** Start of group j's aux window ([windowBegin, group.begin)). */
+    std::size_t
+    auxWindowBegin(std::size_t j) const
+    {
+        const std::size_t begin_input = _groups[j].begin;
+        const auto k = static_cast<std::size_t>(_config.auxWindow);
+        return begin_input - std::min(k, begin_input);
+    }
+
+    /**
+     * Hand group j its speculative start state (shared by the
+     * per-group and batched aux completion paths). Runs inside the
+     * serialized completion lane.
+     */
+    void
+    deliverAuxResult(std::size_t j, State state)
+    {
+        Group &g = _groups[j];
+        ++_stats.stateClones;
+        g.specStart = std::move(state);
+        // CorruptState fault: hand the group a stale clone of the
+        // initial state in place of the aux result, as if the
+        // auxiliary code had learned nothing from its window.
+        if (replay::sessionEngaged() &&
+            replay::ReplaySession::global().corruptSpecState(
+                static_cast<std::int32_t>(j))) {
+            g.specStart = _initialState;
+            traceEvent(obs::EventType::FaultInjected, j, g.begin,
+                       g.end,
+                       static_cast<std::int64_t>(
+                           replay::FaultKind::CorruptState));
+        }
+        g.status = GroupStatus::BodyRunning;
+        submitBody(j);
+        // A validation may have been waiting for this aux result.
+        if (_pendingValidation == static_cast<std::ptrdiff_t>(j))
+            validate(j);
     }
 
     /** Build group j's auxiliary task (marks the group AuxRunning). */
@@ -364,58 +507,112 @@ class SpecEngine
         ++_stats.auxTasks;
 
         const std::size_t begin_input = group.begin;
-        const auto k = static_cast<std::size_t>(_config.auxWindow);
-        const std::size_t window_begin =
-            begin_input - std::min(k, begin_input);
+        const std::size_t window_begin = auxWindowBegin(j);
 
-        auto result = std::make_shared<std::optional<State>>();
-        auto work_done = std::make_shared<double>(0.0);
+        TaskRec *rec = _arena.create<TaskRec>();
         exec::Task task;
         task.width = 1;
         task.cancel = group.cancel;
         task.tag = {obs::TaskKind::Aux, static_cast<std::int32_t>(j),
                     static_cast<std::int64_t>(window_begin),
                     static_cast<std::int64_t>(begin_input), 0};
-        task.run = [this, j, result, work_done, begin_input,
-                    window_begin] {
+        task.run = [this, j, rec] {
             // Auxiliary code: from the initial state, consume the k
             // inputs preceding the group (paper section 3.1).
             State state = _initialState;
-            std::vector<std::unique_ptr<Output>> scratch;
             ComputeContext context{1, true};
-            exec::Work work = runRange(window_begin, begin_input, state,
-                                       scratch, context);
+            exec::Work work =
+                runRange(auxWindowBegin(j), _groups[j].begin, state,
+                         rec->outputs, context);
             work.units += _config.stateCloneCost;
-            *work_done = work.units;
-            *result = std::move(state);
+            rec->workDone = work.units;
+            rec->finalState = std::move(state);
             return work;
         };
-        task.onComplete = [this, j, result, work_done] {
+        task.onComplete = [this, j, rec] {
             Group &g = _groups[j];
-            if (g.status == GroupStatus::Squashed)
+            if (g.status == GroupStatus::Squashed ||
+                !rec->finalState.has_value()) {
+                // Squashed, or cancelled before dispatch: the record
+                // still dies here — every completion path frees.
+                _arena.destroy(rec);
                 return;
-            if (!result->has_value())
-                return; // Cancelled before dispatch.
-            ++_stats.stateClones;
-            _stats.auxWorkSeconds += *work_done;
-            g.specStart = std::move(**result);
-            // CorruptState fault: hand the group a stale clone of the
-            // initial state in place of the aux result, as if the
-            // auxiliary code had learned nothing from its window.
-            if (replay::sessionEngaged() &&
-                replay::ReplaySession::global().corruptSpecState(
-                    static_cast<std::int32_t>(j))) {
-                g.specStart = _initialState;
-                traceEvent(obs::EventType::FaultInjected, j, g.begin,
-                           g.end,
-                           static_cast<std::int64_t>(
-                               replay::FaultKind::CorruptState));
             }
-            g.status = GroupStatus::BodyRunning;
-            submitBody(j);
-            // A validation may have been waiting for this aux result.
-            if (_pendingValidation == static_cast<std::ptrdiff_t>(j))
-                validate(j);
+            _stats.auxWorkSeconds += rec->workDone;
+            State state = std::move(*rec->finalState);
+            _arena.destroy(rec);
+            deliverAuxResult(j, std::move(state));
+        };
+        return task;
+    }
+
+    /**
+     * Build one lockstep aux task covering groups
+     * [first, first + count): every window advances through the
+     * batched auxiliary function as one lane set (tentpole of
+     * ROADMAP item 2: same auxiliary function, many inputs, one
+     * callBatch-shaped evaluation). Counts as a single aux task in
+     * EngineStats, mirroring the single AuxStart/AuxEnd span it
+     * emits. The task carries the *first* group's cancel token: a
+     * squash cascade that cancels group `first` necessarily squashed
+     * the whole suffix, so the batch is dead as a unit; a cascade
+     * starting inside the batch leaves the earlier lanes live and the
+     * task runs for them, skipping squashed lanes on completion.
+     */
+    exec::Task
+    makeBatchAuxTask(std::size_t first, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            _groups[first + i].status = GroupStatus::AuxRunning;
+        ++_stats.auxTasks;
+
+        BatchAuxRec *rec = _arena.create<BatchAuxRec>();
+        exec::Task task;
+        task.width = 1;
+        task.cancel = _groups[first].cancel;
+        task.tag = {obs::TaskKind::Aux,
+                    static_cast<std::int32_t>(first),
+                    static_cast<std::int64_t>(auxWindowBegin(first)),
+                    static_cast<std::int64_t>(
+                        _groups[first + count - 1].begin),
+                    static_cast<std::int64_t>(count)};
+        task.run = [this, first, count, rec] {
+            std::vector<AuxBatchItem> items;
+            items.reserve(count);
+            for (std::size_t i = 0; i < count; ++i) {
+                items.push_back({auxWindowBegin(first + i),
+                                 _groups[first + i].begin});
+            }
+            rec->results = _batchAux(items);
+            if (rec->results.size() != count) {
+                support::panic("SpecEngine: batched auxiliary "
+                               "returned ",
+                               rec->results.size(), " results for ",
+                               count, " windows");
+            }
+            double units = 0.0;
+            for (const auto &result : rec->results)
+                units += result.workUnits;
+            units += _config.stateCloneCost *
+                     static_cast<double>(count);
+            rec->workDone = units;
+            rec->ran = true;
+            return exec::Work{units, 0.0};
+        };
+        task.onComplete = [this, first, count, rec] {
+            if (!rec->ran) { // Cancelled before dispatch.
+                _arena.destroy(rec);
+                return;
+            }
+            _stats.auxWorkSeconds += rec->workDone;
+            for (std::size_t i = 0; i < count; ++i) {
+                Group &g = _groups[first + i];
+                if (g.status == GroupStatus::Squashed)
+                    continue;
+                deliverAuxResult(first + i,
+                                 std::move(rec->results[i].state));
+            }
+            _arena.destroy(rec);
         };
         return task;
     }
@@ -431,11 +628,7 @@ class SpecEngine
     makeBodyTask(std::size_t j)
     {
         Group &group = _groups[j];
-        auto outputs =
-            std::make_shared<std::vector<std::unique_ptr<Output>>>();
-        auto final_state = std::make_shared<std::optional<State>>();
-        auto checkpoint = std::make_shared<std::optional<State>>();
-        auto work_done = std::make_shared<double>(0.0);
+        TaskRec *rec = _arena.create<TaskRec>();
 
         exec::Task task;
         task.width = _config.innerThreads;
@@ -443,32 +636,32 @@ class SpecEngine
         task.tag = {obs::TaskKind::Body, static_cast<std::int32_t>(j),
                     static_cast<std::int64_t>(group.begin),
                     static_cast<std::int64_t>(group.end), 0};
-        task.run = [this, j, outputs, final_state, checkpoint,
-                    work_done] {
+        task.run = [this, j, rec] {
             Group &g = _groups[j];
             State state = j == 0 ? _initialState : *g.specStart;
             ComputeContext context{_config.innerThreads, false};
             exec::Work work =
-                runRange(g.begin, g.end, state, *outputs, context,
-                         checkpoint.get(), g.checkpointPos);
+                runRange(g.begin, g.end, state, rec->outputs, context,
+                         &rec->checkpoint, g.checkpointPos);
             work.units += _config.stateCloneCost;
-            *work_done = work.units;
-            *final_state = std::move(state);
+            rec->workDone = work.units;
+            rec->finalState = std::move(state);
             return work;
         };
-        task.onComplete = [this, j, outputs, final_state, checkpoint,
-                           work_done] {
+        task.onComplete = [this, j, rec] {
             Group &g = _groups[j];
-            if (g.status == GroupStatus::Squashed)
+            if (g.status == GroupStatus::Squashed ||
+                !rec->finalState.has_value()) {
+                _arena.destroy(rec); // Squashed / cancelled.
                 return;
-            if (!final_state->has_value())
-                return; // Cancelled before dispatch.
+            }
             ++_stats.stateClones;
-            _stats.bodyWorkSeconds += *work_done;
-            g.outputs = std::move(*outputs);
-            g.finalState = std::move(*final_state);
-            g.checkpointState = std::move(*checkpoint);
+            _stats.bodyWorkSeconds += rec->workDone;
+            g.outputs = std::move(rec->outputs);
+            g.finalState = std::move(rec->finalState);
+            g.checkpointState = std::move(rec->checkpoint);
             g.status = GroupStatus::BodyDone;
+            _arena.destroy(rec);
             _stats.invocations +=
                 static_cast<std::int64_t>(g.end - g.begin);
             if (j == _frontier && (j == 0 || g.startValidated))
@@ -619,10 +812,7 @@ class SpecEngine
                        p, producer.checkpointPos, producer.end);
         }
 
-        auto outputs =
-            std::make_shared<std::vector<std::unique_ptr<Output>>>();
-        auto final_state = std::make_shared<std::optional<State>>();
-        auto work_done = std::make_shared<double>(0.0);
+        TaskRec *rec = _arena.create<TaskRec>();
         exec::Task task;
         task.width = _config.innerThreads;
         task.tag = {obs::TaskKind::ReExec,
@@ -630,7 +820,7 @@ class SpecEngine
                     static_cast<std::int64_t>(producer.checkpointPos),
                     static_cast<std::int64_t>(producer.end),
                     producer.reexecsDone};
-        task.run = [this, p, outputs, final_state, work_done] {
+        task.run = [this, p, rec] {
             Group &g = _groups[p];
             // Roll back to the checkpoint; nondeterminism may yield a
             // different final state this time.
@@ -641,20 +831,21 @@ class SpecEngine
                                      : *g.checkpointState);
             ComputeContext context{_config.innerThreads, false};
             exec::Work work = runRange(g.checkpointPos, g.end, state,
-                                       *outputs, context);
+                                       rec->outputs, context);
             work.units += _config.stateCloneCost;
-            *work_done = work.units;
-            *final_state = std::move(state);
+            rec->workDone = work.units;
+            rec->finalState = std::move(state);
             return work;
         };
-        task.onComplete = [this, p, outputs, final_state, work_done] {
+        task.onComplete = [this, p, rec] {
             Group &g = _groups[p];
             ++_stats.stateClones;
-            _stats.bodyWorkSeconds += *work_done;
+            _stats.bodyWorkSeconds += rec->workDone;
             _stats.invocations +=
                 static_cast<std::int64_t>(g.end - g.checkpointPos);
-            g.originalFinals.push_back(std::move(**final_state));
-            g.reexecTails.push_back(std::move(*outputs));
+            g.originalFinals.push_back(std::move(*rec->finalState));
+            g.reexecTails.push_back(std::move(rec->outputs));
+            _arena.destroy(rec);
             validate(p + 1);
         };
         _executor.submit(std::move(task));
@@ -700,28 +891,28 @@ class SpecEngine
         _stats.sequentialInputs +=
             static_cast<std::int64_t>(n - restart_begin);
 
-        auto outputs =
-            std::make_shared<std::vector<std::unique_ptr<Output>>>();
+        TaskRec *rec = _arena.create<TaskRec>();
         exec::Task task;
         task.width = _config.innerThreads;
         task.tag = {obs::TaskKind::Recovery,
                     static_cast<std::int32_t>(j),
                     static_cast<std::int64_t>(restart_begin),
                     static_cast<std::int64_t>(n), 0};
-        auto work_done = std::make_shared<double>(0.0);
-        task.run = [this, j, restart_begin, n, outputs, work_done] {
+        task.run = [this, j, rec] {
             State state = _groups[j - 1].originalFinals.front();
             ComputeContext context{_config.innerThreads, false};
-            exec::Work work =
-                runRange(restart_begin, n, state, *outputs, context);
+            exec::Work work = runRange(_groups[j].begin,
+                                       _inputs.size(), state,
+                                       rec->outputs, context);
             work.units += _config.stateCloneCost;
-            *work_done = work.units;
+            rec->workDone = work.units;
             return work;
         };
-        task.onComplete = [this, outputs, work_done] {
+        task.onComplete = [this, rec] {
             ++_stats.stateClones;
-            _stats.bodyWorkSeconds += *work_done;
-            _recoveryOutputs = std::move(*outputs);
+            _stats.bodyWorkSeconds += rec->workDone;
+            _recoveryOutputs = std::move(rec->outputs);
+            _arena.destroy(rec);
             _stats.invocations +=
                 static_cast<std::int64_t>(_recoveryOutputs.size());
         };
@@ -750,13 +941,51 @@ class SpecEngine
         }
     }
 
+    /**
+     * Export the arena's allocation profile through the metrics
+     * registry (called at join(), before the epoch drain resets
+     * nothing — stats are cumulative). The headline gauge is
+     * engine.arena.allocations_per_task: heap allocations charged to
+     * each task record, which drops to 0 in steady state once the
+     * arena's blocks are warm.
+     */
+    void
+    publishArenaMetrics()
+    {
+        const threading::TaskArena::Stats arena = _arena.stats();
+        auto &registry = obs::MetricsRegistry::global();
+        registry.counter("engine.arena.records")
+            .add(static_cast<std::int64_t>(arena.allocations));
+        registry.counter("engine.arena.bytes")
+            .add(static_cast<std::int64_t>(arena.bytes));
+        registry.counter("engine.arena.block_allocs")
+            .add(static_cast<std::int64_t>(arena.blockAllocs));
+        if (arena.allocations > 0) {
+            registry.gauge("engine.arena.allocations_per_task")
+                .set(static_cast<double>(arena.blockAllocs) /
+                     static_cast<double>(arena.allocations));
+        }
+        const std::int64_t committed =
+            _stats.validations + (_conventional ? 1 : 0) +
+            (_stats.groups > 0 ? 1 : 0); // Group 0 needs no validation.
+        if (committed > 0) {
+            registry.gauge("engine.arena.bytes_per_commit")
+                .set(static_cast<double>(arena.bytes) /
+                     static_cast<double>(committed));
+        }
+    }
+
     exec::Executor &_executor;
     const std::vector<Input> &_inputs;
     State _initialState;
     ComputeFn _compute;
     ComputeFn _auxiliary;
     MatchFn _match;
+    BatchAuxFn _batchAux;
     SpecConfig _config;
+
+    /** Backs every in-flight task record; see TaskRec. */
+    threading::TaskArena _arena;
 
     std::vector<Group> _groups;
     std::size_t _frontier = 0;

@@ -49,7 +49,8 @@ serializeCase(const FuzzCase &fuzz_case)
         << " group=" << c.groupSize << " window=" << c.auxWindow
         << " reexec=" << c.maxReexecutions
         << " rollback=" << c.rollbackDepth << " sdthreads=" << c.sdThreads
-        << " inner=" << c.innerThreads << "\n";
+        << " inner=" << c.innerThreads
+        << " auxbatch=" << c.auxBatchGroups << "\n";
     if (!s.faults.empty())
         out << "; faults=" << s.faults << "\n";
     out << "; expect="
@@ -93,6 +94,7 @@ applyToken(FuzzCase &fuzz_case, const std::string &key,
         else if (key == "rollback") c.rollbackDepth = std::stoi(value);
         else if (key == "sdthreads") c.sdThreads = std::stoi(value);
         else if (key == "inner") c.innerThreads = std::stoi(value);
+        else if (key == "auxbatch") c.auxBatchGroups = std::stoi(value);
         else if (key == "faults") s.faults = value;
         else if (key == "expect") {
             if (value == "pass") {

@@ -628,6 +628,10 @@ randomScenario(Scenario &scenario, Xoshiro256 &rng,
     config.rollbackDepth = 1 + int(rng.nextBelow(4));
     config.sdThreads = 1 + int(rng.nextBelow(8));
     config.innerThreads = 1;
+    // A third of the cases fuse the initial aux windows into lockstep
+    // batch tasks, covering the callBatch-backed auxiliary path.
+    config.auxBatchGroups =
+        rng.nextBelow(100) < 33 ? 2 + int(rng.nextBelow(3)) : 1;
 }
 
 std::string

@@ -151,12 +151,64 @@ runEngine(ir::ExecutableModule &exec, const std::string &compute_fn,
             return inv;
         };
 
+    // Batched auxiliary: all windows advance in lockstep through
+    // ExecutableModule::callBatch (scalar-call fallback when batching
+    // does not apply to the function). Must be bit-identical to the
+    // scalar auxiliary above — it draws no noise either — so engaging
+    // it never changes the engine's validation verdicts.
+    Engine::BatchAuxFn batch_aux =
+        [&exec, &aux_fn, &inputs, &scenario](
+            const std::vector<Engine::AuxBatchItem> &items) {
+            std::vector<Engine::AuxBatchResult> results(items.size());
+            std::vector<long long> states(
+                items.size(), (long long)scenario.initialState);
+            std::size_t longest = 0;
+            for (const auto &item : items)
+                longest = std::max(longest,
+                                   item.windowEnd - item.windowBegin);
+            std::vector<ir::RtValue> arg0, arg1, lane_results;
+            std::vector<std::size_t> lanes;
+            for (std::size_t step = 0; step < longest; ++step) {
+                arg0.clear();
+                arg1.clear();
+                lanes.clear();
+                for (std::size_t i = 0; i < items.size(); ++i) {
+                    const std::size_t pos = items[i].windowBegin + step;
+                    if (pos >= items[i].windowEnd)
+                        continue; // Shorter window: lane retired.
+                    lanes.push_back(i);
+                    arg0.push_back(
+                        ir::RtValue::ofInt(inputs[pos].value));
+                    arg1.push_back(ir::RtValue::ofInt(states[i]));
+                    results[i].workUnits += 5e-6;
+                }
+                if (lanes.empty())
+                    continue;
+                lane_results.assign(lanes.size(), ir::RtValue());
+                const std::vector<const ir::RtValue *> columns = {
+                    arg0.data(), arg1.data()};
+                if (!exec.callBatch(aux_fn, lanes.size(), columns,
+                                    lane_results.data())) {
+                    for (std::size_t l = 0; l < lanes.size(); ++l)
+                        lane_results[l] =
+                            exec.call(aux_fn, {arg0[l], arg1[l]});
+                }
+                for (std::size_t l = 0; l < lanes.size(); ++l)
+                    states[lanes[l]] =
+                        wrapState(lane_results[l].asInt());
+            }
+            for (std::size_t i = 0; i < items.size(); ++i)
+                results[i].state = states[i];
+            return results;
+        };
+
     sim::MachineConfig machine;
     machine.dispatchOverhead = 0.0;
     exec::SimExecutor executor(machine, sim_threads);
     Engine engine(executor, inputs,
                   (long long)scenario.initialState, compute, auxiliary,
                   makeMatcher(scenario.matcher), scenario.config);
+    engine.setBatchAuxiliary(batch_aux);
     engine.start();
     engine.join();
 

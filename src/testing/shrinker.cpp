@@ -289,6 +289,8 @@ struct Shrinker
             tryStep(best, set_cfg(&sdi::SpecConfig::sdThreads, 1));
         changed |=
             tryStep(best, set_cfg(&sdi::SpecConfig::groupSize, 1));
+        changed |=
+            tryStep(best, set_cfg(&sdi::SpecConfig::auxBatchGroups, 1));
         return changed;
     }
 

@@ -15,10 +15,17 @@
  *    worker thread go to its own deque, external submissions go to a
  *    bounded lock-free injector queue (with a mutex-protected
  *    overflow list so submission never blocks or fails);
- *  - idle workers steal from random victims, spinning a bounded
- *    number of rounds before parking on a per-worker condition
- *    variable; submissions only pay a wake syscall when no worker is
- *    spinning;
+ *  - a worker that submits while its "next task" slot is empty
+ *    bypasses the deque entirely: the task runs immediately after
+ *    the current one, so continuation chains (the engine's
+ *    commit-cascade pattern) pay no queue, fence, or wake cost;
+ *  - idle workers *steal half*: one CAS per item, but a successful
+ *    round takes up to half the victim's visible backlog, runs the
+ *    oldest task and keeps the rest in the thief's own deque — one
+ *    migration amortizes the whole batch (docs/INTERNALS.md §4);
+ *  - workers spin a bounded number of rounds before parking on a
+ *    per-worker condition variable with a timed backstop; submissions
+ *    only pay a wake syscall when no worker is spinning;
  *  - completion accounting is a single atomic pending counter;
  *    waitIdle() blocks on it without touching any queue lock;
  *  - submitBatch() enqueues a whole group of tasks in one operation
@@ -48,6 +55,8 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "support/timer.hpp"
@@ -79,13 +88,18 @@ class ThreadPool
   public:
     using Job = UniqueFunction<void()>;
 
-    /** Monotonic scheduler counters; always on (relaxed atomics). */
+    /**
+     * Monotonic scheduler counters; always on. Worker-side counters
+     * are sharded per worker (plain load/store on owner-only atomics,
+     * no RMW on the execution fast path) and summed on read.
+     */
     struct Stats
     {
         std::uint64_t submitted = 0; ///< Tasks accepted.
         std::uint64_t executed = 0;  ///< Tasks run (incl. cancelled).
         std::uint64_t cancelled = 0; ///< Tasks skipped via their flag.
         std::uint64_t stolen = 0;    ///< Tasks taken from another worker.
+        std::uint64_t stealBatches = 0; ///< Steal rounds that got >= 1.
         std::uint64_t parks = 0;     ///< Times a worker blocked.
         std::uint64_t unparks = 0;   ///< Times a parked worker woke.
     };
@@ -99,8 +113,35 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue a job. Safe to call from worker threads. */
-    void submit(Job job);
+    /**
+     * Enqueue a job (any nullary callable). Safe to call from worker
+     * threads. A template rather than `submit(Job)`: wrapping the
+     * caller's closure into a type-erased Job first and then into the
+     * task's run function would nest one 56-byte wrapper inside
+     * another, overflowing the small-buffer storage — a heap
+     * allocation on every plain-lambda submission. Wrapping the
+     * caller's closure exactly once keeps small captures inline.
+     */
+    template <class F,
+              class = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, PoolTask> &&
+                  std::is_invocable_v<std::decay_t<F> &>>>
+    void
+    submit(F &&job)
+    {
+        // Callables with an emptiness state (std::function, Job)
+        // must fail at submission, not when a worker invokes them.
+        if constexpr (std::is_constructible_v<bool,
+                                              std::decay_t<F> &>) {
+            if (!job)
+                panicEmptyJob();
+        }
+        PoolTask task;
+        task.run = [fn = std::forward<F>(job)](bool) mutable {
+            fn();
+        };
+        submit(std::move(task));
+    }
 
     /** Enqueue a cancellable task. Safe to call from worker threads. */
     void submit(PoolTask task);
@@ -122,18 +163,20 @@ class ThreadPool
     struct TaskNode;
     struct Worker;
 
+    [[noreturn]] static void panicEmptyJob();
+
     void workerLoop(int index);
     bool runOneTask(Worker &self);
-    TaskNode *tryStealFrom(Worker &self);
+    TaskNode *tryStealFrom(Worker &self, bool desperate);
     bool popShared(PoolTask &out);
     void pushShared(PoolTask task);
     void enqueue(PoolTask task);
     bool anyWorkVisible() const;
     void wakeWorkers(std::size_t want);
     void wakeForLocalSubmit();
-    void runTask(PoolTask task);
+    void runTask(PoolTask task, Worker &self);
     void runNode(TaskNode *node, Worker &self);
-    void finishOne();
+    void finishMany(std::size_t n);
     void park(Worker &self);
 
     std::vector<std::unique_ptr<Worker>> _workers;
@@ -159,12 +202,10 @@ class ThreadPool
 
     support::Timer _clock;
 
-    std::atomic<std::uint64_t> _submitted{0};
-    std::atomic<std::uint64_t> _executed{0};
-    std::atomic<std::uint64_t> _cancelled{0};
-    std::atomic<std::uint64_t> _stolen{0};
-    std::atomic<std::uint64_t> _parks{0};
-    std::atomic<std::uint64_t> _unparks{0};
+    // No dedicated submission counter: stats() derives `submitted`
+    // from the per-worker execution shards plus `_pending`, so the
+    // submit fast path performs exactly one shared atomic RMW (the
+    // pending count waitIdle depends on).
 };
 
 /**

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -47,6 +48,15 @@ class UniqueFunction<R(Args...)>
     UniqueFunction(F &&callable)
     {
         using Decayed = std::decay_t<F>;
+        // Mirror std::function: wrapping an empty function pointer or
+        // empty std::function produces an empty wrapper, so
+        // `if (fn)` guards keep working across the migration.
+        if constexpr (IsStdFunction<Decayed>::value ||
+                      std::is_pointer_v<Decayed> ||
+                      std::is_member_pointer_v<Decayed>) {
+            if (!callable)
+                return;
+        }
         if constexpr (fitsInline<Decayed>()) {
             ::new (static_cast<void *>(_storage.buffer))
                 Decayed(std::forward<F>(callable));
@@ -98,6 +108,13 @@ class UniqueFunction<R(Args...)>
         void (*relocate)(Storage *dst, Storage *src) noexcept;
         void (*destroy)(Storage *) noexcept;
     };
+
+    template <class T>
+    struct IsStdFunction : std::false_type
+    {};
+    template <class S>
+    struct IsStdFunction<std::function<S>> : std::true_type
+    {};
 
     template <class F>
     static constexpr bool

@@ -71,6 +71,18 @@ class WorkStealDeque
     T *
     pop()
     {
+        // Empty fast path without the seq_cst fence below: `top` is
+        // monotonic and only the owner moves `bottom`, so a relaxed
+        // read showing bottom <= top proves the deque is empty *now*
+        // (thieves only ever make it emptier). Idle workers probe
+        // their own deque once per scheduling round; this turns that
+        // probe into two plain loads.
+        {
+            const std::int64_t b0 =
+                _bottom.load(std::memory_order_relaxed);
+            if (b0 <= _top.load(std::memory_order_relaxed))
+                return nullptr;
+        }
         const std::int64_t b = _bottom.load(std::memory_order_relaxed) - 1;
         Buffer *buffer = _buffer.load(std::memory_order_relaxed);
         _bottom.store(b, std::memory_order_relaxed);

@@ -51,6 +51,30 @@ TEST(ThreadPool, JobsMaySubmitJobs)
     EXPECT_EQ(count.load(), 2);
 }
 
+TEST(ThreadPool, BlockingJobCannotStrandItsOwnSubmission)
+{
+    // A job that submits work and then *blocks until that work runs*
+    // must make progress on any pool with a second worker. The
+    // worker-side fast path parks the first nested submission in the
+    // owner's next-task slot, which siblings normally never look at;
+    // this pins the desperate slot-steal that keeps the pattern live
+    // (the owner cannot run the slot — it is busy blocking on it).
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int round = 0; round < 50; ++round) {
+        pool.submit([&pool, &ran, round] {
+            const int want = 3 * (round + 1);
+            pool.submit([&ran] { ran.fetch_add(1); });
+            pool.submit([&ran] { ran.fetch_add(1); });
+            pool.submit([&ran] { ran.fetch_add(1); });
+            while (ran.load() < want)
+                std::this_thread::yield();
+        });
+        pool.waitIdle();
+        ASSERT_EQ(ran.load(), 3 * (round + 1)) << "round " << round;
+    }
+}
+
 TEST(ThreadPool, WaitIdleOnEmptyPoolReturns)
 {
     ThreadPool pool(2);

@@ -24,8 +24,10 @@
 
 #include "backend/backend.hpp"
 #include "ir/exec_tier.hpp"
+#include "ir/parser.hpp"
 #include "ir/verifier.hpp"
 #include "midend/midend.hpp"
+#include "midend/substitute.hpp"
 #include "support/rng.hpp"
 #include "testing/generator.hpp"
 
@@ -141,6 +143,91 @@ TEST(TierDifferential, AstAndBytecodeAgreeOnGeneratedModules)
     std::printf("tierdiff: %zu modules (%zu near-miss skipped), "
                 "%zu compiled functions, %zu differential calls\n",
                 executed, skipped, bytecode_fns, calls);
+}
+
+/**
+ * Tradeoff substitution is itself IR execution (defaultIndex / size /
+ * getValue run through an ExecutableModule since the interpreter-
+ * construction cleanup), so it gets the same tier guarantee: the
+ * metadata calls must agree bit-for-bit between tiers, and applying a
+ * tradeoff with each tier's fetched value must produce byte-identical
+ * modules.
+ */
+TEST(TierDifferential, SubstitutionIsTierInvariant)
+{
+    const std::size_t runs = std::min<std::size_t>(campaignRuns(), 80);
+    std::size_t tradeoffs_checked = 0;
+
+    for (std::size_t index = 0; index < runs; ++index) {
+        const stats::testing::FuzzCase fuzz_case =
+            stats::testing::generateCase(kRootSeed + 1, index);
+        if (fuzz_case.expect == stats::testing::Expectation::Reject)
+            continue;
+        if (!ir::verifyModule(fuzz_case.module).empty())
+            continue;
+        const ir::Module &module = fuzz_case.module;
+
+        ir::ExecutableModule ast(module, ir::ExecTier::Ast);
+        ir::ExecutableModule fast(module, ir::ExecTier::Auto);
+
+        for (const ir::TradeoffMeta &meta : module.tradeoffs) {
+            const std::int64_t size_ast =
+                ast.call(meta.sizeFn, {}).asInt();
+            const std::int64_t size_fast =
+                fast.call(meta.sizeFn, {}).asInt();
+            ASSERT_EQ(size_ast, size_fast)
+                << fuzz_case.name << " " << meta.name << " size";
+            ASSERT_EQ(ast.call(meta.defaultIndexFn, {}).asInt(),
+                      fast.call(meta.defaultIndexFn, {}).asInt())
+                << fuzz_case.name << " " << meta.name
+                << " defaultIndex";
+            // The public entry points run on the Auto tier; anchor
+            // them against the AST reference too.
+            ASSERT_EQ(midend::sizeOf(module, meta), size_ast)
+                << fuzz_case.name << " " << meta.name;
+            ASSERT_EQ(midend::defaultIndexOf(module, meta),
+                      ast.call(meta.defaultIndexFn, {}).asInt())
+                << fuzz_case.name << " " << meta.name;
+
+            for (std::int64_t i = 0; i < size_ast; ++i) {
+                if (meta.kind == ir::TradeoffKind::Constant) {
+                    const RtValue v_ast = ast.call(
+                        meta.getValueFn, {RtValue::ofInt(i)});
+                    const RtValue v_fast = fast.call(
+                        meta.getValueFn, {RtValue::ofInt(i)});
+                    ASSERT_TRUE(sameBits(v_ast, v_fast))
+                        << fuzz_case.name << " " << meta.name << "["
+                        << i << "]: ast=" << describe(v_ast)
+                        << " bytecode=" << describe(v_fast);
+                }
+                const midend::ChosenValue value =
+                    midend::evaluateTradeoffValue(module, meta, i);
+                ir::Module substituted = module;
+                midend::applyTradeoff(substituted, meta, value);
+                // Bit-identical substitution: freeze the reference
+                // once per (tradeoff, index) and compare the printed
+                // module byte for byte.
+                ir::Module reference = module;
+                midend::ChosenValue ref_value;
+                ref_value.kind = meta.kind;
+                if (meta.kind == ir::TradeoffKind::Constant)
+                    ref_value.constant = ast.call(
+                        meta.getValueFn, {RtValue::ofInt(i)});
+                else
+                    ref_value.name =
+                        meta.nameChoices[std::size_t(i)];
+                midend::applyTradeoff(reference, meta, ref_value);
+                ASSERT_EQ(ir::printModule(substituted),
+                          ir::printModule(reference))
+                    << fuzz_case.name << " " << meta.name << "[" << i
+                    << "]: substitution diverged across tiers";
+            }
+            ++tradeoffs_checked;
+        }
+    }
+    EXPECT_GT(tradeoffs_checked, 0u);
+    std::printf("tierdiff: %zu tradeoffs substitution-checked\n",
+                tradeoffs_checked);
 }
 
 } // namespace

@@ -176,16 +176,30 @@ main(int argc, char **argv)
     std::size_t steals = 0;
     std::size_t parks = 0;
     std::size_t unparks = 0;
+    std::size_t refills = 0;
+    std::size_t heap_refills = 0;
+    std::size_t lane_enqueues = 0;
     for (const auto &event : events) {
         switch (event.type) {
           case obs::EventType::TaskStolen:   ++steals;  break;
           case obs::EventType::WorkerPark:   ++parks;   break;
           case obs::EventType::WorkerUnpark: ++unparks; break;
+          case obs::EventType::ArenaRefill:
+            ++refills;
+            if (event.inputEnd == 1)
+                ++heap_refills;
+            break;
+          case obs::EventType::CommitLaneEnqueue:
+            ++lane_enqueues;
+            break;
           default: break;
         }
     }
     std::cout << "\nscheduler: " << steals << " steals, " << parks
               << " parks, " << unparks << " unparks\n";
+    std::cout << "allocation: " << refills << " arena refills ("
+              << heap_refills << " from the heap), " << lane_enqueues
+              << " commit-lane enqueues\n";
 
     const std::string chrome_path = option("chrome", "");
     if (!chrome_path.empty()) {
