@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "ir/bytecode.hpp"
+#include "ir/bytecode_verifier.hpp"
 #include "ir/exec_tier.hpp"
 #include "ir/parser.hpp"
 #include "ir/verifier.hpp"
@@ -222,9 +224,60 @@ runWorkload(const stats::ir::Module &module, const std::string &fn,
     return result;
 }
 
+/**
+ * The compile+verify scenario (docs/ANALYSIS.md §8): bytecode
+ * compilation of the three workloads with auto-verification off,
+ * against a separate post-regalloc verifier pass over the result.
+ * The overhead ratio is the gated quantity — verification must stay
+ * a small fraction of compilation, or turning it on by default in
+ * every compile stops being a defensible deal.
+ */
+struct CompileVerify
+{
+    double compileNsPerModule = 0.0;
+    double verifyNsPerModule = 0.0;
+    double overhead = 0.0; ///< verify / compile.
+};
+
+CompileVerify
+runCompileVerify(const stats::ir::Module &module, std::size_t reps)
+{
+    namespace bc = stats::ir::bc;
+    CompileVerify result;
+
+    const bool prev_auto = bc::setAutoVerify(false);
+    std::size_t compiled = 0;
+    Timer compile_timer;
+    for (std::size_t k = 0; k < reps; ++k)
+        compiled += bc::compileModule(module).compiledCount();
+    result.compileNsPerModule =
+        compile_timer.elapsedSeconds() * 1e9 / double(reps);
+
+    const bc::BcModule bytecode = bc::compileModule(module);
+    bc::setAutoVerify(prev_auto);
+
+    std::size_t diagnostics = 0;
+    Timer verify_timer;
+    for (std::size_t k = 0; k < reps; ++k)
+        diagnostics += bc::verifyModule(bytecode).size();
+    result.verifyNsPerModule =
+        verify_timer.elapsedSeconds() * 1e9 / double(reps);
+
+    if (compiled == 0 || diagnostics != 0) {
+        std::cerr << "micro_interpreter: compile+verify scenario "
+                     "broken (compiled "
+                  << compiled << ", diagnostics " << diagnostics
+                  << ")\n";
+        std::exit(1);
+    }
+    result.overhead =
+        result.verifyNsPerModule / result.compileNsPerModule;
+    return result;
+}
+
 void
 writeJson(std::ostream &out, const std::vector<Result> &results,
-          std::size_t calls, bool smoke)
+          const CompileVerify &cv, std::size_t calls, bool smoke)
 {
     stats::support::JsonWriter json(out, true);
     json.beginObject();
@@ -251,6 +304,11 @@ writeJson(std::ostream &out, const std::vector<Result> &results,
     json.field("checkChainI64Speedup", results[0].bytecodeSpeedup)
         .field("checkChainF64Speedup", results[1].bytecodeSpeedup)
         .field("checkBatchSpeedup", results[0].batchSpeedup);
+    // The compile+verify scenario: post-regalloc verification cost as
+    // a fraction of bytecode compilation (gated at --max-verify-cost).
+    json.field("compileNsPerModule", cv.compileNsPerModule)
+        .field("verifyNsPerModule", cv.verifyNsPerModule)
+        .field("checkVerifyOverhead", cv.overhead);
     json.endObject();
     out << "\n";
 }
@@ -276,6 +334,7 @@ main(int argc, char **argv)
     std::string check_path;
     double factor = 2.0;
     double min_speedup = 2.0;
+    double max_verify_cost = 0.2;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke") {
@@ -288,10 +347,12 @@ main(int argc, char **argv)
             factor = std::strtod(arg.c_str() + 9, nullptr);
         } else if (arg.rfind("--min-speedup=", 0) == 0) {
             min_speedup = std::strtod(arg.c_str() + 14, nullptr);
+        } else if (arg.rfind("--max-verify-cost=", 0) == 0) {
+            max_verify_cost = std::strtod(arg.c_str() + 18, nullptr);
         } else {
             std::cerr << "usage: micro_interpreter [--smoke] "
                          "[--out=FILE] [--check=BASELINE] [--factor=N] "
-                         "[--min-speedup=N]\n";
+                         "[--min-speedup=N] [--max-verify-cost=N]\n";
             return 2;
         }
     }
@@ -308,6 +369,9 @@ main(int argc, char **argv)
     std::vector<Result> results;
     for (const char *fn : {"chain_i64", "chain_f64", "branchy"})
         results.push_back(runWorkload(module, fn, calls));
+
+    const CompileVerify cv =
+        runCompileVerify(module, smoke ? 2000 : 20000);
 
     stats::support::TextTable table({"workload", "ast ns", "bytecode ns",
                                      "batch ns", "fused", "speedup",
@@ -326,6 +390,16 @@ main(int argc, char **argv)
                       r.batchable ? ratio(r.batchSpeedup) : "-"});
     }
     table.print(std::cout);
+    std::cout << "compile+verify: compile "
+              << stats::support::TextTable::formatDouble(
+                     cv.compileNsPerModule, 1)
+              << " ns/module, verify "
+              << stats::support::TextTable::formatDouble(
+                     cv.verifyNsPerModule, 1)
+              << " ns/module ("
+              << stats::support::TextTable::formatDouble(
+                     cv.overhead * 100.0, 1)
+              << "% overhead)\n";
 
     {
         std::ofstream out(out_path);
@@ -334,8 +408,20 @@ main(int argc, char **argv)
                       << "\n";
             return 1;
         }
-        writeJson(out, results, calls, smoke);
+        writeJson(out, results, cv, calls, smoke);
         std::cout << "wrote " << out_path << "\n";
+    }
+
+    // The verifier is linear scans over the code; compilation is
+    // regalloc + lowering. Verification must stay a small fraction of
+    // the compile it rides on.
+    if (cv.overhead > max_verify_cost) {
+        std::cerr << "micro_interpreter: REGRESSION — post-regalloc "
+                     "verification costs "
+                  << cv.overhead * 100.0
+                  << "% of compilation (allowed <= "
+                  << max_verify_cost * 100.0 << "%)\n";
+        return 1;
     }
 
     // Absolute gate: the bytecode tier must beat the AST walker by

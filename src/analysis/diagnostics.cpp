@@ -51,6 +51,22 @@ allRules()
          "auxiliary code calls a non-cloned effectful function"},
         {"ESC03", "escape", Severity::Error,
          "auxiliary code re-enters a state dependence's computeOutput"},
+        {"RNG01", "range", Severity::Warning,
+         "integer arithmetic provably wraps in committed code"},
+        {"RNG02", "range", Severity::Warning,
+         "divisor of an integer division may be zero"},
+        {"RNG03", "range", Severity::Warning,
+         "float-to-int cast provably saturates"},
+        {"BCV01", "bytecode-verify", Severity::Error,
+         "register may be read before it is written"},
+        {"BCV02", "bytecode-verify", Severity::Error,
+         "operand register class mismatch"},
+        {"BCV03", "bytecode-verify", Severity::Error,
+         "register allocation clobbers a live value"},
+        {"BCV04", "bytecode-verify", Severity::Error,
+         "branch target or table index out of range"},
+        {"BCV05", "bytecode-verify", Severity::Error,
+         "malformed instruction operands"},
     };
     return rules;
 }

@@ -7,6 +7,7 @@
 #include "analysis/freeze_check.hpp"
 #include "analysis/manager.hpp"
 #include "analysis/purity.hpp"
+#include "analysis/range.hpp"
 #include "ir/verifier.hpp"
 
 namespace stats::analysis {
@@ -15,7 +16,8 @@ const std::vector<std::string> &
 passNames()
 {
     static const std::vector<std::string> names{
-        "verify", "purity", "clone-audit", "freeze", "escape",
+        "verify",        "purity", "clone-audit", "freeze",
+        "escape",        "range",  "bytecode-verify",
     };
     return names;
 }
@@ -90,6 +92,14 @@ runAnalyses(const ir::Module &module, const LintOptions &options)
         }
         if (wants("escape")) {
             auto found = runEscapeCheck(manager);
+            diags.insert(diags.end(), found.begin(), found.end());
+        }
+        if (wants("range")) {
+            auto found = runRangePass(manager);
+            diags.insert(diags.end(), found.begin(), found.end());
+        }
+        if (wants("bytecode-verify") && options.bytecodeVerifier) {
+            auto found = options.bytecodeVerifier(module);
             diags.insert(diags.end(), found.begin(), found.end());
         }
     }

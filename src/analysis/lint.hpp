@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -19,11 +20,21 @@ namespace stats::analysis {
 struct LintOptions
 {
     /** Run one pass only ("" = all): verify, purity, clone-audit,
-     *  freeze, escape. */
+     *  freeze, escape, range, bytecode-verify. */
     std::string pass;
 
     /** Back-end mode for the freeze checker (see FreezeCheckOptions). */
     bool requireInstantiated = false;
+
+    /**
+     * The `bytecode-verify` pass lives above this library
+     * (src/ir/bytecode_verifier.cpp links against stats_analysis, not
+     * the other way around), so drivers that can compile bytecode
+     * inject it here — typically ir::bc::verifyCompiledModule. Unset,
+     * the pass is silently skipped.
+     */
+    std::function<std::vector<Diagnostic>(const ir::Module &)>
+        bytecodeVerifier;
 };
 
 /** Names accepted by LintOptions::pass, in run order. */

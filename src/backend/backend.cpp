@@ -4,6 +4,7 @@
 
 #include "analysis/freeze_check.hpp"
 #include "analysis/manager.hpp"
+#include "analysis/range.hpp"
 #include "midend/substitute.hpp"
 #include "support/log.hpp"
 
@@ -51,6 +52,14 @@ instantiate(const ir::Module &midend_ir, const BackendConfig &config)
         const midend::ChosenValue value =
             midend::evaluateTradeoffValue(module, meta, index);
         midend::applyTradeoff(module, meta, value);
+    }
+
+    if (config.auditRanges) {
+        analysis::AnalysisManager manager(module);
+        for (const auto &diag : analysis::runRangePass(manager)) {
+            support::warn("back-end: range audit: [", diag.rule, "] ",
+                          diag.message, " (@", diag.function, ")");
+        }
     }
 
     if (config.auditFrozen) {

@@ -44,6 +44,15 @@ struct BackendConfig
     bool auditFrozen = true;
 
     /**
+     * Audit the instantiated module with the range pass (rules
+     * RNG01-RNG03, docs/ANALYSIS.md §7). Range findings are warnings
+     * about the *source model* (provable wrap-around, possibly-zero
+     * divisors, saturating casts), not compiler bugs, so they are
+     * reported on stderr and never fatal.
+     */
+    bool auditRanges = true;
+
+    /**
      * Execution tier for instantiateExecutable (the paper's LLVM-JIT
      * step): `auto` compiles each function to bytecode and keeps the
      * AST walker for the rest (docs/INTERPRETER.md §6).

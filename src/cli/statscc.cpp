@@ -35,7 +35,8 @@
  *
  * Analysis options (see docs/ANALYSIS.md):
  *   --analyze[=pass]          pass to run: verify, purity,
- *                             clone-audit, freeze, escape (default all)
+ *                             clone-audit, freeze, escape, range,
+ *                             bytecode-verify           (default all)
  *   --analysis-format=FMT     text|json                 (default text)
  *   --midend                  analyze: run the middle-end first
  *
@@ -83,6 +84,7 @@
 #include "benchmarks/common/benchmark.hpp"
 #include "benchmarks/common/extended_sources.hpp"
 #include "frontend/frontend.hpp"
+#include "ir/bytecode_verifier.hpp"
 #include "ir/disasm.hpp"
 #include "ir/exec_tier.hpp"
 #include "ir/parser.hpp"
@@ -583,6 +585,7 @@ analyzeModule(const ir::Module &module, const std::string &file,
 {
     analysis::LintOptions options;
     options.pass = analysisPass(args);
+    options.bytecodeVerifier = ir::bc::verifyCompiledModule;
     const auto diags = analysis::runAnalyses(module, options);
     const std::string format = args.option("analysis-format", "text");
     if (format == "json")

@@ -35,9 +35,18 @@
 #include "analysis/cfg.hpp"
 #include "analysis/dataflow.hpp"
 #include "analysis/def_use.hpp"
+#include "analysis/manager.hpp"
+#include "analysis/range.hpp"
+#include "ir/bytecode_verifier.hpp"
 #include "support/log.hpp"
 
 namespace stats::ir::bc {
+
+namespace testonly {
+
+bool disableBackEdgeWidening = false;
+
+} // namespace testonly
 
 namespace {
 
@@ -280,10 +289,11 @@ class FunctionLowering
 {
   public:
     FunctionLowering(const Module &module, const Function &fn,
-                     const Inference &inference)
+                     const Inference &inference,
+                     const analysis::FunctionRanges &ranges)
         : _module(module), _fn(fn), _inference(inference),
-          _classes(inference.byFn.at(fn.name)), _cfg(fn), _du(fn),
-          _live(_cfg, _du)
+          _classes(inference.byFn.at(fn.name)), _ranges(ranges),
+          _cfg(fn), _du(fn), _live(_cfg, _du)
     {
     }
 
@@ -410,6 +420,26 @@ class FunctionLowering
         bail("internal: stub for unprepared edge");
     }
 
+    /** Range of an operand under this function's analysis results. */
+    analysis::ValueRange rangeOf(const Operand &op) const
+    {
+        return analysis::rangeproof::rangeOfOperand(op, _ranges);
+    }
+
+    /**
+     * Successors a block can still reach once proven-constant branches
+     * are folded: the taken edge only for a folded `br`, every CFG
+     * successor otherwise.
+     */
+    std::vector<int> foldedSuccessors(int block) const
+    {
+        const auto it = _foldedSucc.find(block);
+        if (it != _foldedSucc.end())
+            return {it->second};
+        return _cfg.successors(block);
+    }
+
+    void foldBranches();
     void buildStub(int pred, int succ);
     void lowerBlock(int block);
     void fuseRegion(Region &region,
@@ -423,6 +453,7 @@ class FunctionLowering
     const Function &_fn;
     const Inference &_inference;
     const FnClasses &_classes;
+    const analysis::FunctionRanges &_ranges;
     analysis::Cfg _cfg;
     analysis::DefUse _du;
     analysis::Liveness _live;
@@ -440,7 +471,10 @@ class FunctionLowering
     std::vector<int> _bodyRegion;              ///< block -> region id.
     std::map<std::pair<int, int>, int> _stubRegion;
     std::map<int, std::vector<std::uint16_t>> _stubPhiDsts;
+    std::map<int, int> _foldedSucc; ///< folded br: block -> taken succ.
+    std::vector<bool> _foldedReach; ///< reachable after folding.
     std::size_t _fused = 0;
+    std::size_t _folded = 0;
     std::vector<std::uint16_t> _slotOf;
     std::uint16_t _numSlots = 0;
 };
@@ -487,6 +521,55 @@ sequentializeCopies(std::vector<std::pair<std::uint16_t, std::uint16_t>>
         for (auto &copy : copies)
             if (copy.second == parked)
                 copy.second = scratch;
+    }
+}
+
+/**
+ * Fold `br` terminators whose condition the range analysis proved
+ * constant, then recompute reachability over the folded edges. The
+ * proof covers every value the walker can ever observe for the
+ * condition, so the walker takes the same edge on every run and the
+ * untaken side (plus anything only it reached) need not be lowered.
+ * Block bodies before the branch still lower unchanged — a panicking
+ * `div` on the path to a folded branch must still panic.
+ */
+void
+FunctionLowering::foldBranches()
+{
+    for (const int block : _cfg.reversePostorder()) {
+        const BasicBlock &bb = _cfg.block(block);
+        for (const auto &inst : bb.instructions) {
+            if (inst.op == Opcode::Phi)
+                continue;
+            if (!isTerminator(inst.op))
+                continue;
+            if (inst.op == Opcode::Br) {
+                const auto truth = analysis::rangeproof::provenTruth(
+                    rangeOf(inst.operands[0]));
+                if (truth.has_value()) {
+                    const int taken =
+                        _cfg.indexOf(inst.labels[*truth ? 0 : 1]);
+                    if (taken >= 0)
+                        _foldedSucc[block] = taken;
+                }
+            }
+            break; // Only the first terminator executes.
+        }
+    }
+
+    // Folded reachability: a BFS from entry over folded successors.
+    _foldedReach.assign(_cfg.blockCount(), false);
+    std::vector<int> work{_cfg.entry()};
+    _foldedReach[std::size_t(_cfg.entry())] = true;
+    while (!work.empty()) {
+        const int block = work.back();
+        work.pop_back();
+        for (const int succ : foldedSuccessors(block)) {
+            if (!_foldedReach[std::size_t(succ)]) {
+                _foldedReach[std::size_t(succ)] = true;
+                work.push_back(succ);
+            }
+        }
     }
 }
 
@@ -589,6 +672,14 @@ FunctionLowering::lowerBlock(int block)
               default:
                 out.op = f32 ? BcOp::DivF32
                              : floating ? BcOp::DivF : BcOp::DivI;
+                // Raw machine division when the ranges prove neither
+                // the zero-divisor panic nor the MIN/-1 wrap guard
+                // can trigger.
+                if (out.op == BcOp::DivI &&
+                    analysis::rangeproof::divNeedsNoGuards(
+                        rangeOf(inst.operands[0]),
+                        rangeOf(inst.operands[1])))
+                    out.op = BcOp::DivINc;
                 break;
             }
             code.push_back(out);
@@ -648,8 +739,15 @@ FunctionLowering::lowerBlock(int block)
                     out.op = src_float ? BcOp::F2F32 : BcOp::I2F32;
                 else if (isFloating(inst.type))
                     out.op = src_float ? BcOp::Mov : BcOp::I2F;
+                else if (src_float)
+                    // Raw truncation when the range proves every
+                    // admitted double (no NaN) converts in-bounds.
+                    out.op = analysis::rangeproof::castNeverSaturates(
+                                 rangeOf(src))
+                                 ? BcOp::F2INc
+                                 : BcOp::F2I;
                 else
-                    out.op = src_float ? BcOp::F2I : BcOp::Mov;
+                    out.op = BcOp::Mov;
             }
             code.push_back(out);
             break;
@@ -719,6 +817,18 @@ FunctionLowering::lowerBlock(int block)
             break;
           }
           case Opcode::Br: {
+            const auto folded = _foldedSucc.find(block);
+            if (folded != _foldedSucc.end()) {
+                // Proven-constant condition: the walker takes this
+                // edge on every run. The condition itself need not be
+                // materialized (operand evaluation is pure).
+                BcInst jmp;
+                jmp.op = BcOp::Jmp;
+                jmp.imm = edgeRegion(block, folded->second);
+                code.push_back(jmp);
+                ++_folded;
+                break;
+            }
             BcInst brnz;
             brnz.op = BcOp::Brnz;
             brnz.b = materialize(inst.operands[0], Cls::I64, code);
@@ -975,6 +1085,8 @@ FunctionLowering::allocateRegisters(
     // widening the parallel-copy scratch can be assigned the same
     // slot and clobber the value mid-stub.
     for (const auto &[edge, id] : _stubRegion) {
+        if (testonly::disableBackEdgeWidening)
+            break; // Test-only: reopen the historical hole (BCV03).
         const std::size_t stub = std::size_t(id);
         const int succ_region = _bodyRegion[std::size_t(edge.second)];
         const int succ_start = int(regionStart[std::size_t(succ_region)]);
@@ -1070,15 +1182,21 @@ FunctionLowering::run()
                                        : RegClass::Int);
     }
 
+    // Proven-constant branches fold to unconditional jumps; blocks
+    // only the untaken edges reached are not lowered at all.
+    foldBranches();
+
     // Region scaffolding. Layout order = region order: the preamble
     // falls through into the entry block's body; each block's
     // phi-copy stubs sit right after its body.
     _bodyRegion.assign(_cfg.blockCount(), -1);
     _regions.emplace_back(); // Region 0: constant-load preamble.
     for (int block : _cfg.reversePostorder()) {
+        if (!_foldedReach[std::size_t(block)])
+            continue;
         _bodyRegion[std::size_t(block)] = int(_regions.size());
         _regions.emplace_back();
-        for (int succ : _cfg.successors(block)) {
+        for (int succ : foldedSuccessors(block)) {
             const BasicBlock &sb = _cfg.block(succ);
             const bool has_phis =
                 !sb.instructions.empty() &&
@@ -1091,7 +1209,8 @@ FunctionLowering::run()
     }
 
     for (int block : _cfg.reversePostorder())
-        lowerBlock(block);
+        if (_foldedReach[std::size_t(block)])
+            lowerBlock(block);
     for (const auto &[edge, id] : _stubRegion) {
         (void)id;
         buildStub(edge.first, edge.second);
@@ -1120,6 +1239,20 @@ FunctionLowering::run()
     }
 
     allocateRegisters(out, code, region_start);
+
+    // Post-regalloc verifier metadata: the code in vreg numbering
+    // (targets already final), the slot map, and the call-site
+    // argument vregs — captured before substitution destroys them.
+    out.verifyInfo.vcode = code;
+    out.verifyInfo.slotOf = _slotOf;
+    out.verifyInfo.paramVregs = param_vregs;
+    for (const auto &site : _calls) {
+        std::vector<std::uint16_t> arg_vregs;
+        for (const auto &arg : site.args)
+            arg_vregs.push_back(arg.first);
+        out.verifyInfo.callArgVregs.push_back(std::move(arg_vregs));
+    }
+
     auto slot = [&](std::uint16_t vreg) {
         return vreg == kNoReg ? kNoReg : _slotOf[vreg];
     };
@@ -1170,6 +1303,7 @@ FunctionLowering::run()
     out.fpool = std::move(_fpool);
     out.calls = std::move(_calls);
     out.fusedCount = _fused;
+    out.foldedBranches = _folded;
     out.batchable = !out.code.empty() &&
                     out.code.back().op == BcOp::Ret;
     for (const auto &inst : out.code) {
@@ -1249,6 +1383,14 @@ compileModule(const Module &module,
                 changed |= inference.pass(module.functions[i], *cfgs[i]);
     }
 
+    // Value ranges feed the guard-elision rewrites (f2i.nc, div.i.nc)
+    // and branch folding. Builtin ranges are NOT trusted here: the
+    // execution tier lets hosts rebind externals to arbitrary
+    // functions, which would void them.
+    analysis::AnalysisManager range_manager(module);
+    const analysis::RangeAnalysis ranges(range_manager,
+                                         /*trust_builtins=*/false);
+
     BcModule out;
     for (std::size_t i = 0; i < module.functions.size(); ++i) {
         const Function &fn = module.functions[i];
@@ -1258,7 +1400,8 @@ compileModule(const Module &module,
             bcf.fallbackReason = "function has no blocks";
         } else {
             try {
-                FunctionLowering lowering(module, fn, inference);
+                FunctionLowering lowering(module, fn, inference,
+                                          ranges.functionRanges(fn.name));
                 bcf = lowering.run();
                 bcf.compiled = true;
             } catch (const BailOut &bailed) {
@@ -1274,6 +1417,22 @@ compileModule(const Module &module,
         for (auto &site : bcf.calls) {
             if (module.findFunction(site.callee))
                 site.calleeIndex = out.index.at(site.callee);
+        }
+    }
+
+    // Post-regalloc verification (STATS_VERIFY_BYTECODE, on by
+    // default): a diagnostic here is a compiler bug, never a property
+    // of the input module, so it is fatal rather than reported.
+    if (autoVerifyEnabled()) {
+        for (const auto &bcf : out.functions) {
+            if (!bcf.compiled)
+                continue;
+            const auto diags = verifyFunction(out, bcf);
+            if (!diags.empty())
+                support::panic("bytecode verifier: ", diags.size(),
+                               " diagnostic(s) on @", bcf.name, ": [",
+                               diags.front().rule, "] ",
+                               diags.front().message);
         }
     }
     return out;

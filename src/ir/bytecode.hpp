@@ -53,11 +53,13 @@ namespace stats::ir::bc {
     X(I2F, "i2f", TwoReg)         /* a.f = double(b.i)            */   \
     X(I2F32, "i2f32", TwoReg)     /* a.f = float(double(b.i))     */   \
     X(F2I, "f2i.sat", TwoReg)     /* a.i = saturating int(b.f)    */   \
+    X(F2INc, "f2i.nc", TwoReg)    /* a.i = int(b.f); proven range */   \
     X(F2F32, "f2f32", TwoReg)     /* a.f = float(b.f)             */   \
     X(AddI, "add.i", ThreeReg)    /* a.i = b.i + c.i (wraps)      */   \
     X(SubI, "sub.i", ThreeReg)                                         \
     X(MulI, "mul.i", ThreeReg)                                         \
     X(DivI, "div.i", ThreeReg)    /* panics on 0; MIN/-1 wraps    */   \
+    X(DivINc, "div.i.nc", ThreeReg) /* raw b.i/c.i; proven range  */   \
     X(AddF, "add.f", ThreeReg)    /* a.f = b.f + c.f              */   \
     X(SubF, "sub.f", ThreeReg)                                         \
     X(MulF, "mul.f", ThreeReg)                                         \
@@ -159,6 +161,25 @@ struct BcCallSite
     Type retType = Type::I64;
 };
 
+/**
+ * Compiler-cooperative metadata for the post-regalloc verifier
+ * (src/ir/bytecode_verifier.cpp). The clobber check (BCV03) needs the
+ * virtual-register view of the final code: `vcode` is a snapshot
+ * taken after branch targets are resolved but before frame slots are
+ * substituted, so it is 1:1 with `BcFunction::code` — same opcodes,
+ * same targets — with register fields still in vreg numbering.
+ */
+struct BcVerifyInfo
+{
+    std::vector<BcInst> vcode;
+    /** vreg -> assigned frame slot (kNoReg: never materialized). */
+    std::vector<std::uint16_t> slotOf;
+    /** Parameter vregs, declaration order (kNoReg: dead parameter). */
+    std::vector<std::uint16_t> paramVregs;
+    /** Per call site, the argument vregs (1:1 with calls[i].args). */
+    std::vector<std::vector<std::uint16_t>> callArgVregs;
+};
+
 /** One compiled function. */
 struct BcFunction
 {
@@ -184,7 +205,10 @@ struct BcFunction
     bool batchable = false;
 
     std::size_t sourceInstructions = 0;
-    std::size_t fusedCount = 0; ///< Superinstructions emitted.
+    std::size_t fusedCount = 0;   ///< Superinstructions emitted.
+    std::size_t foldedBranches = 0; ///< Branches removed by ranges.
+
+    BcVerifyInfo verifyInfo;
 };
 
 /** A compiled module. */
@@ -210,5 +234,19 @@ struct BcModule
 BcModule compileModule(
     const Module &module,
     const std::map<std::string, Type> &external_types = {});
+
+namespace testonly {
+
+/**
+ * Re-opens the historical back-edge phi-liveness hole in the register
+ * allocator: when set, live intervals are NOT widened over the
+ * back-edge phi-copy stubs, so a loop-carried value can lose its slot
+ * to the parallel-copy scratch mid-stub. Exists solely so tests can
+ * prove the bytecode verifier rejects that bug class statically
+ * (tests/bytecode_verifier_test.cpp). Never set outside tests.
+ */
+extern bool disableBackEdgeWidening;
+
+} // namespace testonly
 
 } // namespace stats::ir::bc

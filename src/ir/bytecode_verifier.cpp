@@ -1,0 +1,758 @@
+/**
+ * @file
+ * Post-regalloc bytecode verifier: see bytecode_verifier.hpp for the
+ * rule catalogue. All three flow checks ride the same instruction-
+ * level CFG (successors: fall-through, plus the branch target for
+ * brnz/jmp; none after ret) and use flat bitset matrices, so
+ * verifying stays a small fraction of compile time
+ * (bench/micro_interpreter's compile+verify scenario pins this).
+ */
+
+#include "ir/bytecode_verifier.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace stats::ir::bc {
+
+namespace {
+
+using analysis::Diagnostic;
+using analysis::makeDiagnostic;
+
+constexpr std::uint8_t kIntCls = 1;
+constexpr std::uint8_t kFloatCls = 2;
+
+/** Bit matrix: one row of `bits` flags per instruction offset. */
+struct BitMatrix
+{
+    std::size_t words = 0;
+    std::vector<std::uint64_t> data;
+
+    BitMatrix(std::size_t rows, std::size_t bits)
+        : words((bits + 63) / 64), data(rows * words, 0)
+    {
+    }
+
+    std::uint64_t *row(std::size_t r) { return data.data() + r * words; }
+    const std::uint64_t *row(std::size_t r) const
+    {
+        return data.data() + r * words;
+    }
+    bool get(std::size_t r, std::size_t bit) const
+    {
+        return (row(r)[bit / 64] >> (bit % 64)) & 1;
+    }
+    void set(std::size_t r, std::size_t bit)
+    {
+        row(r)[bit / 64] |= std::uint64_t(1) << (bit % 64);
+    }
+};
+
+/** Apply `f(succ)` to every CFG successor of the instruction at `p`. */
+template <typename F>
+void
+forEachSuccessor(const std::vector<BcInst> &code, std::size_t p, F f)
+{
+    const BcInst &inst = code[p];
+    switch (inst.op) {
+      case BcOp::Jmp:
+        f(std::size_t(inst.imm));
+        break;
+      case BcOp::Ret:
+      case BcOp::RetV:
+        break;
+      case BcOp::Brnz:
+        f(std::size_t(inst.imm));
+        if (p + 1 < code.size())
+            f(p + 1);
+        break;
+      default:
+        if (p + 1 < code.size())
+            f(p + 1);
+        break;
+    }
+}
+
+/** Offsets reachable from entry along the instruction-level CFG. */
+std::vector<bool>
+reachableOffsets(const std::vector<BcInst> &code)
+{
+    std::vector<bool> reach(code.size(), false);
+    if (code.empty())
+        return reach;
+    std::vector<std::size_t> work{0};
+    reach[0] = true;
+    while (!work.empty()) {
+        const std::size_t p = work.back();
+        work.pop_back();
+        forEachSuccessor(code, p, [&](std::size_t s) {
+            if (!reach[s]) {
+                reach[s] = true;
+                work.push_back(s);
+            }
+        });
+    }
+    return reach;
+}
+
+/**
+ * Backward may-liveness over the final code: a register is live-in at
+ * `p` when some path from `p` reads it before any write. `uses` and
+ * `defs` are per-offset bit rows in the caller's register numbering
+ * (frame slots for BCV01, virtual registers for BCV03).
+ */
+struct LivenessResult
+{
+    BitMatrix liveIn;
+    BitMatrix liveOut;
+};
+
+LivenessResult
+backwardLiveness(const std::vector<BcInst> &code, const BitMatrix &uses,
+                 const BitMatrix &defs, std::size_t bits)
+{
+    const std::size_t n = code.size();
+    LivenessResult r{BitMatrix(n, bits), BitMatrix(n, bits)};
+    const std::size_t words = r.liveIn.words;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t p = n; p-- > 0;) {
+            std::uint64_t *out = r.liveOut.row(p);
+            forEachSuccessor(code, p, [&](std::size_t s) {
+                const std::uint64_t *sin = r.liveIn.row(s);
+                for (std::size_t w = 0; w < words; ++w) {
+                    const std::uint64_t merged = out[w] | sin[w];
+                    if (merged != out[w]) {
+                        out[w] = merged;
+                        changed = true;
+                    }
+                }
+            });
+            std::uint64_t *in = r.liveIn.row(p);
+            const std::uint64_t *use = uses.row(p);
+            const std::uint64_t *def = defs.row(p);
+            for (std::size_t w = 0; w < words; ++w) {
+                const std::uint64_t next = use[w] | (out[w] & ~def[w]);
+                if (next != in[w]) {
+                    in[w] = next;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return r;
+}
+
+/** Per-opcode read/write skeleton for the flow checks. */
+struct OpRule
+{
+    std::uint8_t requireB = 0;   ///< Class a read of `b` demands.
+    std::uint8_t requireC = 0;
+    std::uint8_t requireImm = 0; ///< FourReg only: `imm` is a reg.
+    std::uint8_t defCls = 0;     ///< Class written to `a` (0: special).
+};
+
+OpRule
+opRule(BcOp op)
+{
+    switch (op) {
+      case BcOp::LdcI:
+        return {0, 0, 0, kIntCls};
+      case BcOp::LdcF:
+        return {0, 0, 0, kFloatCls};
+      case BcOp::Mov: // Raw copy: class follows the source.
+        return {};
+      case BcOp::I2F:
+      case BcOp::I2F32:
+        return {kIntCls, 0, 0, kFloatCls};
+      case BcOp::F2I:
+      case BcOp::F2INc:
+        return {kFloatCls, 0, 0, kIntCls};
+      case BcOp::F2F32:
+        return {kFloatCls, 0, 0, kFloatCls};
+      case BcOp::AddI:
+      case BcOp::SubI:
+      case BcOp::MulI:
+      case BcOp::DivI:
+      case BcOp::DivINc:
+        return {kIntCls, kIntCls, 0, kIntCls};
+      case BcOp::AddF:
+      case BcOp::SubF:
+      case BcOp::MulF:
+      case BcOp::DivF:
+      case BcOp::AddF32:
+      case BcOp::SubF32:
+      case BcOp::MulF32:
+      case BcOp::DivF32:
+        return {kFloatCls, kFloatCls, 0, kFloatCls};
+      case BcOp::EqI:
+      case BcOp::LtI:
+      case BcOp::LeI:
+        return {kIntCls, kIntCls, 0, kIntCls};
+      case BcOp::EqF:
+      case BcOp::LtF:
+      case BcOp::LeF:
+        return {kFloatCls, kFloatCls, 0, kIntCls};
+      case BcOp::Sel: // Arms copy raw; class is the union (special).
+        return {kIntCls, 0, 0, 0};
+      case BcOp::Brnz:
+        return {kIntCls, 0, 0, 0};
+      case BcOp::MulAddI:
+      case BcOp::AddAddI:
+      case BcOp::AddMulI:
+        return {kIntCls, kIntCls, kIntCls, kIntCls};
+      case BcOp::MulAddF:
+      case BcOp::AddAddF:
+      case BcOp::AddMulF:
+        return {kFloatCls, kFloatCls, kFloatCls, kFloatCls};
+      default: // Jmp, Call, Ret, RetV: no classed reg fields here.
+        return {};
+    }
+}
+
+class Checker
+{
+  public:
+    Checker(const BcModule &module, const BcFunction &fn)
+        : _module(module), _fn(fn)
+    {
+    }
+
+    std::vector<Diagnostic> run();
+
+  private:
+    std::string at(std::size_t p) const
+    {
+        std::ostringstream os;
+        os << "offset " << p << " ("
+           << opcodeMnemonic(_fn.code[p].op) << "): ";
+        return os.str();
+    }
+
+    void report(const char *rule, const std::string &message)
+    {
+        _diags.push_back(
+            makeDiagnostic(rule, _fn.name, "", 0, message));
+    }
+
+    bool checkStructure(); ///< BCV04 + BCV05; false stops the flow.
+    void checkDefBeforeUse(const std::vector<bool> &reach);  // BCV01
+    void checkClasses(const std::vector<bool> &reach);       // BCV02
+    void checkAllocation(const std::vector<bool> &reach);    // BCV03
+
+    /** Registers the instruction at `p` reads / writes, slot view. */
+    void slotAccess(std::size_t p, std::vector<std::uint16_t> &uses,
+                    std::vector<std::uint16_t> &defs) const;
+
+    const BcModule &_module;
+    const BcFunction &_fn;
+    std::vector<Diagnostic> _diags;
+};
+
+bool
+Checker::checkStructure()
+{
+    const std::size_t before = _diags.size();
+    const std::size_t n = _fn.code.size();
+    if (n == 0) {
+        report("BCV04", "compiled function has no code");
+        return false;
+    }
+
+    // BCV04: targets and table indices.
+    for (std::size_t p = 0; p < n; ++p) {
+        const BcInst &inst = _fn.code[p];
+        const auto outside = [&](const char *what, std::size_t size) {
+            std::ostringstream os;
+            os << at(p) << what << " " << inst.imm << " outside [0, "
+               << size << ")";
+            report("BCV04", os.str());
+        };
+        switch (opcodeFormat(inst.op)) {
+          case BcFormat::Branch:
+          case BcFormat::Target:
+            if (inst.imm < 0 || std::size_t(inst.imm) >= n)
+                outside("branch target", n);
+            break;
+          case BcFormat::RegPoolI:
+            if (inst.imm < 0 ||
+                std::size_t(inst.imm) >= _fn.ipool.size())
+                outside("ipool index", _fn.ipool.size());
+            break;
+          case BcFormat::RegPoolF:
+            if (inst.imm < 0 ||
+                std::size_t(inst.imm) >= _fn.fpool.size())
+                outside("fpool index", _fn.fpool.size());
+            break;
+          case BcFormat::CallFmt:
+            if (inst.imm < 0 ||
+                std::size_t(inst.imm) >= _fn.calls.size())
+                outside("call-site index", _fn.calls.size());
+            break;
+          default:
+            break;
+        }
+        // Execution must never run past the last instruction.
+        const bool is_terminal = inst.op == BcOp::Ret ||
+                                 inst.op == BcOp::RetV ||
+                                 inst.op == BcOp::Jmp;
+        if (p + 1 == n && !is_terminal) {
+            std::ostringstream os;
+            os << at(p) << "execution falls off the end of the code";
+            report("BCV04", os.str());
+        }
+    }
+    for (std::size_t s = 0; s < _fn.calls.size(); ++s) {
+        const int callee = _fn.calls[s].calleeIndex;
+        if (callee >= 0 &&
+            std::size_t(callee) >= _module.functions.size()) {
+            std::ostringstream os;
+            os << "call site " << s << ": callee index " << callee
+               << " outside the module";
+            report("BCV04", os.str());
+        }
+    }
+    if (_diags.size() != before)
+        return false; // Bad indices would fault the BCV05 walk too.
+
+    // BCV05: every register field inside the frame; kNoReg only where
+    // it is legal (a call's discarded result). A fused
+    // superinstruction missing its third source lands here too.
+    const auto reg = [&](std::size_t p, std::int64_t r,
+                         bool allow_none) {
+        if (r == kNoReg) {
+            if (allow_none)
+                return;
+            std::ostringstream os;
+            os << at(p) << "missing operand register";
+            report("BCV05", os.str());
+            return;
+        }
+        if (r < 0 || r >= std::int64_t(_fn.numRegs)) {
+            std::ostringstream os;
+            os << at(p) << "register r" << r << " outside the frame ("
+               << _fn.numRegs << " slot(s))";
+            report("BCV05", os.str());
+        }
+    };
+    for (std::size_t p = 0; p < n; ++p) {
+        const BcInst &inst = _fn.code[p];
+        switch (opcodeFormat(inst.op)) {
+          case BcFormat::RegPoolI:
+          case BcFormat::RegPoolF:
+            reg(p, inst.a, false);
+            break;
+          case BcFormat::TwoReg:
+            reg(p, inst.a, false);
+            reg(p, inst.b, false);
+            break;
+          case BcFormat::ThreeReg:
+            reg(p, inst.a, false);
+            reg(p, inst.b, false);
+            reg(p, inst.c, false);
+            break;
+          case BcFormat::FourReg:
+            reg(p, inst.a, false);
+            reg(p, inst.b, false);
+            reg(p, inst.c, false);
+            reg(p, inst.imm, false);
+            break;
+          case BcFormat::Branch:
+            reg(p, inst.b, false);
+            break;
+          case BcFormat::CallFmt:
+            reg(p, inst.a, true);
+            for (const auto &arg :
+                 _fn.calls[std::size_t(inst.imm)].args)
+                reg(p, arg.first, false);
+            break;
+          case BcFormat::RetReg:
+            reg(p, inst.a, false);
+            break;
+          default:
+            break;
+        }
+    }
+    for (std::size_t j = 0; j < _fn.paramRegs.size(); ++j) {
+        const std::uint16_t r = _fn.paramRegs[j];
+        if (r != kNoReg && r >= _fn.numRegs) {
+            std::ostringstream os;
+            os << "parameter " << j << " register r" << r
+               << " outside the frame (" << _fn.numRegs
+               << " slot(s))";
+            report("BCV05", os.str());
+        }
+    }
+    return _diags.size() == before;
+}
+
+void
+Checker::slotAccess(std::size_t p, std::vector<std::uint16_t> &uses,
+                    std::vector<std::uint16_t> &defs) const
+{
+    const BcInst &inst = _fn.code[p];
+    switch (opcodeFormat(inst.op)) {
+      case BcFormat::RegPoolI:
+      case BcFormat::RegPoolF:
+        defs.push_back(inst.a);
+        break;
+      case BcFormat::TwoReg:
+        uses.push_back(inst.b);
+        defs.push_back(inst.a);
+        break;
+      case BcFormat::ThreeReg:
+        uses.push_back(inst.b);
+        uses.push_back(inst.c);
+        defs.push_back(inst.a);
+        break;
+      case BcFormat::FourReg:
+        uses.push_back(inst.b);
+        uses.push_back(inst.c);
+        uses.push_back(std::uint16_t(inst.imm));
+        defs.push_back(inst.a);
+        break;
+      case BcFormat::Branch:
+        uses.push_back(inst.b);
+        break;
+      case BcFormat::CallFmt:
+        for (const auto &arg : _fn.calls[std::size_t(inst.imm)].args)
+            uses.push_back(arg.first);
+        if (inst.a != kNoReg)
+            defs.push_back(inst.a);
+        break;
+      case BcFormat::RetReg:
+        uses.push_back(inst.a);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Checker::checkDefBeforeUse(const std::vector<bool> &reach)
+{
+    (void)reach;
+    const std::size_t n = _fn.code.size();
+    BitMatrix uses(n, _fn.numRegs), defs(n, _fn.numRegs);
+    for (std::size_t p = 0; p < n; ++p) {
+        std::vector<std::uint16_t> u, d;
+        slotAccess(p, u, d);
+        for (const std::uint16_t r : u)
+            uses.set(p, r);
+        for (const std::uint16_t r : d)
+            defs.set(p, r);
+    }
+    const LivenessResult live =
+        backwardLiveness(_fn.code, uses, defs, _fn.numRegs);
+
+    std::vector<bool> is_param(_fn.numRegs, false);
+    for (const std::uint16_t r : _fn.paramRegs)
+        if (r != kNoReg)
+            is_param[r] = true;
+    for (std::size_t r = 0; r < _fn.numRegs; ++r) {
+        if (live.liveIn.get(0, r) && !is_param[r]) {
+            std::ostringstream os;
+            os << "register r" << r
+               << " may be read before it is written (live-in at "
+                  "entry without a parameter write)";
+            report("BCV01", os.str());
+        }
+    }
+}
+
+void
+Checker::checkClasses(const std::vector<bool> &reach)
+{
+    const std::size_t n = _fn.code.size();
+    const std::size_t R = _fn.numRegs;
+    std::vector<std::uint8_t> state(n * R, 0);
+    std::vector<bool> visited(n, false);
+    const auto row = [&](std::size_t p) { return state.data() + p * R; };
+
+    std::vector<std::uint8_t> entry(R, 0);
+    for (std::size_t j = 0; j < _fn.paramRegs.size(); ++j) {
+        if (_fn.paramRegs[j] != kNoReg)
+            entry[_fn.paramRegs[j]] |=
+                _fn.paramClasses[j] == RegClass::Float ? kFloatCls
+                                                       : kIntCls;
+    }
+    if (n == 0 || R == 0)
+        return;
+    std::copy(entry.begin(), entry.end(), row(0));
+    visited[0] = true;
+
+    const auto transfer = [&](std::size_t p,
+                              std::vector<std::uint8_t> &out) {
+        const BcInst &inst = _fn.code[p];
+        out.assign(row(p), row(p) + R);
+        const OpRule rule = opRule(inst.op);
+        if (inst.op == BcOp::Mov) {
+            out[inst.a] = out[inst.b];
+        } else if (inst.op == BcOp::Sel) {
+            out[inst.a] =
+                out[inst.c] | out[std::uint16_t(inst.imm)];
+        } else if (inst.op == BcOp::Call) {
+            const BcCallSite &site =
+                _fn.calls[std::size_t(inst.imm)];
+            if (inst.a != kNoReg)
+                out[inst.a] =
+                    isFloating(site.retType) ? kFloatCls : kIntCls;
+        } else if (rule.defCls != 0) {
+            out[inst.a] = rule.defCls;
+        }
+    };
+
+    std::vector<std::size_t> work{0};
+    std::vector<std::uint8_t> exit;
+    while (!work.empty()) {
+        const std::size_t p = work.back();
+        work.pop_back();
+        transfer(p, exit);
+        forEachSuccessor(_fn.code, p, [&](std::size_t s) {
+            std::uint8_t *srow = row(s);
+            bool changed = false;
+            if (!visited[s]) {
+                std::copy(exit.begin(), exit.end(), srow);
+                visited[s] = true;
+                changed = true;
+            } else {
+                for (std::size_t r = 0; r < R; ++r) {
+                    const std::uint8_t merged = srow[r] | exit[r];
+                    if (merged != srow[r]) {
+                        srow[r] = merged;
+                        changed = true;
+                    }
+                }
+            }
+            if (changed)
+                work.push_back(s);
+        });
+    }
+
+    // Reporting pass over the fixpoint: flag reads whose demanded
+    // class is definitely absent (an empty class set is a BCV01
+    // matter, not a mismatch). One report per (offset, register) —
+    // an instruction reading the same bad register twice is one bug.
+    std::set<std::pair<std::size_t, std::uint16_t>> reported;
+    const auto check = [&](std::size_t p, std::uint16_t r,
+                           std::uint8_t want) {
+        if (want == 0)
+            return;
+        const std::uint8_t have = row(p)[r];
+        if (have == 0 || (have & want) != 0)
+            return;
+        if (!reported.insert({p, r}).second)
+            return;
+        std::ostringstream os;
+        os << at(p) << "register r" << r << " holds a "
+           << (want == kIntCls ? "float" : "integer")
+           << "-classed value but is read as "
+           << (want == kIntCls ? "an integer" : "a float");
+        report("BCV02", os.str());
+    };
+    for (std::size_t p = 0; p < n; ++p) {
+        if (!visited[p] || !reach[p])
+            continue;
+        const BcInst &inst = _fn.code[p];
+        const OpRule rule = opRule(inst.op);
+        switch (opcodeFormat(inst.op)) {
+          case BcFormat::TwoReg:
+          case BcFormat::Branch:
+            check(p, inst.b, rule.requireB);
+            break;
+          case BcFormat::ThreeReg:
+            check(p, inst.b, rule.requireB);
+            check(p, inst.c, rule.requireC);
+            break;
+          case BcFormat::FourReg:
+            check(p, inst.b, rule.requireB);
+            check(p, inst.c, rule.requireC);
+            check(p, std::uint16_t(inst.imm), rule.requireImm);
+            break;
+          case BcFormat::CallFmt:
+            for (const auto &arg :
+                 _fn.calls[std::size_t(inst.imm)].args)
+                check(p, arg.first,
+                      isFloating(arg.second) ? kFloatCls : kIntCls);
+            break;
+          default: // Ret returns raw; pools/jmp read no classed reg.
+            break;
+        }
+    }
+}
+
+void
+Checker::checkAllocation(const std::vector<bool> &reach)
+{
+    const BcVerifyInfo &info = _fn.verifyInfo;
+    if (info.vcode.size() != _fn.code.size() || info.slotOf.empty())
+        return; // Hand-built function: no compiler snapshot.
+    if (info.callArgVregs.size() != _fn.calls.size())
+        return;
+    const std::size_t n = info.vcode.size();
+    const std::size_t V = info.slotOf.size();
+
+    BitMatrix uses(n, V), defs(n, V);
+    std::vector<std::uint16_t> def_of(n, kNoReg);
+    for (std::size_t p = 0; p < n; ++p) {
+        const BcInst &inst = info.vcode[p];
+        std::vector<std::uint16_t> u, d;
+        switch (opcodeFormat(inst.op)) {
+          case BcFormat::RegPoolI:
+          case BcFormat::RegPoolF:
+            d.push_back(inst.a);
+            break;
+          case BcFormat::TwoReg:
+            u.push_back(inst.b);
+            d.push_back(inst.a);
+            break;
+          case BcFormat::ThreeReg:
+            u.push_back(inst.b);
+            u.push_back(inst.c);
+            d.push_back(inst.a);
+            break;
+          case BcFormat::FourReg:
+            u.push_back(inst.b);
+            u.push_back(inst.c);
+            u.push_back(std::uint16_t(inst.imm));
+            d.push_back(inst.a);
+            break;
+          case BcFormat::Branch:
+            u.push_back(inst.b);
+            break;
+          case BcFormat::CallFmt:
+            for (const std::uint16_t arg :
+                 info.callArgVregs[std::size_t(inst.imm)])
+                u.push_back(arg);
+            if (inst.a != kNoReg)
+                d.push_back(inst.a);
+            break;
+          case BcFormat::RetReg:
+            u.push_back(inst.a);
+            break;
+          default:
+            break;
+        }
+        for (const std::uint16_t r : u)
+            if (r < V)
+                uses.set(p, r);
+        for (const std::uint16_t r : d) {
+            if (r < V) {
+                defs.set(p, r);
+                def_of[p] = r;
+            }
+        }
+    }
+    const LivenessResult live =
+        backwardLiveness(info.vcode, uses, defs, V);
+
+    for (std::size_t p = 0; p < n; ++p) {
+        if (!reach[p])
+            continue;
+        const std::uint16_t d = def_of[p];
+        if (d == kNoReg)
+            continue;
+        const std::uint16_t slot = info.slotOf[d];
+        if (slot == kNoReg)
+            continue;
+        const BcInst &inst = info.vcode[p];
+        // A copy whose source already sits in the destination slot
+        // leaves the slot's value unchanged: not a clobber.
+        if (inst.op == BcOp::Mov && inst.b < V &&
+            info.slotOf[inst.b] == slot)
+            continue;
+        for (std::size_t u = 0; u < V; ++u) {
+            if (u == d || info.slotOf[u] != slot)
+                continue;
+            if (!live.liveOut.get(p, u))
+                continue;
+            std::ostringstream os;
+            os << at(p) << "write to frame slot r" << slot << " (v"
+               << d << ") clobbers live virtual register v" << u;
+            report("BCV03", os.str());
+        }
+    }
+}
+
+std::vector<Diagnostic>
+Checker::run()
+{
+    if (checkStructure()) {
+        const std::vector<bool> reach = reachableOffsets(_fn.code);
+        checkDefBeforeUse(reach);
+        checkClasses(reach);
+        checkAllocation(reach);
+    }
+    analysis::sortDiagnostics(_diags);
+    return _diags;
+}
+
+/** Process-wide auto-verify switch, seeded from the environment. */
+bool &
+autoVerifyFlag()
+{
+    static bool flag = [] {
+        const char *value = std::getenv("STATS_VERIFY_BYTECODE");
+        if (value == nullptr)
+            return true;
+        return std::strcmp(value, "0") != 0 &&
+               std::strcmp(value, "off") != 0;
+    }();
+    return flag;
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+verifyFunction(const BcModule &module, const BcFunction &fn)
+{
+    if (!fn.compiled)
+        return {};
+    Checker checker(module, fn);
+    return checker.run();
+}
+
+std::vector<Diagnostic>
+verifyModule(const BcModule &module)
+{
+    std::vector<Diagnostic> diags;
+    for (const auto &fn : module.functions) {
+        auto found = verifyFunction(module, fn);
+        diags.insert(diags.end(), found.begin(), found.end());
+    }
+    analysis::sortDiagnostics(diags);
+    return diags;
+}
+
+std::vector<Diagnostic>
+verifyCompiledModule(const Module &module)
+{
+    // Suppress the in-compile panic: this entry point reports.
+    const bool previous = setAutoVerify(false);
+    BcModule compiled = compileModule(module);
+    setAutoVerify(previous);
+    return verifyModule(compiled);
+}
+
+bool
+autoVerifyEnabled()
+{
+    return autoVerifyFlag();
+}
+
+bool
+setAutoVerify(bool enabled)
+{
+    bool &flag = autoVerifyFlag();
+    const bool previous = flag;
+    flag = enabled;
+    return previous;
+}
+
+} // namespace stats::ir::bc

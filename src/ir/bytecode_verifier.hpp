@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Post-regalloc bytecode verifier (rules BCV01–BCV05,
+ * docs/ANALYSIS.md): a static checker over the final, slot-numbered
+ * instruction stream the VM executes. The compiler is exactness-
+ * critical — a register-allocation bug silently corrupts speculation
+ * results — so every compiled function is re-checked from first
+ * principles after compilation:
+ *
+ *  - BCV04  branch targets and pool/call-site indices in range (and
+ *           no path falls off the end of the code);
+ *  - BCV05  operand registers inside the frame, no missing operands
+ *           (fused superinstructions carry all three sources);
+ *  - BCV01  no register is readable before it is written on any path
+ *           from entry (slot-granular backward liveness);
+ *  - BCV02  every read agrees with the static int/float class the
+ *           slot can hold at that point (forward may-class analysis);
+ *  - BCV03  no write clobbers a distinct virtual register that is
+ *           still live in the same frame slot — the historical
+ *           back-edge phi-liveness bug class — using the compiler's
+ *           BcVerifyInfo vreg snapshot.
+ *
+ * Verification runs automatically after every compileModule() unless
+ * STATS_VERIFY_BYTECODE=0 (see setAutoVerify), and is exposed as the
+ * `bytecode-verify` lint pass through verifyCompiledModule.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "ir/bytecode.hpp"
+#include "ir/ir.hpp"
+
+namespace stats::ir::bc {
+
+/**
+ * Statically check one compiled function. Structural problems
+ * (BCV04/BCV05) suppress the flow checks, whose results would not be
+ * meaningful. BCV03 additionally needs `fn.verifyInfo` (absent on
+ * hand-built functions) and is skipped without it. Returns
+ * deterministically ordered diagnostics; empty = verified.
+ */
+std::vector<analysis::Diagnostic> verifyFunction(const BcModule &module,
+                                                 const BcFunction &fn);
+
+/** verifyFunction over every compiled function of `module`. */
+std::vector<analysis::Diagnostic> verifyModule(const BcModule &module);
+
+/**
+ * The `bytecode-verify` lint pass body: compile `module` (with
+ * auto-verification suppressed — findings are reported, not fatal)
+ * and verify every function that compiled. Drivers inject this into
+ * analysis::LintOptions::bytecodeVerifier.
+ */
+std::vector<analysis::Diagnostic>
+verifyCompiledModule(const Module &module);
+
+/**
+ * Whether compileModule() verifies its own output and panics on any
+ * diagnostic. Defaults to the STATS_VERIFY_BYTECODE environment
+ * variable ("0"/"off" disables; anything else, or unset, enables).
+ */
+bool autoVerifyEnabled();
+
+/** Override the auto-verify switch; returns the previous setting. */
+bool setAutoVerify(bool enabled);
+
+} // namespace stats::ir::bc

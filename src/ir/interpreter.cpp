@@ -104,8 +104,14 @@ Interpreter::call(const std::string &function,
                        fn->params.size(), " args, got ", args.size());
 
     std::map<std::string, RtValue> env;
+    const auto assign = [&](const std::string &name,
+                            const RtValue &value) {
+        env[name] = value;
+        if (_observer)
+            _observer(*fn, name, value);
+    };
     for (std::size_t i = 0; i < args.size(); ++i)
-        env[fn->params[i].name] = args[i];
+        assign(fn->params[i].name, args[i]);
 
     const BasicBlock *block = &fn->blocks.front();
     std::string previous_label;
@@ -132,7 +138,7 @@ Interpreter::call(const std::string &function,
                                "'");
         }
         for (auto &[name, value] : phi_values)
-            env[name] = value;
+            assign(name, value);
 
         for (const auto &inst : block->instructions) {
             if (++_stepsUsed > _stepBudget)
@@ -156,7 +162,7 @@ Interpreter::call(const std::string &function,
                     else if (inst.op == Opcode::Sub) r = x - y;
                     else if (inst.op == Opcode::Mul) r = x * y;
                     else r = x / y;
-                    env[inst.result] = RtValue::ofFloat(r, inst.type);
+                    assign(inst.result, RtValue::ofFloat(r, inst.type));
                 } else {
                     const std::int64_t x = a.asInt(), y = b.asInt();
                     // i64 arithmetic wraps (two's complement): signed
@@ -182,7 +188,7 @@ Interpreter::call(const std::string &function,
                         else
                             r = x / y;
                     }
-                    env[inst.result] = RtValue::ofInt(r);
+                    assign(inst.result, RtValue::ofInt(r));
                 }
                 break;
               }
@@ -203,22 +209,22 @@ Interpreter::call(const std::string &function,
                         : inst.op == Opcode::CmpLt ? x < y
                                                    : x <= y;
                 }
-                env[inst.result] = RtValue::ofInt(r ? 1 : 0);
+                assign(inst.result, RtValue::ofInt(r ? 1 : 0));
                 break;
               }
               case Opcode::Select: {
                 const bool cond =
                     evalOperand(inst.operands[0], env).asInt() != 0;
-                env[inst.result] =
-                    evalOperand(inst.operands[cond ? 1 : 2], env);
+                assign(inst.result,
+                       evalOperand(inst.operands[cond ? 1 : 2], env));
                 break;
               }
               case Opcode::Cast: {
                 const RtValue v = evalOperand(inst.operands[0], env);
-                env[inst.result] =
-                    isFloating(inst.type)
-                        ? RtValue::ofFloat(v.asFloat(), inst.type)
-                        : RtValue::ofInt(v.asInt());
+                assign(inst.result,
+                       isFloating(inst.type)
+                           ? RtValue::ofFloat(v.asFloat(), inst.type)
+                           : RtValue::ofInt(v.asInt()));
                 break;
               }
               case Opcode::Call: {
@@ -228,7 +234,7 @@ Interpreter::call(const std::string &function,
                     call_args.push_back(evalOperand(operand, env));
                 const RtValue r = call(inst.callee, call_args);
                 if (!inst.result.empty())
-                    env[inst.result] = r;
+                    assign(inst.result, r);
                 break;
               }
               case Opcode::Br: {

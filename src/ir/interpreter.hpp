@@ -81,6 +81,22 @@ class Interpreter
     /** Cap on executed instructions per top-level call. */
     void setStepBudget(std::uint64_t budget) { _stepBudget = budget; }
 
+    /**
+     * Observe every environment assignment: parameter binding, phi
+     * application, and instruction results, with the function being
+     * interpreted and the temp's name. Test instrumentation — the
+     * range-analysis soundness suite checks each observed value
+     * against the statically inferred interval. Pass nullptr to
+     * detach.
+     */
+    void setAssignmentObserver(
+        std::function<void(const Function &, const std::string &,
+                           const RtValue &)>
+            observer)
+    {
+        _observer = std::move(observer);
+    }
+
   private:
     RtValue evalOperand(const Operand &operand,
                         const std::map<std::string, RtValue> &env) const;
@@ -89,6 +105,9 @@ class Interpreter
     std::map<std::string,
              std::function<RtValue(const std::vector<RtValue> &)>>
         _externals;
+    std::function<void(const Function &, const std::string &,
+                       const RtValue &)>
+        _observer;
     std::uint64_t _executed = 0;
     std::uint64_t _stepBudget = 10'000'000;
     std::uint64_t _stepsUsed = 0;

@@ -124,6 +124,10 @@ Vm::rawCall(const BcFunction &fn, std::size_t base)
     VM_CASE(F2I):
         regs[inst->a].i = saturate(regs[inst->b].f);
         VM_NEXT();
+    VM_CASE(F2INc):
+        // Compiler proved the value in [-2^63, 2^63): raw truncation.
+        regs[inst->a].i = static_cast<std::int64_t>(regs[inst->b].f);
+        VM_NEXT();
     VM_CASE(F2F32):
         regs[inst->a].f = double(float(regs[inst->b].f));
         VM_NEXT();
@@ -142,6 +146,10 @@ Vm::rawCall(const BcFunction &fn, std::size_t base)
     VM_CASE(DivI):
         regs[inst->a].i =
             wrapDiv(regs[inst->b].i, regs[inst->c].i, fn.name);
+        VM_NEXT();
+    VM_CASE(DivINc):
+        // Compiler proved divisor != 0 and no MIN/-1: raw division.
+        regs[inst->a].i = regs[inst->b].i / regs[inst->c].i;
         VM_NEXT();
     VM_CASE(AddF):
         regs[inst->a].f = regs[inst->b].f + regs[inst->c].f;
@@ -427,6 +435,13 @@ Vm::callBatch(const BcFunction &fn, std::size_t lanes,
                 d[w].i = saturate(b[w].f);
             break;
           }
+          case BcOp::F2INc: {
+            VmReg *d = row(inst.a);
+            const VmReg *b = row(inst.b);
+            for (std::size_t w = 0; w < lanes; ++w)
+                d[w].i = static_cast<std::int64_t>(b[w].f);
+            break;
+          }
           case BcOp::F2F32: {
             VmReg *d = row(inst.a);
             const VmReg *b = row(inst.b);
@@ -451,6 +466,14 @@ Vm::callBatch(const BcFunction &fn, std::size_t lanes,
             // lane's scalar run would (docs/INTERPRETER.md §5).
             for (std::size_t w = 0; w < lanes; ++w)
                 d[w].i = wrapDiv(b[w].i, c[w].i, fn.name);
+            break;
+          }
+          case BcOp::DivINc: {
+            VmReg *d = row(inst.a);
+            const VmReg *b = row(inst.b);
+            const VmReg *c = row(inst.c);
+            for (std::size_t w = 0; w < lanes; ++w)
+                d[w].i = b[w].i / c[w].i;
             break;
           }
           case BcOp::AddF:

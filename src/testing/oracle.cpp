@@ -9,6 +9,7 @@
 #include "analysis/lint.hpp"
 #include "backend/backend.hpp"
 #include "exec/sim_executor.hpp"
+#include "ir/bytecode_verifier.hpp"
 #include "ir/exec_tier.hpp"
 #include "ir/verifier.hpp"
 #include "midend/midend.hpp"
@@ -388,7 +389,9 @@ runOracle(const FuzzCase &fuzz_case, const OracleOptions &options)
 
     // ---- stage: analysis ----
     if (options.runAnalysis) {
-        const auto diagnostics = analysis::runAnalyses(midend_ir, {});
+        analysis::LintOptions lint;
+        lint.bytecodeVerifier = ir::bc::verifyCompiledModule;
+        const auto diagnostics = analysis::runAnalyses(midend_ir, lint);
         if (analysis::hasErrors(diagnostics)) {
             std::ostringstream detail;
             analysis::writeDiagnosticsText(detail, fuzz_case.name,
@@ -401,6 +404,9 @@ runOracle(const FuzzCase &fuzz_case, const OracleOptions &options)
     const support::SeedSequence sequence(scenario.seed);
     support::Xoshiro256 backend_rng(sequence.derive("backend"));
     backend::BackendConfig config;
+    // Generated modules are range-sloppy by design; the analysis stage
+    // above already linted, so skip the per-instantiation audit.
+    config.auditRanges = false;
     for (const auto &dep : midend_ir.stateDeps)
         config.auxiliaryDeps.insert(dep.name);
     for (const auto &tradeoff : midend_ir.tradeoffs) {

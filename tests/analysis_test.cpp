@@ -556,7 +556,7 @@ TEST(Lint, PassFilterSelectsOnePass)
 
 TEST(Lint, PassNamesAreClosed)
 {
-    EXPECT_EQ(passNames().size(), 5u);
+    EXPECT_EQ(passNames().size(), 7u);
     for (const auto &name : passNames())
         EXPECT_TRUE(isPassName(name));
     EXPECT_FALSE(isPassName("no-such-pass"));
@@ -573,7 +573,7 @@ TEST(Diagnostics, RegistryHasUniqueStableRuleIds)
             << "duplicate rule " << rule.id;
         passes.insert(rule.pass);
     }
-    EXPECT_EQ(ids.size(), 14u);
+    EXPECT_EQ(ids.size(), 22u);
     // Every rule belongs to a runnable pass.
     for (const auto &pass : passes)
         EXPECT_TRUE(isPassName(pass)) << pass;

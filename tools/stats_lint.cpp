@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "ir/bytecode_verifier.hpp"
 #include "ir/parser.hpp"
 #include "midend/midend.hpp"
 #include "support/log.hpp"
@@ -63,9 +64,13 @@ parseOptions(int argc, char **argv)
             options.quiet = true;
         } else if (support::startsWith(word, "--analyze=")) {
             options.pass = word.substr(10);
-            if (!analysis::isPassName(options.pass))
+            if (!analysis::isPassName(options.pass)) {
+                std::string known;
+                for (const auto &name : analysis::passNames())
+                    known += (known.empty() ? "" : "|") + name;
                 support::fatal("unknown analysis pass '", options.pass,
-                               "'");
+                               "' (expected ", known, ")");
+            }
         } else if (support::startsWith(word, "--analysis-format=")) {
             options.format = word.substr(18);
             if (options.format != "text" && options.format != "json")
@@ -101,6 +106,7 @@ main(int argc, char **argv)
 
         analysis::LintOptions lint;
         lint.pass = options.pass;
+        lint.bytecodeVerifier = ir::bc::verifyCompiledModule;
         const auto diags = analysis::runAnalyses(module, lint);
         const bool errors = analysis::hasErrors(diags);
         if (errors)
