@@ -186,7 +186,11 @@ intArith(ir::Opcode op, const IntView &a, const IntView &b)
  * i64 division with the interpreter's guards: a zero divisor panics
  * (no value flows), INT64_MIN / -1 wraps to INT64_MIN. Truncating
  * division is monotone per divisor-sign region, so the extremes sit
- * at dividend endpoints against divisor candidates {lo, hi, -1, 1}.
+ * at dividend endpoints against divisor candidates {lo, hi, -1, 1} —
+ * except that the INT64_MIN/-1 wrap breaks monotonicity in the
+ * dividend for divisor -1: x/-1 = -x peaks at the *interior* point
+ * x = INT64_MIN+1 (giving INT64_MAX) when the range also contains
+ * INT64_MIN, so that extremum is included explicitly.
  */
 ValueRange
 intDiv(const IntView &a, const IntView &b)
@@ -218,8 +222,8 @@ intDiv(const IntView &a, const IntView &b)
                 include(x / y);
         }
     }
-    if (a.lo == kI64Min && b.lo <= -1 && -1 <= b.hi)
-        include(kI64Min);
+    if (a.lo == kI64Min && a.hi > kI64Min && b.lo <= -1 && -1 <= b.hi)
+        include(kI64Max); // Interior extremum: (INT64_MIN + 1) / -1.
     return ValueRange::ofInt(lo, hi);
 }
 

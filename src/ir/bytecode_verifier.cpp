@@ -730,13 +730,29 @@ verifyModule(const BcModule &module)
     return diags;
 }
 
+namespace {
+
+/** Restores the auto-verify flag even when compilation throws. */
+class AutoVerifyDisabler
+{
+  public:
+    AutoVerifyDisabler() : _previous(setAutoVerify(false)) {}
+    ~AutoVerifyDisabler() { setAutoVerify(_previous); }
+    AutoVerifyDisabler(const AutoVerifyDisabler &) = delete;
+    AutoVerifyDisabler &operator=(const AutoVerifyDisabler &) = delete;
+
+  private:
+    bool _previous;
+};
+
+} // namespace
+
 std::vector<Diagnostic>
 verifyCompiledModule(const Module &module)
 {
     // Suppress the in-compile panic: this entry point reports.
-    const bool previous = setAutoVerify(false);
+    const AutoVerifyDisabler guard;
     BcModule compiled = compileModule(module);
-    setAutoVerify(previous);
     return verifyModule(compiled);
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -20,7 +21,9 @@
 
 #include "analysis/manager.hpp"
 #include "analysis/range.hpp"
+#include "ir/exec_tier.hpp"
 #include "ir/interpreter.hpp"
+#include "ir/parser.hpp"
 #include "ir/verifier.hpp"
 #include "support/rng.hpp"
 #include "testing/generator.hpp"
@@ -123,6 +126,66 @@ TEST(RangeSoundness, ObservedValuesStayInsideInferredRanges)
                 "assignments, root seed %llu\n",
                 modules, observed,
                 static_cast<unsigned long long>(kRootSeed));
+}
+
+/**
+ * Directed regression for the INT64_MIN/-1 wrap in intDiv: x/-1 = -x
+ * peaks at the *interior* point x = INT64_MIN+1 (giving INT64_MAX),
+ * so a corner-only evaluation over an unconstrained dividend used to
+ * infer [INT64_MIN, INT64_MIN+1] for the quotient — "proving" it
+ * nonzero, folding branches on it, and licensing guard elision on
+ * later divisions by it. The true range is all of i64.
+ */
+TEST(RangeSoundness, DivByMinusOneOverUnconstrainedDividend)
+{
+    const ir::Module module = ir::parseModule(R"(module "div_minus_one"
+func @pick(i64 %p) -> i64 {
+entry:
+  %q = div i64 %p, -1
+  br %q, nonzero, zero
+nonzero:
+  ret i64 %q
+zero:
+  ret i64 77
+}
+)");
+    ASSERT_TRUE(ir::verifyModule(module).empty());
+
+    analysis::AnalysisManager manager(module);
+    const analysis::RangeAnalysis analysis(manager);
+    const analysis::ValueRange &q =
+        analysis.functionRanges("pick").of("q");
+
+    constexpr std::int64_t min = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t max = std::numeric_limits<std::int64_t>::max();
+    for (const std::int64_t v : {std::int64_t(0), std::int64_t(5),
+                                 std::int64_t(-5), min, min + 1, max})
+        EXPECT_TRUE(q.containsInt(v))
+            << v << " escapes " << q.toString();
+
+    // No downstream proof may fire on q: its truthiness is unknown
+    // (p=0 makes it zero) and it is not a guard-free divisor.
+    EXPECT_FALSE(analysis::rangeproof::provenTruth(q).has_value())
+        << q.toString();
+    EXPECT_FALSE(analysis::rangeproof::divNeedsNoGuards(
+        analysis::ValueRange::topInt(), q));
+
+    // Both tiers agree on every corner — in particular the bytecode
+    // compiler's proven-constant branch fold must not have rewritten
+    // `br %q` (p=0 takes the zero arm).
+    ir::Interpreter interp(module);
+    ir::ExecutableModule exec(module, ir::ExecTier::Bytecode);
+    for (const std::int64_t p :
+         {std::int64_t(0), std::int64_t(-5), std::int64_t(5), min,
+          min + 1, max}) {
+        const RtValue expected = interp.call("pick", {RtValue::ofInt(p)});
+        const RtValue got = exec.call("pick", {RtValue::ofInt(p)});
+        EXPECT_EQ(expected.i, got.i) << "p=" << p;
+        EXPECT_TRUE(q.containsInt(expected.i))
+            << "p=" << p << ": " << expected.i << " escapes "
+            << q.toString();
+    }
+    EXPECT_EQ(interp.call("pick", {RtValue::ofInt(0)}).i, 77);
 }
 
 } // namespace
