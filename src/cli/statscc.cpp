@@ -94,6 +94,7 @@
 #include "replay/fault_plan.hpp"
 #include "replay/record_log.hpp"
 #include "replay/session.hpp"
+#include "serving/serve_main.hpp"
 #include "support/log.hpp"
 #include "support/seed_sequence.hpp"
 #include "support/string_utils.hpp"
@@ -689,7 +690,9 @@ cmdPipeline(const Args &args)
     const std::string assignments = args.option("config", "");
     if (!assignments.empty()) {
         for (const auto &pair : support::split(assignments, ',')) {
-            const auto colon = pair.find(':');
+            // Last colon: post-midend tradeoff names are themselves
+            // namespace-qualified (aux::T_42).
+            const auto colon = pair.rfind(':');
             if (colon == std::string::npos)
                 support::fatal("--config wants name:index pairs");
             config.tradeoffIndices[pair.substr(0, colon)] =
@@ -747,6 +750,33 @@ cmdFuzz(const Args &args)
     return summary.ok() ? 0 : 1;
 }
 
+int
+cmdServe(const Args &args)
+{
+    serving::ServeArgs serve;
+    serve.socketPath = args.option("socket", serve.socketPath);
+    serve.runAnalysis = !args.options.count("no-analysis");
+    serve.quantum = std::stod(args.option("quantum", "1"));
+    serve.defaultQuotaSpec = args.option("default-quota", "");
+    serve.metricsPath = args.option("metrics", "");
+    serve.trace = args.options.count("trace") != 0;
+    // One --quota option; comma-separate multiple tenants.
+    const std::string quotas = args.option("quota", "");
+    std::size_t begin = 0;
+    while (begin < quotas.size()) {
+        const std::size_t comma = quotas.find(',', begin);
+        const std::size_t end =
+            comma == std::string::npos ? quotas.size() : comma;
+        if (end > begin)
+            serve.quotaSpecs.push_back(
+                quotas.substr(begin, end - begin));
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return serving::serveMain(serve);
+}
+
 void
 usage()
 {
@@ -760,7 +790,9 @@ usage()
         << "  pipeline <ir-file>           middle-end + back-end\n"
         << "  analyze <ir-file>            speculation-safety checks\n"
         << "  disasm <ir-file>             bytecode disassembly\n"
-        << "  fuzz [case-file]             differential testing campaign\n";
+        << "  fuzz [case-file]             differential testing campaign\n"
+        << "  serve [options]              statsd serving daemon\n"
+           "                               (docs/SERVING.md)\n";
 }
 
 } // namespace
@@ -790,6 +822,8 @@ main(int argc, char **argv)
         return cmdDisasm(args);
     if (command == "fuzz")
         return cmdFuzz(args);
+    if (command == "serve")
+        return cmdServe(args);
     usage();
     return 1;
 }

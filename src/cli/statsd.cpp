@@ -1,0 +1,105 @@
+/**
+ * @file
+ * statsd — the STATS serving daemon (docs/SERVING.md).
+ *
+ * Serves ExecutionPlans over a unix-domain socket: admission
+ * (validation + per-tenant token-bucket quotas), weighted
+ * deficit-round-robin scheduling, cross-request batching, and
+ * record/replay capture per served run. `stats-cli` is the matching
+ * client; `stats-cli drain` is the clean shutdown path.
+ *
+ * Usage:
+ *   statsd [--socket=PATH] [--quota=tenant:rate:burst:maxq:weight]...
+ *          [--default-quota=rate:burst:maxq:weight] [--quantum=Q]
+ *          [--no-analysis] [--trace] [--metrics=FILE]
+ *
+ * `--quota` may repeat (and each accepts a comma-separated list).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serving/serve_main.hpp"
+#include "support/string_utils.hpp"
+
+namespace {
+
+void
+usage()
+{
+    std::cerr
+        << "usage: statsd [options]\n"
+        << "options:\n"
+        << "  --socket=PATH            listen socket "
+           "(default statsd.sock)\n"
+        << "  --quota=T:R:B:Q:W        tenant T: R req/s, burst B,\n"
+        << "                           queue bound Q, WDRR weight W\n"
+        << "                           (repeatable, comma-separable)\n"
+        << "  --default-quota=R:B:Q:W  quota for unlisted tenants\n"
+        << "  --quantum=Q              WDRR quantum (default 1)\n"
+        << "  --no-analysis            skip the admission lint stage\n"
+        << "  --trace                  enable the trace layer\n"
+        << "  --metrics=FILE           dump metrics JSON on drain\n";
+}
+
+void
+appendCommaSeparated(std::vector<std::string> &out,
+                     const std::string &list)
+{
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+        const std::size_t comma = list.find(',', begin);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > begin)
+            out.push_back(list.substr(begin, end - begin));
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    stats::serving::ServeArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string word = argv[i];
+        if (!stats::support::startsWith(word, "--")) {
+            usage();
+            return 1;
+        }
+        const auto eq = word.find('=');
+        const std::string key =
+            word.substr(2, eq == std::string::npos
+                               ? std::string::npos
+                               : eq - 2);
+        const std::string value =
+            eq == std::string::npos ? "" : word.substr(eq + 1);
+        if (key == "socket") {
+            args.socketPath = value;
+        } else if (key == "quota") {
+            appendCommaSeparated(args.quotaSpecs, value);
+        } else if (key == "default-quota") {
+            args.defaultQuotaSpec = value;
+        } else if (key == "quantum") {
+            args.quantum = std::stod(value);
+        } else if (key == "no-analysis") {
+            args.runAnalysis = false;
+        } else if (key == "trace") {
+            args.trace = true;
+        } else if (key == "metrics") {
+            args.metricsPath = value;
+        } else if (key == "help") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    return stats::serving::serveMain(args);
+}

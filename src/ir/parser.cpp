@@ -14,10 +14,19 @@ using support::split;
 using support::startsWith;
 using support::trim;
 
+/** Thrown on malformed input; surfaces as panic (parseModule) or an
+ *  error string (tryParseModule — the serving admission path, where a
+ *  bad request must not take the daemon down). */
+struct ParseFailure
+{
+    std::string message;
+};
+
 [[noreturn]] void
 parseError(std::size_t line, const std::string &message)
 {
-    support::panic("IR parse error at line ", line, ": ", message);
+    throw ParseFailure{"IR parse error at line " +
+                       std::to_string(line) + ": " + message};
 }
 
 Type
@@ -119,8 +128,10 @@ stripAt(const std::string &name)
 
 } // namespace
 
+namespace {
+
 Module
-parseModule(const std::string &text)
+parseModuleOrThrow(const std::string &text)
 {
     Module module;
     const auto lines = split(text, '\n');
@@ -366,6 +377,29 @@ parseModule(const std::string &text)
     }
 
     return module;
+}
+
+} // namespace
+
+Module
+parseModule(const std::string &text)
+{
+    try {
+        return parseModuleOrThrow(text);
+    } catch (const ParseFailure &failure) {
+        support::panic(failure.message);
+    }
+}
+
+std::optional<Module>
+tryParseModule(const std::string &text, std::string &error)
+{
+    try {
+        return parseModuleOrThrow(text);
+    } catch (const ParseFailure &failure) {
+        error = failure.message;
+        return std::nullopt;
+    }
 }
 
 std::string

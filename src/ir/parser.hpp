@@ -31,6 +31,7 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "ir/ir.hpp"
@@ -39,6 +40,15 @@ namespace stats::ir {
 
 /** Parse a module from text; panics with a line number on errors. */
 Module parseModule(const std::string &text);
+
+/**
+ * Parse a module from text without taking the process down on
+ * malformed input: returns nullopt and sets `error` to the
+ * line-numbered parse diagnostic. This is the entry point for
+ * surfaces fed untrusted text (the serving admission path).
+ */
+std::optional<Module> tryParseModule(const std::string &text,
+                                     std::string &error);
 
 /** Print a module in the textual format parseModule accepts. */
 std::string printModule(const Module &module);

@@ -105,8 +105,9 @@ writeChromeTrace(std::ostream &out, const std::vector<Event> &events)
         json.beginObject()
             .field("ph", "i")
             .field("name", eventTypeName(event.type))
-            .field("cat",
-                   isSchedulerEvent(event.type) ? "scheduler" : "engine")
+            .field("cat", isServingEvent(event.type)    ? "serving"
+                          : isSchedulerEvent(event.type) ? "scheduler"
+                                                         : "engine")
             .field("s", "t")
             .field("pid", 0)
             .field("tid", chromeTid(event.track))

@@ -35,6 +35,12 @@ eventTypeName(EventType type)
       case EventType::ArenaRefill:      return "ArenaRefill";
       case EventType::CommitLaneEnqueue:
         return "CommitLaneEnqueue";
+      case EventType::RequestAdmitted:  return "RequestAdmitted";
+      case EventType::RequestRejected:  return "RequestRejected";
+      case EventType::PlanEnqueued:     return "PlanEnqueued";
+      case EventType::PlanDispatched:   return "PlanDispatched";
+      case EventType::BatchFormed:      return "BatchFormed";
+      case EventType::TenantThrottled:  return "TenantThrottled";
     }
     support::panic("eventTypeName: unknown event type ",
                    static_cast<int>(type));
@@ -78,6 +84,22 @@ isSchedulerEvent(EventType type)
       case EventType::QueueDepth:
       case EventType::ArenaRefill:
       case EventType::CommitLaneEnqueue:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isServingEvent(EventType type)
+{
+    switch (type) {
+      case EventType::RequestAdmitted:
+      case EventType::RequestRejected:
+      case EventType::PlanEnqueued:
+      case EventType::PlanDispatched:
+      case EventType::BatchFormed:
+      case EventType::TenantThrottled:
         return true;
       default:
         return false;

@@ -92,10 +92,24 @@ enum class EventType : std::uint8_t
     CommitLaneEnqueue, ///< Serialized completion entered the commit
                        ///< lane (arg: 1 when the pushing worker became
                        ///< the drainer, 0 when handed off).
+
+    // Serving-plane instants (schema v5; recorded by the statsd
+    // control plane and plan scheduler, docs/SERVING.md). group is
+    // always -1; inputBegin carries the request id when one exists.
+    RequestAdmitted, ///< Request passed admission (arg: queue depth).
+    RequestRejected, ///< Request rejected (arg: RejectReason ordinal).
+    PlanEnqueued,    ///< Plan entered its tenant queue (arg: depth).
+    PlanDispatched,  ///< Plan left a queue for execution (arg: batch
+                     ///< size it was dispatched in; 1 = solo).
+    BatchFormed,     ///< Compatible plans fused for one callBatch
+                     ///< dispatch: inputBegin = lanes, arg = distinct
+                     ///< tenants in the batch.
+    TenantThrottled, ///< Tenant hit quota/queue bound (arg:
+                     ///< RejectReason ordinal).
 };
 
-inline constexpr int kEventTypeCount = 24;
-inline constexpr int kSchemaVersion = 4;
+inline constexpr int kEventTypeCount = 30;
+inline constexpr int kSchemaVersion = 5;
 
 /** Stable name of an event type (as documented in the schema). */
 const char *eventTypeName(EventType type);
@@ -106,6 +120,8 @@ bool isSpanStart(EventType type);
 bool isSpanEnd(EventType type);
 /** True for events emitted by the scheduler rather than the engine. */
 bool isSchedulerEvent(EventType type);
+/** True for events emitted by the serving plane (statsd). */
+bool isServingEvent(EventType type);
 
 /** Track id carried by engine-emitted instants ("frontier" track). */
 inline constexpr std::int32_t kFrontierTrack = -1;

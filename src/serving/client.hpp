@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Client side of the statsd wire protocol: one blocking connection,
+ * one method per request type. `stats-cli` is a thin argv wrapper
+ * over this class; tests use it directly against an in-process
+ * Daemon.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serving/protocol.hpp"
+
+namespace stats::serving {
+
+class Client
+{
+  public:
+    /** Connect to a statsd socket; sets `error` and stays
+     *  disconnected on failure. */
+    Client(const std::string &socket_path, std::string &error);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    bool connected() const { return _fd >= 0; }
+
+    /**
+     * Submit binary plan bytes. On admission returns the request id;
+     * otherwise nullopt with the verdict in `verdict` (or a
+     * transport problem in `error`).
+     */
+    std::optional<std::uint64_t> submit(const std::string &plan_bytes,
+                                        AdmissionVerdict &verdict,
+                                        std::string &error);
+
+    /** Request state + tenant; Unknown for a bad id. */
+    std::optional<RequestState> status(std::uint64_t request_id,
+                                       std::string &tenant,
+                                       std::string &error);
+
+    /** Full result of a finished request. */
+    std::optional<RequestStatus> result(std::uint64_t request_id,
+                                        std::string &error);
+
+    /** Serialized RecordLog bytes ("" when none was captured). */
+    std::optional<std::string> replayFetch(std::uint64_t request_id,
+                                           std::string &error);
+
+    /** Drain the daemon; returns its lifetime completion count. */
+    std::optional<std::uint64_t> drain(std::string &error);
+
+  private:
+    std::optional<Frame> roundTrip(const Frame &request,
+                                   std::string &error);
+
+    int _fd = -1;
+};
+
+} // namespace stats::serving

@@ -1,0 +1,161 @@
+#include "serving/daemon.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "replay/record_log.hpp"
+#include "serving/protocol.hpp"
+#include "support/log.hpp"
+
+namespace stats::serving {
+
+Daemon::Daemon(std::string socket_path, Server::Options options)
+    : _socketPath(std::move(socket_path)),
+      _server(std::make_unique<Server>(std::move(options)))
+{
+    if (_socketPath.empty())
+        support::panic("statsd: empty socket path");
+
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (_socketPath.size() >= sizeof(address.sun_path))
+        support::panic("statsd: socket path too long: ",
+                       _socketPath);
+    std::strncpy(address.sun_path, _socketPath.c_str(),
+                 sizeof(address.sun_path) - 1);
+
+    _listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (_listenFd < 0)
+        support::panic("statsd: socket(): ", std::strerror(errno));
+    ::unlink(_socketPath.c_str()); // Replace a stale socket file.
+    if (::bind(_listenFd,
+               reinterpret_cast<const sockaddr *>(&address),
+               sizeof(address)) != 0)
+        support::panic("statsd: bind('", _socketPath,
+                       "'): ", std::strerror(errno));
+    if (::listen(_listenFd, 64) != 0)
+        support::panic("statsd: listen(): ", std::strerror(errno));
+}
+
+Daemon::~Daemon()
+{
+    stop();
+    {
+        std::lock_guard<std::mutex> lock(_workersMutex);
+        for (auto &worker : _workers)
+            if (worker.joinable())
+                worker.join();
+        _workers.clear();
+    }
+    ::unlink(_socketPath.c_str());
+}
+
+void
+Daemon::stop()
+{
+    if (_stopping.exchange(true))
+        return;
+    if (_listenFd >= 0) {
+        // Unblock accept().
+        ::shutdown(_listenFd, SHUT_RDWR);
+        ::close(_listenFd);
+        _listenFd = -1;
+    }
+}
+
+void
+Daemon::serveForever()
+{
+    while (!_stopping.load(std::memory_order_relaxed)) {
+        const int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // Listener closed (stop()) or fatal.
+        }
+        std::lock_guard<std::mutex> lock(_workersMutex);
+        _workers.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+Daemon::handleConnection(int fd)
+{
+    while (auto frame = readFrame(fd)) {
+        Frame reply;
+        bool drain_requested = false;
+        switch (frame->type) {
+          case MsgType::SubmitReq: {
+            const SubmitOutcome outcome =
+                _server->submit(frame->body);
+            if (outcome.admitted()) {
+                reply.type = MsgType::SubmitOk;
+                reply.body = encodeRequestId(outcome.requestId);
+            } else {
+                reply.type = MsgType::SubmitRejected;
+                reply.body = encodeSubmitRejected(outcome.verdict);
+            }
+            break;
+          }
+          case MsgType::StatusReq: {
+            std::uint64_t request_id = 0;
+            if (!decodeRequestId(frame->body, request_id)) {
+                reply.type = MsgType::ErrorResp;
+                reply.body = "malformed status request";
+                break;
+            }
+            reply.type = MsgType::StatusResp;
+            reply.body = encodeStatus(_server->status(request_id));
+            break;
+          }
+          case MsgType::ResultReq: {
+            std::uint64_t request_id = 0;
+            if (!decodeRequestId(frame->body, request_id)) {
+                reply.type = MsgType::ErrorResp;
+                reply.body = "malformed result request";
+                break;
+            }
+            reply.type = MsgType::ResultResp;
+            reply.body = encodeResult(_server->status(request_id));
+            break;
+          }
+          case MsgType::ReplayFetchReq: {
+            std::uint64_t request_id = 0;
+            if (!decodeRequestId(frame->body, request_id)) {
+                reply.type = MsgType::ErrorResp;
+                reply.body = "malformed replay-fetch request";
+                break;
+            }
+            reply.type = MsgType::ReplayFetchResp;
+            reply.body = _server->replayLog(request_id);
+            break;
+          }
+          case MsgType::DrainReq: {
+            const std::uint64_t completed = _server->drain();
+            reply.type = MsgType::DrainResp;
+            reply.body.clear();
+            replay::putVarint(reply.body, completed);
+            drain_requested = true;
+            break;
+          }
+          default:
+            reply.type = MsgType::ErrorResp;
+            reply.body = "unexpected message type";
+            break;
+        }
+        if (!writeFrame(fd, reply))
+            break;
+        if (drain_requested) {
+            stop();
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+} // namespace stats::serving

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The statsd socket front-end: a unix-domain stream listener that
+ * speaks the frame protocol (protocol.hpp) and forwards to the
+ * in-process Server (server.hpp).
+ *
+ * One thread per accepted connection; each handles its frames
+ * strictly in order. A DrainReq drains the server, answers, and then
+ * stops the daemon — that is the clean-shutdown path `stats-cli
+ * drain` uses. The socket file is unlinked on close.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serving/server.hpp"
+
+namespace stats::serving {
+
+class Daemon
+{
+  public:
+    /**
+     * Bind and listen on `socket_path` (an existing stale socket
+     * file is replaced). Throws nothing: panics on bind errors —
+     * statsd treats an unusable socket as fatal at startup.
+     */
+    Daemon(std::string socket_path, Server::Options options = {});
+    ~Daemon();
+
+    /** The wrapped serving core (quota configuration, stats). */
+    Server &server() { return *_server; }
+
+    /** Serve until a DrainReq (or stop()) arrives. */
+    void serveForever();
+
+    /** Ask the accept loop to exit (thread-safe). */
+    void stop();
+
+    const std::string &socketPath() const { return _socketPath; }
+
+  private:
+    void handleConnection(int fd);
+
+    std::string _socketPath;
+    std::unique_ptr<Server> _server;
+    int _listenFd = -1;
+    std::atomic<bool> _stopping{false};
+    std::mutex _workersMutex;
+    std::vector<std::thread> _workers;
+};
+
+} // namespace stats::serving

@@ -1,0 +1,463 @@
+#include "serving/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "backend/backend.hpp"
+#include "benchmarks/common/benchmark.hpp"
+#include "exec/sim_executor.hpp"
+#include "ir/parser.hpp"
+#include "midend/midend.hpp"
+#include "observability/metrics.hpp"
+#include "replay/record_log.hpp"
+#include "replay/session.hpp"
+#include "sdi/spec_engine.hpp"
+#include "support/rng.hpp"
+#include "support/seed_sequence.hpp"
+#include "testing/oracle.hpp"
+
+namespace stats::serving {
+
+namespace {
+
+using testing::noiseFor;
+using testing::wrapState;
+
+/** Engine input: a value plus its position (for attempt counting). */
+struct In
+{
+    int pos = 0;
+    long long value = 0;
+};
+
+/** Engine output: the state observed before the invocation. */
+struct Out
+{
+    int pos = 0;
+    long long observed = 0;
+};
+
+/** The plan's input stream (a pure function of its root seed). */
+std::vector<In>
+deriveInputs(const ExecutionPlan &plan)
+{
+    const support::SeedSequence sequence(plan.rootSeed);
+    support::Xoshiro256 rng(sequence.derive("inputs"));
+    std::vector<In> inputs;
+    for (int p = 0; p < plan.inputs; ++p)
+        inputs.push_back({p, rng.uniformInt(0, 999)});
+    return inputs;
+}
+
+std::uint64_t
+noiseSeed(const ExecutionPlan &plan)
+{
+    return support::SeedSequence(plan.rootSeed).derive("noise");
+}
+
+/** Deterministic result bytes: varint count + zigzag states. */
+std::string
+encodeStates(const std::vector<long long> &states)
+{
+    std::string out;
+    replay::putVarint(out, states.size());
+    for (const long long state : states)
+        replay::putVarint(out, replay::zigzagEncode(state));
+    return out;
+}
+
+std::string
+encodeSignature(const std::vector<double> &signature)
+{
+    std::string out;
+    replay::putVarint(out, signature.size());
+    for (const double value : signature) {
+        std::uint64_t bits = 0;
+        __builtin_memcpy(&bits, &value, sizeof bits);
+        replay::putVarint(out, bits);
+    }
+    return out;
+}
+
+long long
+interpStep(ir::ExecutableModule &exec, const std::string &function,
+           long long input, long long state)
+{
+    return exec
+        .call(function,
+              {ir::RtValue::ofInt(input), ir::RtValue::ofInt(state)})
+        .asInt();
+}
+
+/** RAII record-mode scope around one engine run. */
+class RecordScope
+{
+  public:
+    RecordScope(const ExecutionPlan &plan, PlanResult &result,
+                std::string &error)
+        : _result(result)
+    {
+        auto &session = replay::ReplaySession::global();
+        if (!plan.faults.empty()) {
+            std::string fault_error;
+            auto fault_plan =
+                replay::FaultPlan::fromSpec(plan.faults, fault_error);
+            if (!fault_plan) {
+                error = "fault plan: " + fault_error;
+                return;
+            }
+            session.setFaultPlan(*fault_plan);
+            _faultsInstalled = true;
+        }
+        if (plan.recordChoices) {
+            session.startRecording(plan.rootSeed);
+            session.setMetadata("tenant", plan.tenant);
+            session.setMetadata("kind", jobKindName(plan.kind));
+            session.setMetadata("seed",
+                                std::to_string(plan.rootSeed));
+            _recording = true;
+        }
+        _armed = true;
+    }
+
+    bool armed() const { return _armed; }
+
+    ~RecordScope()
+    {
+        auto &session = replay::ReplaySession::global();
+        if (_recording)
+            _result.recordLog =
+                session.finishRecording().saveToString();
+        if (_faultsInstalled)
+            session.setFaultPlan(replay::FaultPlan{});
+    }
+
+  private:
+    PlanResult &_result;
+    bool _recording = false;
+    bool _faultsInstalled = false;
+    bool _armed = false;
+};
+
+} // namespace
+
+/** One compiled configuration, shared by every plan with the same
+ *  compatibility key. */
+struct PlanRunner::Compiled
+{
+    backend::Executable executable;
+    std::string computeFn;
+    std::string auxFn;
+};
+
+std::shared_ptr<PlanRunner::Compiled>
+PlanRunner::compiled(const ExecutionPlan &plan, std::string &error)
+{
+    const std::uint64_t key = plan.compatibilityKey();
+    if (const auto it = _cache.find(key); it != _cache.end()) {
+        ++_cacheHits;
+        obs::MetricsRegistry::global()
+            .counter("serving.compile_cache_hits")
+            .add();
+        return it->second;
+    }
+
+    auto module = ir::tryParseModule(plan.moduleText, error);
+    if (!module)
+        return nullptr;
+    midend::runMiddleEnd(*module);
+    if (module->stateDeps.empty()) {
+        error = "module declares no state dependence";
+        return nullptr;
+    }
+
+    backend::BackendConfig config;
+    config.execTier = plan.execTier;
+    // Admission already linted; skip the per-instantiation audit.
+    config.auditRanges = false;
+    config.tradeoffIndices = plan.tradeoffIndices;
+    for (const auto &dep : module->stateDeps)
+        if (!dep.auxFn.empty())
+            config.auxiliaryDeps.insert(dep.name);
+
+    auto entry = std::make_shared<Compiled>();
+    entry->executable = backend::instantiateExecutable(*module, config);
+    entry->executable.exec->setStepBudget(plan.stepBudget);
+    const ir::StateDepMeta &dep =
+        entry->executable.module->stateDeps.front();
+    entry->computeFn = dep.computeFn;
+    entry->auxFn = dep.auxFn.empty() ? dep.computeFn : dep.auxFn;
+
+    _cache.emplace(key, entry);
+    obs::MetricsRegistry::global()
+        .counter("serving.compile_cache_misses")
+        .add();
+    return entry;
+}
+
+PlanResult
+PlanRunner::runSequential(const ExecutionPlan &plan)
+{
+    std::vector<QueuedPlan> solo(1);
+    solo[0].plan = std::make_shared<const ExecutionPlan>(plan);
+    return std::move(runBatch(solo).front());
+}
+
+std::vector<PlanResult>
+PlanRunner::runBatch(const std::vector<QueuedPlan> &batch)
+{
+    std::vector<PlanResult> results(batch.size());
+    if (batch.empty())
+        return results;
+    if (batch.size() == 1 &&
+        batch.front().plan->kind != JobKind::IrSequential) {
+        results[0] = runPlan(*batch.front().plan);
+        return results;
+    }
+
+    // Fused sequential lanes: one compiled module (same compatibility
+    // key by construction), per-lane seed/noise/state streams, one
+    // callBatch dispatch per step. Retired lanes (shorter input
+    // streams) drop out; scalar call() is the fallback when batching
+    // does not apply to the function.
+    std::string error;
+    const auto entry = compiled(*batch.front().plan, error);
+    if (!entry) {
+        for (auto &result : results)
+            result.error = error;
+        return results;
+    }
+
+    ir::ExecutableModule &exec = *entry->executable.exec;
+    const std::string &fn = entry->computeFn;
+
+    const std::size_t lanes = batch.size();
+    std::vector<std::vector<In>> inputs(lanes);
+    std::vector<std::uint64_t> noise_seeds(lanes);
+    std::vector<long long> states(lanes);
+    std::vector<std::vector<long long>> observed(lanes);
+    int longest = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+        const ExecutionPlan &plan = *batch[l].plan;
+        inputs[l] = deriveInputs(plan);
+        noise_seeds[l] = noiseSeed(plan);
+        states[l] = plan.initialState;
+        longest = std::max(longest, plan.inputs);
+    }
+
+    std::vector<ir::RtValue> in_col, state_col, stepped;
+    std::vector<std::size_t> live;
+    for (int step = 0; step < longest; ++step) {
+        in_col.clear();
+        state_col.clear();
+        live.clear();
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (step >= batch[l].plan->inputs)
+                continue;
+            live.push_back(l);
+            in_col.push_back(
+                ir::RtValue::ofInt(inputs[l][std::size_t(step)].value));
+            state_col.push_back(ir::RtValue::ofInt(states[l]));
+        }
+        if (live.empty())
+            continue;
+        stepped.assign(live.size(), ir::RtValue());
+        const std::vector<const ir::RtValue *> columns = {
+            in_col.data(), state_col.data()};
+        if (!exec.callBatch(fn, live.size(), columns,
+                            stepped.data())) {
+            for (std::size_t i = 0; i < live.size(); ++i)
+                stepped[i] = ir::RtValue::ofInt(
+                    interpStep(exec, fn, in_col[i].i, state_col[i].i));
+        }
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            const std::size_t l = live[i];
+            const ExecutionPlan &plan = *batch[l].plan;
+            observed[l].push_back(states[l]);
+            states[l] = wrapState(
+                stepped[i].asInt() +
+                noiseFor(noise_seeds[l], step, /*attempt=*/0,
+                         plan.noisyPercent, plan.maxNoise));
+        }
+    }
+
+    for (std::size_t l = 0; l < lanes; ++l) {
+        auto all = observed[l];
+        all.push_back(states[l]); // Final state closes the chain.
+        results[l].ok = true;
+        results[l].resultBlob = encodeStates(all);
+        results[l].finalState = states[l];
+        results[l].invocations = batch[l].plan->inputs;
+        results[l].batchedLanes = static_cast<int>(lanes);
+        // Sequential interpretation never consults the ReplaySession
+        // (no engine choice points, fault specs inert), so a lane's
+        // RecordLog is seed + metadata only and can be captured after
+        // the fact — byte-identical whether the lane ran fused or
+        // solo, which keeps fusion invisible in replay-fetch output.
+        if (batch[l].plan->recordChoices) {
+            PlanResult scratch;
+            std::string record_error;
+            {
+                RecordScope scope(*batch[l].plan, scratch,
+                                  record_error);
+            } // ~RecordScope fills scratch.recordLog
+            results[l].recordLog = std::move(scratch.recordLog);
+        }
+    }
+    return results;
+}
+
+PlanResult
+PlanRunner::runSpeculative(const ExecutionPlan &plan)
+{
+    PlanResult result;
+    std::string error;
+    const auto entry = compiled(plan, error);
+    if (!entry) {
+        result.error = error;
+        return result;
+    }
+    ir::ExecutableModule &exec = *entry->executable.exec;
+    const std::string compute_fn = entry->computeFn;
+    const std::string aux_fn = entry->auxFn;
+
+    const std::vector<In> inputs = deriveInputs(plan);
+    const std::uint64_t noise_seed = noiseSeed(plan);
+    const int noisy = plan.noisyPercent;
+    const int max_noise = plan.maxNoise;
+
+    // Mirrors the differential oracle's engine harness
+    // (src/testing/oracle.cpp): per-(position, attempt) noise draws,
+    // a noise-free auxiliary, and a batched auxiliary that is
+    // bit-identical to the scalar one.
+    auto counters = std::make_shared<std::vector<std::atomic<int>>>(
+        inputs.size());
+
+    using Engine = sdi::SpecEngine<In, long long, Out>;
+    Engine::ComputeFn compute =
+        [&exec, &compute_fn, counters, noise_seed, noisy, max_noise](
+            const In &in, long long &state,
+            const sdi::ComputeContext &) {
+            Out out{in.pos, state};
+            const int attempt =
+                (*counters)[std::size_t(in.pos)].fetch_add(
+                    1, std::memory_order_relaxed);
+            state = wrapState(
+                interpStep(exec, compute_fn, in.value, state) +
+                noiseFor(noise_seed, in.pos, attempt, noisy,
+                         max_noise));
+            Engine::Invocation inv;
+            inv.output = std::make_unique<Out>(out);
+            inv.cost = exec::Work{1e-5, 0.2};
+            return inv;
+        };
+    Engine::ComputeFn auxiliary =
+        [&exec, &aux_fn](const In &in, long long &state,
+                         const sdi::ComputeContext &) {
+            Out out{in.pos, state};
+            state =
+                wrapState(interpStep(exec, aux_fn, in.value, state));
+            Engine::Invocation inv;
+            inv.output = std::make_unique<Out>(out);
+            inv.cost = exec::Work{5e-6, 0.2};
+            return inv;
+        };
+    Engine::MatchFn matcher =
+        [](const long long &spec,
+           const std::vector<long long> &originals) -> int {
+        for (std::size_t i = 0; i < originals.size(); ++i)
+            if (originals[i] == spec)
+                return int(i);
+        return -1;
+    };
+
+    RecordScope scope(plan, result, error);
+    if (!scope.armed()) {
+        result.error = error;
+        return result;
+    }
+
+    sim::MachineConfig machine;
+    machine.dispatchOverhead = 0.0;
+    exec::SimExecutor executor(
+        machine, std::max(16, plan.limits.sdThreads));
+    Engine engine(executor, inputs, (long long)plan.initialState,
+                  compute, auxiliary, matcher, plan.limits);
+    engine.start();
+    engine.join();
+
+    std::vector<long long> states;
+    for (const auto &output : engine.outputs())
+        states.push_back(output->observed);
+    result.ok = true;
+    result.resultBlob = encodeStates(states);
+    result.finalState = states.empty() ? plan.initialState
+                                       : states.back();
+    result.invocations = engine.stats().invocations;
+    return result;
+}
+
+PlanResult
+PlanRunner::runBenchmark(const ExecutionPlan &plan)
+{
+    PlanResult result;
+    auto bench = benchmarks::createBenchmark(plan.moduleRef);
+
+    benchmarks::RunRequest request;
+    request.mode = plan.benchMode == "original"
+                       ? benchmarks::Mode::Original
+                   : plan.benchMode == "seq"
+                       ? benchmarks::Mode::SeqStats
+                       : benchmarks::Mode::ParStats;
+    request.threads = plan.benchThreads;
+    request.workload =
+        plan.benchWorkload == "bad"
+            ? benchmarks::WorkloadKind::NonRepresentative
+            : benchmarks::WorkloadKind::Representative;
+    // One root seed drives every stream (docs/REPLAY.md §1), exactly
+    // like `statscc run --seed=N`.
+    const support::SeedSequence seeds(plan.rootSeed);
+    request.workloadSeed = seeds.derive("workload");
+    request.runSeed = seeds.derive("run");
+
+    std::string error;
+    RecordScope scope(plan, result, error);
+    if (!scope.armed()) {
+        result.error = error;
+        return result;
+    }
+    if (plan.recordChoices) {
+        auto &session = replay::ReplaySession::global();
+        session.setMetadata("benchmark", bench->name());
+        session.setMetadata("mode", plan.benchMode);
+        session.setMetadata("threads",
+                            std::to_string(plan.benchThreads));
+        session.setMetadata("workload", plan.benchWorkload);
+    }
+
+    const benchmarks::RunResult run = bench->run(request);
+    result.ok = true;
+    result.resultBlob = encodeSignature(run.signature);
+    result.virtualSeconds = run.virtualSeconds;
+    result.invocations = run.engineStats.invocations;
+    result.finalState = run.engineStats.validations;
+    return result;
+}
+
+PlanResult
+PlanRunner::runPlan(const ExecutionPlan &plan)
+{
+    switch (plan.kind) {
+      case JobKind::IrSequential:  return runSequential(plan);
+      case JobKind::IrSpeculative: return runSpeculative(plan);
+      case JobKind::Benchmark:     return runBenchmark(plan);
+    }
+    PlanResult result;
+    result.error = "unknown job kind";
+    return result;
+}
+
+} // namespace stats::serving

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The plan runner: turns dispatched ExecutionPlans into deterministic
+ * results (docs/SERVING.md §5).
+ *
+ * Three execution paths, one per JobKind:
+ *
+ *  - **IrSequential** — one interpreted state-transition chain over
+ *    the plan's derived inputs. `runBatch` executes several
+ *    compatible plans as the *lanes* of one
+ *    `ExecutableModule::callBatch` loop; lane results are
+ *    bit-identical to solo execution (each lane keeps its own seed,
+ *    inputs, and noise stream), so batching is invisible in the
+ *    result bytes — the property the served-determinism test pins.
+ *
+ *  - **IrSpeculative** — the module runs on the SpecEngine over the
+ *    simulated executor (virtual time), mirroring the differential
+ *    oracle's harness. When `recordChoices` is set, the engine's
+ *    choice points are captured into a RecordLog for `replay-fetch`.
+ *
+ *  - **Benchmark** — one of the paper benchmarks, exactly like
+ *    `statscc run` (virtual time again: the result is a pure
+ *    function of the plan).
+ *
+ * The runner owns a compile cache keyed by the plan compatibility
+ * key: parse → middle-end → instantiate → ExecutableModule happens
+ * once per distinct (module text, configuration, tier, budget).
+ *
+ * Threading contract: `runPlan`/`runBatch` must be called from one
+ * thread at a time (the server's dispatcher). The global
+ * ReplaySession's mode changes are quiescent-time operations, so
+ * served engine runs are inherently serialized.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sdi/spec_config.hpp"
+#include "serving/execution_plan.hpp"
+#include "serving/scheduler.hpp"
+
+namespace stats::serving {
+
+/** Outcome of executing one plan. */
+struct PlanResult
+{
+    bool ok = false;
+    /** Runtime failure detail ("" when ok). */
+    std::string error;
+
+    /**
+     * Deterministic result bytes: the per-position observed states
+     * (IR kinds) or the benchmark signature (Benchmark kind), varint
+     * encoded. Byte-identical across re-runs of the same plan — the
+     * serving determinism contract.
+     */
+    std::string resultBlob;
+
+    /** Serialized RecordLog when the plan asked for choice capture
+     *  and the path records (engine runs); "" otherwise. */
+    std::string recordLog;
+
+    // Summary numbers for `stats-cli status/result`.
+    long long finalState = 0;
+    double virtualSeconds = 0.0;
+    std::int64_t invocations = 0;
+    /** Lanes the plan was fused with (1 = ran solo). */
+    int batchedLanes = 1;
+};
+
+class PlanRunner
+{
+  public:
+    /** Execute one plan (any kind). */
+    PlanResult runPlan(const ExecutionPlan &plan);
+
+    /**
+     * Execute a dispatch unit from the scheduler: one plan, or
+     * several batch-compatible sequential plans fused lane-parallel.
+     * Results are positionally aligned with `batch`.
+     */
+    std::vector<PlanResult>
+    runBatch(const std::vector<QueuedPlan> &batch);
+
+    /** Compile-cache statistics (serving.* metrics mirror these). */
+    std::size_t cacheSize() const { return _cache.size(); }
+    std::uint64_t cacheHits() const { return _cacheHits; }
+
+  private:
+    struct Compiled;
+
+    std::shared_ptr<Compiled> compiled(const ExecutionPlan &plan,
+                                       std::string &error);
+    PlanResult runSequential(const ExecutionPlan &plan);
+    PlanResult runSpeculative(const ExecutionPlan &plan);
+    PlanResult runBenchmark(const ExecutionPlan &plan);
+
+    std::map<std::uint64_t, std::shared_ptr<Compiled>> _cache;
+    std::uint64_t _cacheHits = 0;
+};
+
+} // namespace stats::serving

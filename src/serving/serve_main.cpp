@@ -1,0 +1,116 @@
+#include "serving/serve_main.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "observability/metrics.hpp"
+#include "observability/trace.hpp"
+#include "serving/daemon.hpp"
+#include "support/log.hpp"
+
+namespace stats::serving {
+
+namespace {
+
+std::vector<std::string>
+splitColons(const std::string &spec)
+{
+    std::vector<std::string> parts;
+    std::stringstream stream(spec);
+    std::string part;
+    while (std::getline(stream, part, ':'))
+        parts.push_back(part);
+    return parts;
+}
+
+bool
+parseQuotaParts(const std::vector<std::string> &parts,
+                TenantQuota &quota, std::string &error)
+{
+    if (parts.size() != 4) {
+        error = "want rate:burst:maxQueued:weight";
+        return false;
+    }
+    try {
+        quota.ratePerSec = std::stod(parts[0]);
+        quota.burst = std::stod(parts[1]);
+        quota.maxQueued =
+            static_cast<std::size_t>(std::stoull(parts[2]));
+        quota.weight = std::stoi(parts[3]);
+    } catch (const std::exception &) {
+        error = "malformed number in quota spec";
+        return false;
+    }
+    if (quota.ratePerSec <= 0.0 || quota.burst < 1.0 ||
+        quota.maxQueued < 1 || quota.weight < 1) {
+        error = "quota values out of range";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseQuotaSpec(const std::string &spec, TenantQuota &quota,
+               std::string &error)
+{
+    return parseQuotaParts(splitColons(spec), quota, error);
+}
+
+int
+serveMain(const ServeArgs &args)
+{
+    if (args.trace) {
+        obs::Trace::global().enable();
+        if (!obs::traceActive())
+            support::fatal("--trace needs tracing compiled in "
+                           "(built with STATS_OBS_DISABLE)");
+    }
+
+    Server::Options options;
+    options.runAnalysis = args.runAnalysis;
+    options.quantum = args.quantum;
+    if (!args.defaultQuotaSpec.empty()) {
+        std::string error;
+        if (!parseQuotaSpec(args.defaultQuotaSpec,
+                            options.defaultQuota, error))
+            support::fatal("--default-quota: ", error);
+    }
+
+    Daemon daemon(args.socketPath, std::move(options));
+    for (const auto &spec : args.quotaSpecs) {
+        const auto colon = spec.find(':');
+        std::string error;
+        TenantQuota quota;
+        if (colon == std::string::npos || colon == 0 ||
+            !parseQuotaSpec(spec.substr(colon + 1), quota, error))
+            support::fatal("--quota '", spec, "': ",
+                           error.empty() ? "want tenant:rate:burst:"
+                                           "maxQueued:weight"
+                                         : error);
+        daemon.server().setQuota(spec.substr(0, colon), quota);
+    }
+
+    std::cout << "statsd: serving on " << daemon.socketPath()
+              << " (analysis "
+              << (args.runAnalysis ? "on" : "off") << ")\n";
+    daemon.serveForever();
+
+    std::cout << "statsd: drained after "
+              << daemon.server().completedCount()
+              << " completed request(s)\n";
+    if (!args.metricsPath.empty()) {
+        std::ofstream out(args.metricsPath);
+        if (!out)
+            support::fatal("cannot open '", args.metricsPath, "'");
+        obs::MetricsRegistry::global().writeJson(out);
+        std::cout << "statsd: wrote metrics to " << args.metricsPath
+                  << "\n";
+    }
+    return 0;
+}
+
+} // namespace stats::serving

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared entry point behind the `statsd` binary and `statscc serve`:
+ * option parsing for the daemon's knobs, the listen loop, and the
+ * shutdown report (docs/SERVING.md §7).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serving/admission.hpp"
+
+namespace stats::serving {
+
+struct ServeArgs
+{
+    std::string socketPath = "statsd.sock";
+    /** Run the speculation-safety lint at admission. */
+    bool runAnalysis = true;
+    /** WDRR quantum (plan units per tenant visit). */
+    double quantum = 1.0;
+    /** Default quota spec: "rate:burst:maxQueued:weight"; "" keeps
+     *  the built-in TenantQuota defaults. */
+    std::string defaultQuotaSpec;
+    /** Per-tenant specs: "tenant:rate:burst:maxQueued:weight". */
+    std::vector<std::string> quotaSpecs;
+    /** Enable the trace layer and dump serving metrics on exit. */
+    std::string metricsPath;
+    bool trace = false;
+};
+
+/**
+ * Parse "rate:burst:maxQueued:weight" (the `tenant:`-less form).
+ * Returns false and sets `error` on a malformed spec.
+ */
+bool parseQuotaSpec(const std::string &spec, TenantQuota &quota,
+                    std::string &error);
+
+/**
+ * Run the daemon until `stats-cli drain` (or a fatal error). Returns
+ * the process exit code.
+ */
+int serveMain(const ServeArgs &args);
+
+} // namespace stats::serving

@@ -1,0 +1,286 @@
+#include "serving/server.hpp"
+
+#include <chrono>
+
+#include "observability/metrics.hpp"
+#include "observability/trace.hpp"
+#include "support/string_utils.hpp"
+
+namespace stats::serving {
+
+namespace {
+
+double
+steadySeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+countRejection(std::uint64_t request_id, const AdmissionVerdict &v,
+               double now)
+{
+    auto &metrics = obs::MetricsRegistry::global();
+    metrics.counter("serving.requests_rejected").add();
+    metrics
+        .counter(std::string("serving.rejected.") +
+                 rejectReasonName(v.reason))
+        .add();
+    if (obs::traceActive()) {
+        obs::Trace::global().record(
+            obs::EventType::RequestRejected, -1,
+            static_cast<std::int64_t>(request_id), -1, now,
+            obs::kFrontierTrack,
+            static_cast<std::int64_t>(v.reason));
+        if (isBackpressure(v.reason))
+            obs::Trace::global().record(
+                obs::EventType::TenantThrottled, -1,
+                static_cast<std::int64_t>(request_id), -1, now,
+                obs::kFrontierTrack,
+                static_cast<std::int64_t>(v.reason));
+    }
+}
+
+} // namespace
+
+const char *
+requestStateName(RequestState state)
+{
+    switch (state) {
+      case RequestState::Queued:  return "queued";
+      case RequestState::Running: return "running";
+      case RequestState::Done:    return "done";
+      case RequestState::Failed:  return "failed";
+      case RequestState::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+Server::Server() : Server(Options{}) {}
+
+Server::Server(Options options)
+    : _options(std::move(options)),
+      _admission(_options.defaultQuota,
+                 _options.clock ? _options.clock
+                                : std::function<double()>(steadySeconds)),
+      _scheduler(_options.quantum,
+                 _options.clock ? _options.clock
+                                : std::function<double()>(steadySeconds))
+{
+    _dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+Server::~Server()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _draining = true;
+        _stop = true;
+    }
+    _wake.notify_all();
+    if (_dispatcher.joinable())
+        _dispatcher.join();
+}
+
+void
+Server::setQuota(const std::string &tenant, TenantQuota quota)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _admission.setQuota(tenant, quota);
+    _scheduler.setWeight(tenant, quota.weight);
+}
+
+SubmitOutcome
+Server::submit(const std::string &plan_bytes)
+{
+    SubmitOutcome outcome;
+    std::string error;
+    const auto plan = ExecutionPlan::load(plan_bytes, error);
+    if (!plan) {
+        outcome.verdict.reason =
+            support::startsWith(error, "unsupported plan schema")
+                ? RejectReason::VersionSkew
+                : RejectReason::MalformedPlan;
+        outcome.verdict.detail = error;
+        const double now = _options.clock ? _options.clock()
+                                          : steadySeconds();
+        countRejection(0, outcome.verdict, now);
+        return outcome;
+    }
+    return submitPlan(*plan);
+}
+
+SubmitOutcome
+Server::submitPlan(const ExecutionPlan &plan)
+{
+    SubmitOutcome outcome;
+    const double now =
+        _options.clock ? _options.clock() : steadySeconds();
+
+    // Semantic validation runs outside the lock — it parses and lints
+    // the module, by far the heaviest admission stage.
+    bool draining_snapshot;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        draining_snapshot = _draining;
+    }
+    if (draining_snapshot) {
+        outcome.verdict.reason = RejectReason::Draining;
+        outcome.verdict.detail = "server is draining";
+        countRejection(0, outcome.verdict, now);
+        return outcome;
+    }
+    outcome.verdict =
+        AdmissionController::validate(plan, _options.runAnalysis);
+    if (!outcome.verdict.admitted()) {
+        countRejection(0, outcome.verdict, now);
+        return outcome;
+    }
+
+    std::uint64_t request_id = 0;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_draining) {
+            outcome.verdict.reason = RejectReason::Draining;
+            outcome.verdict.detail = "server is draining";
+        } else {
+            outcome.verdict = _admission.admitQuota(
+                plan.tenant, _scheduler.queuedFor(plan.tenant));
+        }
+        if (outcome.verdict.admitted()) {
+            request_id = _nextRequestId++;
+            auto shared =
+                std::make_shared<const ExecutionPlan>(plan);
+            Request request;
+            request.state = RequestState::Queued;
+            request.plan = shared;
+            _requests.emplace(request_id, std::move(request));
+            _scheduler.enqueue(request_id, std::move(shared));
+            obs::MetricsRegistry::global()
+                .gauge("serving.queue_depth")
+                .set(static_cast<double>(_scheduler.totalQueued()));
+        }
+    }
+    if (!outcome.verdict.admitted()) {
+        countRejection(0, outcome.verdict, now);
+        return outcome;
+    }
+
+    outcome.requestId = request_id;
+    obs::MetricsRegistry::global()
+        .counter("serving.requests_admitted")
+        .add();
+    if (obs::traceActive())
+        obs::Trace::global().record(
+            obs::EventType::RequestAdmitted, -1,
+            static_cast<std::int64_t>(request_id), -1, now,
+            obs::kFrontierTrack,
+            static_cast<std::int64_t>(queueDepth()));
+    _wake.notify_all();
+    return outcome;
+}
+
+RequestStatus
+Server::status(std::uint64_t request_id) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    RequestStatus status;
+    const auto it = _requests.find(request_id);
+    if (it == _requests.end())
+        return status;
+    status.state = it->second.state;
+    status.tenant = it->second.plan->tenant;
+    if (status.state == RequestState::Done ||
+        status.state == RequestState::Failed)
+        status.result = it->second.result;
+    return status;
+}
+
+std::string
+Server::replayLog(std::uint64_t request_id) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _requests.find(request_id);
+    return it == _requests.end() ? "" : it->second.result.recordLog;
+}
+
+std::uint64_t
+Server::drain()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _draining = true;
+    _wake.notify_all();
+    _idle.wait(lock, [this] {
+        return _scheduler.empty() && _running == 0;
+    });
+    return _completed;
+}
+
+bool
+Server::draining() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _draining;
+}
+
+std::size_t
+Server::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _scheduler.totalQueued();
+}
+
+std::uint64_t
+Server::completedCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _completed;
+}
+
+void
+Server::dispatchLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _wake.wait(lock, [this] {
+            return _stop || !_scheduler.empty();
+        });
+        if (_scheduler.empty()) {
+            if (_stop)
+                return;
+            continue;
+        }
+        std::vector<QueuedPlan> batch = _scheduler.nextBatch();
+        for (const auto &member : batch)
+            _requests.at(member.requestId).state =
+                RequestState::Running;
+        _running = batch.size();
+        obs::MetricsRegistry::global()
+            .gauge("serving.queue_depth")
+            .set(static_cast<double>(_scheduler.totalQueued()));
+
+        // Execute outside the lock: submits and status reads stay
+        // responsive while the (single) dispatcher runs plans.
+        lock.unlock();
+        std::vector<PlanResult> results = _runner.runBatch(batch);
+        lock.lock();
+
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Request &request = _requests.at(batch[i].requestId);
+            request.result = std::move(results[i]);
+            request.state = request.result.ok ? RequestState::Done
+                                              : RequestState::Failed;
+            ++_completed;
+        }
+        _running = 0;
+        obs::MetricsRegistry::global()
+            .counter("serving.requests_completed")
+            .add(static_cast<std::int64_t>(batch.size()));
+        if (_scheduler.empty())
+            _idle.notify_all();
+    }
+}
+
+} // namespace stats::serving

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The in-process serving core behind statsd (docs/SERVING.md §§3-5):
+ * admission → tenant queues → WDRR dispatch → plan runner, plus the
+ * request registry `status`/`result`/`replay-fetch` read from.
+ *
+ * The daemon (daemon.hpp) is a thin socket front-end over this class;
+ * tests drive it directly. One background *dispatcher thread* owns
+ * all plan execution, which keeps the global ReplaySession's
+ * quiescent-time contract: served engine runs are serialized, each
+ * wrapped in its own record scope.
+ *
+ * Request lifecycle: Queued → Running → Done | Failed; a rejected
+ * request never enters the registry (the verdict travels back in the
+ * submit response).
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serving/admission.hpp"
+#include "serving/execution_plan.hpp"
+#include "serving/runner.hpp"
+#include "serving/scheduler.hpp"
+
+namespace stats::serving {
+
+enum class RequestState : std::uint8_t
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Unknown, ///< No such request id.
+};
+
+const char *requestStateName(RequestState state);
+
+/** What submit() decided. */
+struct SubmitOutcome
+{
+    /** Valid when admitted (verdict.reason == None). */
+    std::uint64_t requestId = 0;
+    AdmissionVerdict verdict;
+
+    bool admitted() const { return verdict.admitted(); }
+};
+
+/** Registry snapshot of one request. */
+struct RequestStatus
+{
+    RequestState state = RequestState::Unknown;
+    std::string tenant;
+    /** Valid in Done/Failed states. */
+    PlanResult result;
+};
+
+class Server
+{
+  public:
+    struct Options
+    {
+        TenantQuota defaultQuota;
+        /** Run the speculation-safety lint at admission. */
+        bool runAnalysis = true;
+        /** WDRR quantum (plan units granted per tenant visit). */
+        double quantum = 1.0;
+        /** Monotonic seconds; injectable for deterministic tests. */
+        std::function<double()> clock;
+    };
+
+    Server();
+    explicit Server(Options options);
+    /** Drains in-flight work, then stops the dispatcher. */
+    ~Server();
+
+    /** Configure one tenant (quota + scheduler weight). */
+    void setQuota(const std::string &tenant, TenantQuota quota);
+
+    /** Admit binary plan bytes (the wire form). */
+    SubmitOutcome submit(const std::string &plan_bytes);
+
+    /** Admit an already-decoded plan. */
+    SubmitOutcome submitPlan(const ExecutionPlan &plan);
+
+    /** Registry lookup (Unknown state for a bad id). */
+    RequestStatus status(std::uint64_t request_id) const;
+
+    /** Serialized RecordLog of a finished request; "" when absent. */
+    std::string replayLog(std::uint64_t request_id) const;
+
+    /**
+     * Stop admitting (new submits reject with Draining), run every
+     * queued plan, and return the number of requests completed over
+     * the server's lifetime.
+     */
+    std::uint64_t drain();
+
+    bool draining() const;
+
+    /** Queued-but-not-dispatched plans right now. */
+    std::size_t queueDepth() const;
+
+    std::uint64_t completedCount() const;
+
+  private:
+    struct Request
+    {
+        RequestState state = RequestState::Queued;
+        std::shared_ptr<const ExecutionPlan> plan;
+        PlanResult result;
+    };
+
+    void dispatchLoop();
+
+    Options _options;
+    mutable std::mutex _mutex;
+    std::condition_variable _wake;     ///< Dispatcher wake-up.
+    std::condition_variable _idle;     ///< drain() waits here.
+    AdmissionController _admission;
+    PlanScheduler _scheduler;
+    PlanRunner _runner;
+    std::map<std::uint64_t, Request> _requests;
+    std::uint64_t _nextRequestId = 1;
+    std::uint64_t _completed = 0;
+    std::size_t _running = 0;
+    bool _draining = false;
+    bool _stop = false;
+    std::thread _dispatcher;
+};
+
+} // namespace stats::serving

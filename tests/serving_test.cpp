@@ -1,0 +1,816 @@
+/**
+ * @file
+ * The serving subsystem (src/serving/, docs/SERVING.md): execution
+ * plans, admission control, the WDRR scheduler with cross-request
+ * batching, the plan runner, the in-process server, the wire
+ * protocol, and the socket daemon end to end.
+ *
+ * Also the docs-lockstep suite for docs/SERVING.md — the reject
+ * reasons, wire message types, and plan text keys named there must
+ * match the code — and the byte-exact goldens pinning the plan's
+ * binary and text encodings (tests/golden/serving_plan.stpl / .txt).
+ * To regenerate after an intentional schema change, write
+ * `goldenPlan().saveToString()` / `goldenPlan().toText()` to those
+ * files and bump kPlanSchemaVersion.
+ */
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "replay/record_log.hpp"
+#include "replay/session.hpp"
+#include "serving/admission.hpp"
+#include "serving/client.hpp"
+#include "serving/daemon.hpp"
+#include "serving/execution_plan.hpp"
+#include "serving/protocol.hpp"
+#include "serving/runner.hpp"
+#include "serving/scheduler.hpp"
+#include "serving/server.hpp"
+
+namespace {
+
+using namespace stats;
+using serving::AdmissionController;
+using serving::AdmissionVerdict;
+using serving::ExecutionPlan;
+using serving::JobKind;
+using serving::PlanResult;
+using serving::PlanRunner;
+using serving::PlanScheduler;
+using serving::QueuedPlan;
+using serving::RejectReason;
+using serving::RequestState;
+using serving::Server;
+using serving::TenantQuota;
+
+/** A minimal valid module: one state dependence, pure arithmetic. */
+const char *const kFixtureModule =
+    "module \"serving_fixture\"\n"
+    "statedep SD0 compute=@computeOutput\n"
+    "\n"
+    "func @computeOutput(i64 %input, i64 %state) -> i64 {\n"
+    "entry:\n"
+    "  %a = add i64 %state, %input\n"
+    "  ret i64 %a\n"
+    "}\n";
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string
+sourcePath(const std::string &relative)
+{
+    return std::string(STATS_SOURCE_DIR) + "/" + relative;
+}
+
+/** A sequential plan over the fixture module. */
+ExecutionPlan
+seqPlan(std::uint64_t seed = 7, const std::string &tenant = "alpha")
+{
+    ExecutionPlan plan;
+    plan.kind = JobKind::IrSequential;
+    plan.tenant = tenant;
+    plan.moduleText = kFixtureModule;
+    plan.rootSeed = seed;
+    plan.inputs = 12;
+    plan.noisyPercent = 25;
+    plan.maxNoise = 2;
+    return plan;
+}
+
+/** A speculative plan (engine-backed, records choice points). */
+ExecutionPlan
+specPlan(std::uint64_t seed = 7)
+{
+    ExecutionPlan plan = seqPlan(seed);
+    plan.kind = JobKind::IrSpeculative;
+    return plan;
+}
+
+/** The fixed plan behind the byte-exact goldens: every field set. */
+ExecutionPlan
+goldenPlan()
+{
+    ExecutionPlan plan;
+    plan.tenant = "golden";
+    plan.priority = -3;
+    plan.kind = JobKind::IrSequential;
+    plan.moduleText = kFixtureModule;
+    plan.tradeoffIndices = {{"aux::T_42", 4}, {"aux::T_43", 1}};
+    plan.limits.useAuxiliary = true;
+    plan.limits.groupSize = 5;
+    plan.limits.auxWindow = 3;
+    plan.limits.maxReexecutions = 1;
+    plan.limits.rollbackDepth = 1;
+    plan.limits.sdThreads = 6;
+    plan.limits.innerThreads = 2;
+    plan.limits.auxBatchGroups = 2;
+    plan.stepBudget = 250000;
+    plan.execTier = ir::ExecTier::Bytecode;
+    plan.batchLanes = 4;
+    plan.rootSeed = 20260808;
+    plan.inputs = 16;
+    plan.initialState = 11;
+    plan.noisyPercent = 50;
+    plan.maxNoise = 2;
+    plan.faults = "mismatch@g3";
+    plan.recordChoices = false;
+    return plan;
+}
+
+QueuedPlan
+queued(const ExecutionPlan &plan, std::uint64_t request_id = 0)
+{
+    QueuedPlan item;
+    item.requestId = request_id;
+    item.plan = std::make_shared<const ExecutionPlan>(plan);
+    return item;
+}
+
+// ===================================================== ExecutionPlan
+
+TEST(ExecutionPlanTest, BinaryRoundTripPreservesEveryField)
+{
+    const ExecutionPlan plan = goldenPlan();
+    std::string error;
+    const auto loaded = ExecutionPlan::load(plan.saveToString(), error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(plan, *loaded);
+}
+
+TEST(ExecutionPlanTest, TextRoundTripPreservesEveryField)
+{
+    const ExecutionPlan plan = goldenPlan();
+    std::string error;
+    const auto parsed = ExecutionPlan::fromText(plan.toText(), error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(plan, *parsed);
+}
+
+TEST(ExecutionPlanTest, BenchmarkKindRoundTrips)
+{
+    ExecutionPlan plan;
+    plan.kind = JobKind::Benchmark;
+    plan.moduleRef = "swaptions";
+    plan.benchMode = "seq";
+    plan.benchThreads = 4;
+    plan.benchWorkload = "bad";
+    std::string error;
+    const auto binary = ExecutionPlan::load(plan.saveToString(), error);
+    ASSERT_TRUE(binary.has_value()) << error;
+    EXPECT_EQ(plan, *binary);
+    const auto text = ExecutionPlan::fromText(plan.toText(), error);
+    ASSERT_TRUE(text.has_value()) << error;
+    EXPECT_EQ(plan, *text);
+}
+
+TEST(ExecutionPlanTest, BinaryGoldenIsByteExact)
+{
+    EXPECT_EQ(goldenPlan().saveToString(),
+              readFile(sourcePath("tests/golden/serving_plan.stpl")));
+}
+
+TEST(ExecutionPlanTest, TextGoldenIsByteExact)
+{
+    EXPECT_EQ(goldenPlan().toText(),
+              readFile(sourcePath("tests/golden/serving_plan.txt")));
+}
+
+TEST(ExecutionPlanTest, VersionSkewIsRejectedNotGuessed)
+{
+    // Magic + varint(schema+1): a plan from a future build.
+    std::string bytes = "STPL";
+    bytes.push_back(
+        static_cast<char>(serving::kPlanSchemaVersion + 1));
+    std::string error;
+    EXPECT_FALSE(ExecutionPlan::load(bytes, error).has_value());
+    EXPECT_NE(error.find("unsupported plan schema"),
+              std::string::npos)
+        << error;
+}
+
+TEST(ExecutionPlanTest, BadMagicAndTruncationFailCleanly)
+{
+    std::string error;
+    EXPECT_FALSE(ExecutionPlan::load("NOPE", error).has_value());
+    const std::string good = goldenPlan().saveToString();
+    for (const std::size_t cut : {std::size_t(5), good.size() / 2,
+                                  good.size() - 1})
+        EXPECT_FALSE(
+            ExecutionPlan::load(good.substr(0, cut), error)
+                .has_value())
+            << "cut at " << cut;
+    // Trailing garbage is also an error, not silently ignored.
+    EXPECT_FALSE(ExecutionPlan::load(good + "x", error).has_value());
+}
+
+TEST(ExecutionPlanTest, TextParserRejectsUnknownKeysWithLineNumbers)
+{
+    std::string error;
+    EXPECT_FALSE(ExecutionPlan::fromText(
+                     "plan v1\nflavor vanilla\n", error)
+                     .has_value());
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_FALSE(
+        ExecutionPlan::fromText("kind ir-seq\n", error).has_value());
+    EXPECT_NE(error.find("missing the 'plan v1' header"),
+              std::string::npos)
+        << error;
+}
+
+TEST(ExecutionPlanTest, CompatibilityKeySeparatesPrograms)
+{
+    const ExecutionPlan a = seqPlan(1);
+    ExecutionPlan b = seqPlan(2); // Seed differs: still compatible.
+    EXPECT_EQ(a.compatibilityKey(), b.compatibilityKey());
+    EXPECT_TRUE(a.canBatchWith(b));
+
+    b.stepBudget += 1;
+    EXPECT_NE(a.compatibilityKey(), b.compatibilityKey());
+    EXPECT_FALSE(a.canBatchWith(b));
+
+    ExecutionPlan c = seqPlan(3);
+    c.batchLanes = 1; // Fusion disabled for this plan.
+    EXPECT_FALSE(a.canBatchWith(c));
+    EXPECT_FALSE(a.canBatchWith(specPlan()));
+}
+
+// ========================================================= Admission
+
+TEST(AdmissionTest, ValidatesInlineIrThroughTheCompilerGates)
+{
+    EXPECT_TRUE(
+        AdmissionController::validate(seqPlan(), true).admitted());
+
+    ExecutionPlan bad_parse = seqPlan();
+    bad_parse.moduleText = "module \"x\"\nfunc @f( {\n";
+    EXPECT_EQ(AdmissionController::validate(bad_parse, true).reason,
+              RejectReason::ParseError);
+
+    ExecutionPlan no_dep = seqPlan();
+    no_dep.moduleText =
+        "module \"x\"\n"
+        "func @f(i64 %a, i64 %b) -> i64 {\nentry:\n  ret i64 %a\n}\n";
+    const auto verdict = AdmissionController::validate(no_dep, true);
+    EXPECT_EQ(verdict.reason, RejectReason::VerifyError);
+    EXPECT_NE(verdict.detail.find("no state dependence"),
+              std::string::npos);
+}
+
+TEST(AdmissionTest, LintRunsAtAdmissionUnlessDisabled)
+{
+    ExecutionPlan impure = seqPlan();
+    impure.moduleText =
+        readFile(sourcePath("examples/ir/bad/bad_impure_clone.ir"));
+    EXPECT_EQ(AdmissionController::validate(impure, true).reason,
+              RejectReason::AnalysisError);
+    // statsd --no-analysis skips exactly this stage.
+    EXPECT_TRUE(
+        AdmissionController::validate(impure, false).admitted());
+}
+
+TEST(AdmissionTest, ConfigurationPointMustBindToRealTradeoffs)
+{
+    ExecutionPlan plan = seqPlan();
+    plan.moduleText = readFile(sourcePath("examples/ir/pipeline.ir"));
+
+    plan.tradeoffIndices = {{"aux::T_42", 4}};
+    EXPECT_TRUE(AdmissionController::validate(plan, true).admitted());
+
+    plan.tradeoffIndices = {{"aux::T_99", 0}};
+    auto verdict = AdmissionController::validate(plan, true);
+    EXPECT_EQ(verdict.reason, RejectReason::VerifyError);
+    EXPECT_NE(verdict.detail.find("unknown tradeoff"),
+              std::string::npos);
+
+    // aux::T_42 has size 10: valid indices are [0, 10).
+    plan.tradeoffIndices = {{"aux::T_42", 10}};
+    verdict = AdmissionController::validate(plan, true);
+    EXPECT_EQ(verdict.reason, RejectReason::VerifyError);
+    EXPECT_NE(verdict.detail.find("out of range"), std::string::npos);
+}
+
+TEST(AdmissionTest, UnknownBenchmarkAndBadFaultSpecAreRejected)
+{
+    ExecutionPlan bench;
+    bench.kind = JobKind::Benchmark;
+    bench.moduleRef = "no-such-benchmark";
+    EXPECT_EQ(AdmissionController::validate(bench, true).reason,
+              RejectReason::UnknownModule);
+
+    ExecutionPlan faulty = seqPlan();
+    faulty.faults = "not a fault spec";
+    EXPECT_EQ(AdmissionController::validate(faulty, true).reason,
+              RejectReason::MalformedPlan);
+}
+
+TEST(AdmissionTest, TokenBucketEnforcesRateAndRefillsOverTime)
+{
+    double now = 0.0;
+    TenantQuota quota;
+    quota.ratePerSec = 1.0;
+    quota.burst = 2.0;
+    AdmissionController admission(quota, [&now] { return now; });
+
+    EXPECT_TRUE(admission.admitQuota("t", 0).admitted());
+    EXPECT_TRUE(admission.admitQuota("t", 0).admitted());
+    const auto rejected = admission.admitQuota("t", 0);
+    EXPECT_EQ(rejected.reason, RejectReason::QuotaExceeded);
+    EXPECT_GT(rejected.retryAfterSeconds, 0.0);
+    EXPECT_TRUE(serving::isBackpressure(rejected.reason));
+
+    now += rejected.retryAfterSeconds; // One token has refilled.
+    EXPECT_TRUE(admission.admitQuota("t", 0).admitted());
+    EXPECT_EQ(admission.admitQuota("t", 0).reason,
+              RejectReason::QuotaExceeded);
+}
+
+TEST(AdmissionTest, QueueBoundIsPerTenant)
+{
+    double now = 0.0;
+    TenantQuota quota;
+    quota.maxQueued = 2;
+    AdmissionController admission(quota, [&now] { return now; });
+    EXPECT_TRUE(admission.admitQuota("t", 1).admitted());
+    const auto full = admission.admitQuota("t", 2);
+    EXPECT_EQ(full.reason, RejectReason::QueueFull);
+    EXPECT_TRUE(serving::isBackpressure(full.reason));
+    // Another tenant's queue is independent.
+    EXPECT_TRUE(admission.admitQuota("u", 0).admitted());
+}
+
+// ========================================================= Scheduler
+
+TEST(SchedulerTest, WeightedDeficitRoundRobinIsProportional)
+{
+    PlanScheduler scheduler(1.0);
+    scheduler.setWeight("a", 2);
+    scheduler.setWeight("b", 1);
+
+    ExecutionPlan a = seqPlan(1, "a");
+    ExecutionPlan b = seqPlan(2, "b");
+    a.batchLanes = 1; // Keep dispatch units at one plan each.
+    b.batchLanes = 1;
+    for (std::uint64_t i = 0; i < 6; ++i)
+        scheduler.enqueue(100 + i,
+                          std::make_shared<const ExecutionPlan>(a));
+    for (std::uint64_t i = 0; i < 3; ++i)
+        scheduler.enqueue(200 + i,
+                          std::make_shared<const ExecutionPlan>(b));
+
+    std::vector<std::string> order;
+    while (!scheduler.empty()) {
+        const auto batch = scheduler.nextBatch();
+        ASSERT_EQ(batch.size(), 1u);
+        order.push_back(batch.front().plan->tenant);
+    }
+    // Weight 2:1 with unit quantum: a, a, b repeating.
+    const std::vector<std::string> expected = {"a", "a", "b", "a", "a",
+                                              "b", "a", "a", "b"};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(SchedulerTest, PriorityOrdersWithinATenantFifoWithinALevel)
+{
+    PlanScheduler scheduler;
+    ExecutionPlan low = seqPlan(1);
+    ExecutionPlan high = seqPlan(2);
+    ExecutionPlan high2 = seqPlan(3);
+    low.batchLanes = high.batchLanes = high2.batchLanes = 1;
+    low.priority = 0;
+    high.priority = 5;
+    high2.priority = 5;
+    scheduler.enqueue(1, std::make_shared<const ExecutionPlan>(low));
+    scheduler.enqueue(2, std::make_shared<const ExecutionPlan>(high));
+    scheduler.enqueue(3, std::make_shared<const ExecutionPlan>(high2));
+
+    EXPECT_EQ(scheduler.nextBatch().front().requestId, 2u);
+    EXPECT_EQ(scheduler.nextBatch().front().requestId, 3u);
+    EXPECT_EQ(scheduler.nextBatch().front().requestId, 1u);
+}
+
+TEST(SchedulerTest, FusesCompatiblePlansAcrossTenants)
+{
+    PlanScheduler scheduler;
+    ExecutionPlan a = seqPlan(1, "a");
+    ExecutionPlan b = seqPlan(2, "b");
+    ExecutionPlan other = seqPlan(3, "a");
+    other.stepBudget += 1; // Different program: incompatible.
+    a.batchLanes = b.batchLanes = other.batchLanes = 4;
+
+    scheduler.enqueue(1, std::make_shared<const ExecutionPlan>(a));
+    scheduler.enqueue(2, std::make_shared<const ExecutionPlan>(other));
+    scheduler.enqueue(3, std::make_shared<const ExecutionPlan>(a));
+    scheduler.enqueue(4, std::make_shared<const ExecutionPlan>(b));
+
+    const auto batch = scheduler.nextBatch();
+    ASSERT_EQ(batch.size(), 3u); // 1 + 3 (own queue) + 4 (tenant b).
+    EXPECT_EQ(batch[0].requestId, 1u);
+    EXPECT_EQ(batch[1].requestId, 3u);
+    EXPECT_EQ(batch[2].requestId, 4u);
+
+    // The incompatible plan dispatches on its own afterwards.
+    const auto rest = scheduler.nextBatch();
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest.front().requestId, 2u);
+    EXPECT_TRUE(scheduler.empty());
+}
+
+TEST(SchedulerTest, BatchCapIsTheSmallestMemberLaneCount)
+{
+    PlanScheduler scheduler;
+    ExecutionPlan wide = seqPlan(1);
+    wide.batchLanes = 8;
+    ExecutionPlan narrow = seqPlan(2);
+    narrow.batchLanes = 2;
+    scheduler.enqueue(1, std::make_shared<const ExecutionPlan>(wide));
+    scheduler.enqueue(2,
+                      std::make_shared<const ExecutionPlan>(narrow));
+    scheduler.enqueue(3, std::make_shared<const ExecutionPlan>(wide));
+
+    // narrow joins (cap drops to 2), so the third plan must wait.
+    EXPECT_EQ(scheduler.nextBatch().size(), 2u);
+    EXPECT_EQ(scheduler.nextBatch().size(), 1u);
+}
+
+// ============================================================ Runner
+
+TEST(RunnerTest, FusedLanesAreByteIdenticalToSoloRuns)
+{
+    PlanRunner solo;
+    const PlanResult a = solo.runPlan(seqPlan(11));
+    const PlanResult b = solo.runPlan(seqPlan(12));
+    const PlanResult c = solo.runPlan(seqPlan(13));
+    ASSERT_TRUE(a.ok && b.ok && c.ok);
+    EXPECT_NE(a.resultBlob, b.resultBlob); // Seeds differ.
+
+    PlanRunner fused;
+    const auto results = fused.runBatch(
+        {queued(seqPlan(11)), queued(seqPlan(12)),
+         queued(seqPlan(13))});
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto &result : results) {
+        ASSERT_TRUE(result.ok) << result.error;
+        EXPECT_EQ(result.batchedLanes, 3);
+    }
+    EXPECT_EQ(results[0].resultBlob, a.resultBlob);
+    EXPECT_EQ(results[1].resultBlob, b.resultBlob);
+    EXPECT_EQ(results[2].resultBlob, c.resultBlob);
+    EXPECT_EQ(results[0].finalState, a.finalState);
+    // One compiled program served every lane and the solo runs alike.
+    EXPECT_EQ(fused.cacheSize(), 1u);
+}
+
+TEST(RunnerTest, CompileCacheIsKeyedByCompatibility)
+{
+    PlanRunner runner;
+    EXPECT_TRUE(runner.runPlan(seqPlan(1)).ok);
+    EXPECT_TRUE(runner.runPlan(seqPlan(2)).ok);
+    EXPECT_EQ(runner.cacheSize(), 1u);
+    EXPECT_GE(runner.cacheHits(), 1u);
+
+    ExecutionPlan bytecode = seqPlan(1);
+    bytecode.execTier = ir::ExecTier::Bytecode;
+    EXPECT_TRUE(runner.runPlan(bytecode).ok);
+    EXPECT_EQ(runner.cacheSize(), 2u); // Tier is part of the key.
+}
+
+TEST(RunnerTest, ExecTierDoesNotChangeResultBytes)
+{
+    PlanRunner runner;
+    ExecutionPlan ast = seqPlan(5);
+    ast.execTier = ir::ExecTier::Ast;
+    ExecutionPlan bytecode = seqPlan(5);
+    bytecode.execTier = ir::ExecTier::Bytecode;
+    const PlanResult a = runner.runPlan(ast);
+    const PlanResult b = runner.runPlan(bytecode);
+    ASSERT_TRUE(a.ok && b.ok) << a.error << b.error;
+    EXPECT_EQ(a.resultBlob, b.resultBlob);
+    EXPECT_EQ(a.finalState, b.finalState);
+}
+
+TEST(RunnerTest, SpeculativeRunsAreDeterministic)
+{
+    PlanRunner runner;
+    const PlanResult a = runner.runPlan(specPlan(21));
+    const PlanResult b = runner.runPlan(specPlan(21));
+    ASSERT_TRUE(a.ok && b.ok) << a.error << b.error;
+    EXPECT_EQ(a.resultBlob, b.resultBlob);
+    EXPECT_EQ(a.recordLog, b.recordLog);
+    EXPECT_FALSE(a.recordLog.empty());
+    EXPECT_GT(a.invocations, 0);
+
+    const PlanResult c = runner.runPlan(specPlan(22));
+    ASSERT_TRUE(c.ok);
+    EXPECT_NE(a.resultBlob, c.resultBlob);
+}
+
+TEST(RunnerTest, ServedRecordLogReplaysWithZeroDivergence)
+{
+    PlanRunner runner;
+    const ExecutionPlan recorded = specPlan(33);
+    const PlanResult first = runner.runPlan(recorded);
+    ASSERT_TRUE(first.ok) << first.error;
+    ASSERT_FALSE(first.recordLog.empty());
+
+    std::istringstream stream(first.recordLog);
+    std::string error;
+    const auto log = replay::RecordLog::load(stream, error);
+    ASSERT_TRUE(log.has_value()) << error;
+    ASSERT_FALSE(log->records.empty());
+
+    // Re-run the same plan under replay: every engine choice point
+    // must match the served log — the byte-identical-reproducibility
+    // contract of docs/SERVING.md §5.
+    ExecutionPlan again = recorded;
+    again.recordChoices = false;
+    auto &session = replay::ReplaySession::global();
+    session.startReplay(*log);
+    const PlanResult second = runner.runPlan(again);
+    const replay::ReplayReport report = session.finishReplay();
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_FALSE(report.diverged) << report.first.describe();
+    EXPECT_EQ(report.recordsMatched, log->records.size());
+    EXPECT_EQ(second.resultBlob, first.resultBlob);
+}
+
+// ============================================================ Server
+
+TEST(ServerTest, ServedRunsAreByteIdenticalAcrossSubmissions)
+{
+    Server server;
+    const auto first = server.submitPlan(specPlan(44));
+    const auto second = server.submitPlan(specPlan(44));
+    ASSERT_TRUE(first.admitted()) << first.verdict.detail;
+    ASSERT_TRUE(second.admitted()) << second.verdict.detail;
+    server.drain();
+
+    const auto a = server.status(first.requestId);
+    const auto b = server.status(second.requestId);
+    ASSERT_EQ(a.state, RequestState::Done) << a.result.error;
+    ASSERT_EQ(b.state, RequestState::Done) << b.result.error;
+    EXPECT_EQ(a.result.resultBlob, b.result.resultBlob);
+    EXPECT_EQ(a.result.finalState, b.result.finalState);
+    EXPECT_EQ(server.replayLog(first.requestId),
+              server.replayLog(second.requestId));
+    EXPECT_FALSE(server.replayLog(first.requestId).empty());
+}
+
+TEST(ServerTest, SubmitClassifiesVersionSkewSeparately)
+{
+    Server server;
+    EXPECT_EQ(server.submit("garbage").verdict.reason,
+              RejectReason::MalformedPlan);
+    std::string future = "STPL";
+    future.push_back(
+        static_cast<char>(serving::kPlanSchemaVersion + 1));
+    EXPECT_EQ(server.submit(future).verdict.reason,
+              RejectReason::VersionSkew);
+    EXPECT_TRUE(
+        server.submit(seqPlan().saveToString()).admitted());
+    server.drain();
+}
+
+TEST(ServerTest, QuotaRejectionsAreGracefulBackpressure)
+{
+    double now = 0.0;
+    Server::Options options;
+    options.clock = [&now] { return now; };
+    options.defaultQuota.ratePerSec = 1.0;
+    options.defaultQuota.burst = 1.0;
+    Server server(options);
+
+    EXPECT_TRUE(server.submitPlan(seqPlan(1)).admitted());
+    const auto rejected = server.submitPlan(seqPlan(2));
+    EXPECT_EQ(rejected.verdict.reason, RejectReason::QuotaExceeded);
+    EXPECT_GT(rejected.verdict.retryAfterSeconds, 0.0);
+
+    now += 1.5;
+    EXPECT_TRUE(server.submitPlan(seqPlan(3)).admitted());
+    server.drain();
+}
+
+TEST(ServerTest, DrainCompletesQueuedWorkAndRejectsNewSubmits)
+{
+    Server server;
+    const auto admitted = server.submitPlan(seqPlan(1));
+    ASSERT_TRUE(admitted.admitted());
+    const std::uint64_t completed = server.drain();
+    EXPECT_GE(completed, 1u);
+    EXPECT_EQ(server.status(admitted.requestId).state,
+              RequestState::Done);
+
+    const auto late = server.submitPlan(seqPlan(2));
+    EXPECT_EQ(late.verdict.reason, RejectReason::Draining);
+    EXPECT_TRUE(serving::isBackpressure(late.verdict.reason));
+}
+
+TEST(ServerTest, RuntimeFailuresLandInFailedStateWithDetail)
+{
+    Server server;
+    ExecutionPlan plan = seqPlan();
+    plan.kind = JobKind::IrSpeculative;
+    plan.faults = "bogus spec"; // Passes nothing: reject up front.
+    EXPECT_EQ(server.submitPlan(plan).verdict.reason,
+              RejectReason::MalformedPlan);
+    server.drain();
+}
+
+// ========================================================== Protocol
+
+TEST(ProtocolTest, BodyCodecsRoundTrip)
+{
+    AdmissionVerdict verdict;
+    verdict.reason = RejectReason::QuotaExceeded;
+    verdict.detail = "tenant 'x' is over its admission rate";
+    verdict.retryAfterSeconds = 1.25;
+    AdmissionVerdict decoded;
+    ASSERT_TRUE(serving::decodeSubmitRejected(
+        serving::encodeSubmitRejected(verdict), decoded));
+    EXPECT_EQ(decoded.reason, verdict.reason);
+    EXPECT_EQ(decoded.detail, verdict.detail);
+    EXPECT_NEAR(decoded.retryAfterSeconds, verdict.retryAfterSeconds,
+                1e-3);
+
+    serving::RequestStatus status;
+    status.state = RequestState::Done;
+    status.tenant = "alpha";
+    status.result.ok = true;
+    status.result.resultBlob = std::string("\x01\x02\x00\xff", 4);
+    status.result.finalState = -77;
+    status.result.invocations = 1234;
+    status.result.batchedLanes = 3;
+    serving::RequestStatus out;
+    ASSERT_TRUE(
+        serving::decodeResult(serving::encodeResult(status), out));
+    EXPECT_EQ(out.state, status.state);
+    EXPECT_EQ(out.result.resultBlob, status.result.resultBlob);
+    EXPECT_EQ(out.result.finalState, status.result.finalState);
+    EXPECT_EQ(out.result.invocations, status.result.invocations);
+    EXPECT_EQ(out.result.batchedLanes, status.result.batchedLanes);
+
+    std::uint64_t id = 0;
+    ASSERT_TRUE(serving::decodeRequestId(
+        serving::encodeRequestId(987654321), id));
+    EXPECT_EQ(id, 987654321u);
+
+    EXPECT_FALSE(serving::decodeResult("trunc", out));
+    EXPECT_FALSE(serving::decodeRequestId("", id));
+}
+
+TEST(ProtocolTest, FrameLayoutIsLengthPrefixed)
+{
+    serving::Frame frame;
+    frame.type = serving::MsgType::SubmitReq;
+    frame.body = "payload";
+    const std::string wire = serving::encodeFrame(frame);
+    ASSERT_EQ(wire.size(), 4 + 1 + frame.body.size());
+    // u32-le length counts the type byte plus the body.
+    const auto length =
+        static_cast<std::uint32_t>(
+            static_cast<unsigned char>(wire[0])) |
+        (static_cast<std::uint32_t>(
+             static_cast<unsigned char>(wire[1]))
+         << 8) |
+        (static_cast<std::uint32_t>(
+             static_cast<unsigned char>(wire[2]))
+         << 16) |
+        (static_cast<std::uint32_t>(
+             static_cast<unsigned char>(wire[3]))
+         << 24);
+    EXPECT_EQ(length, frame.body.size() + 1);
+    EXPECT_EQ(wire[4],
+              static_cast<char>(serving::MsgType::SubmitReq));
+    EXPECT_EQ(wire.substr(5), frame.body);
+}
+
+// ===================================================== Daemon + CLI
+
+TEST(DaemonTest, EndToEndOverTheUnixSocket)
+{
+    const std::string socket_path =
+        "serving_test_" + std::to_string(::getpid()) + ".sock";
+    serving::Daemon daemon(socket_path);
+    std::thread serve([&daemon] { daemon.serveForever(); });
+
+    std::string error;
+    serving::Client client(socket_path, error);
+    ASSERT_TRUE(client.connected()) << error;
+
+    AdmissionVerdict verdict;
+    const auto request_id =
+        client.submit(seqPlan(55).saveToString(), verdict, error);
+    ASSERT_TRUE(request_id.has_value())
+        << error << " " << verdict.detail;
+
+    // Drain finishes all queued work, so the result is ready after.
+    const auto drained = client.drain(error);
+    ASSERT_TRUE(drained.has_value()) << error;
+    EXPECT_GE(*drained, 1u);
+    serve.join();
+
+    // The daemon answered the in-flight connection before stopping.
+    // Compare against a direct run of the same plan: the served
+    // result must be byte-identical to local execution.
+    PlanRunner local;
+    const PlanResult expected = local.runPlan(seqPlan(55));
+    const auto status = daemon.server().status(*request_id);
+    EXPECT_EQ(status.state, RequestState::Done);
+    EXPECT_EQ(status.result.resultBlob, expected.resultBlob);
+}
+
+TEST(DaemonTest, MalformedSubmissionsAreRejectedNotFatal)
+{
+    const std::string socket_path =
+        "serving_test_bad_" + std::to_string(::getpid()) + ".sock";
+    serving::Daemon daemon(socket_path);
+    std::thread serve([&daemon] { daemon.serveForever(); });
+
+    std::string error;
+    serving::Client client(socket_path, error);
+    ASSERT_TRUE(client.connected()) << error;
+
+    AdmissionVerdict verdict;
+    EXPECT_FALSE(
+        client.submit("not a plan", verdict, error).has_value());
+    EXPECT_EQ(verdict.reason, RejectReason::MalformedPlan);
+
+    // The connection survives a rejection.
+    const auto request_id =
+        client.submit(seqPlan().saveToString(), verdict, error);
+    EXPECT_TRUE(request_id.has_value()) << error;
+    ASSERT_TRUE(client.drain(error).has_value()) << error;
+    serve.join();
+}
+
+// ===================================================== Docs lockstep
+
+/** docs/SERVING.md must name every enum constant it documents. */
+TEST(ServingDocsTest, DocsNameEveryRejectReasonAndMessageType)
+{
+    const std::string doc = readFile(sourcePath("docs/SERVING.md"));
+    for (int i = 0; i < serving::kRejectReasonCount; ++i) {
+        const std::string name = serving::rejectReasonName(
+            static_cast<RejectReason>(i));
+        if (name == std::string("None"))
+            continue;
+        EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+            << "docs/SERVING.md must document RejectReason::" << name;
+    }
+    for (const char *name :
+         {"SubmitReq", "StatusReq", "ResultReq", "ReplayFetchReq",
+          "DrainReq", "SubmitOk", "SubmitRejected", "StatusResp",
+          "ResultResp", "ReplayFetchResp", "DrainResp", "ErrorResp"})
+        EXPECT_NE(doc.find("`" + std::string(name) + "`"),
+                  std::string::npos)
+            << "docs/SERVING.md must document MsgType::" << name;
+}
+
+TEST(ServingDocsTest, DocsNameEveryPlanTextKeyAndTheMagic)
+{
+    const std::string doc = readFile(sourcePath("docs/SERVING.md"));
+    EXPECT_NE(doc.find("`STPL`"), std::string::npos);
+    for (const char *key :
+         {"kind", "tenant", "priority", "seed", "exec-tier",
+          "batch-lanes", "step-budget", "record-choices", "limits",
+          "inputs", "initial-state", "noisy-percent", "max-noise",
+          "config", "faults", "benchmark", "bench-mode",
+          "bench-threads", "bench-workload", "module"})
+        EXPECT_NE(doc.find("`" + std::string(key) + "`"),
+                  std::string::npos)
+            << "docs/SERVING.md must document plan key " << key;
+    for (const char *kind : {"ir-seq", "ir-spec", "benchmark"})
+        EXPECT_NE(doc.find("`" + std::string(kind) + "`"),
+                  std::string::npos)
+            << "docs/SERVING.md must document job kind " << kind;
+}
+
+TEST(ServingDocsTest, ServingDocIsLinkedFromTheDocIndexes)
+{
+    EXPECT_NE(readFile(sourcePath("README.md")).find("SERVING.md"),
+              std::string::npos)
+        << "README.md must link docs/SERVING.md";
+    EXPECT_NE(
+        readFile(sourcePath("docs/README.md")).find("SERVING.md"),
+        std::string::npos)
+        << "docs/README.md must link SERVING.md";
+}
+
+} // namespace

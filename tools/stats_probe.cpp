@@ -1,0 +1,154 @@
+// Calibration probe behind the benchmark cost models and the match
+// tolerances. Not part of the test suite; used to sanity-check the
+// emergent behaviour against the paper's shapes.
+//
+//   stats-probe speedups     per-benchmark speedups / match rates /
+//                            quality for the three modes
+//   stats-probe tolerances   run-to-run spread of original states vs
+//                            auxiliary-state distance (bodytrack,
+//                            facedet) — the measurement behind the
+//                            kMatchTolerance constants
+#include <cstdio>
+#include <cstring>
+
+#include "benchmarks/bodytrack/bodytrack.hpp"
+#include "benchmarks/common/benchmark.hpp"
+#include "benchmarks/facedet/facedet.hpp"
+
+using namespace stats;
+using namespace stats::benchmarks;
+
+namespace {
+
+int
+runSpeedups()
+{
+    for (const auto &name : allBenchmarkNames()) {
+        auto bench = createBenchmark(name);
+        const auto oracle =
+            bench->oracleSignature(WorkloadKind::Representative, 1);
+
+        RunRequest base;
+        base.threads = 1;
+        base.mode = Mode::Original;
+        const RunResult seq = bench->run(base);
+
+        std::printf("%-18s seq=%.3fs q(seq)=%.4g\n", name.c_str(),
+                    seq.virtualSeconds,
+                    bench->quality(seq.signature, oracle));
+
+        for (int threads : {4, 14, 28}) {
+            RunRequest req;
+            req.threads = threads;
+            for (Mode mode :
+                 {Mode::Original, Mode::SeqStats, Mode::ParStats}) {
+                req.mode = mode;
+                const RunResult r = bench->run(req);
+                std::printf(
+                    "   t=%2d %-10s speedup=%6.2f q=%.4g "
+                    "val=%lld mis=%lld reex=%lld abort=%lld\n",
+                    threads, modeName(mode),
+                    seq.virtualSeconds / r.virtualSeconds,
+                    bench->quality(r.signature, oracle),
+                    static_cast<long long>(r.engineStats.validations),
+                    static_cast<long long>(r.engineStats.mismatches),
+                    static_cast<long long>(r.engineStats.reexecutions),
+                    static_cast<long long>(r.engineStats.aborts));
+            }
+        }
+    }
+    return 0;
+}
+
+/**
+ * The shared shape of the tolerance measurement: two independent
+ * original runs up to frame f give the run-to-run spread; replaying
+ * only the last k frames from a fresh model gives the distance an
+ * auxiliary window of size k would have to bridge.
+ */
+template <typename Workload, typename Model, typename Params,
+          typename Update>
+void
+measureTolerances(const char *label, const char *fmt,
+                  const Workload &wl, const Params &orig,
+                  std::initializer_list<int> frames, Update update,
+                  Model (*makeInitial)(const Workload &,
+                                       const Params &))
+{
+    for (int f : frames) {
+        Model a = makeInitial(wl, orig);
+        Model b = makeInitial(wl, orig);
+        support::Xoshiro256 ra(100 + f), rb(200 + f);
+        for (int t = 0; t <= f; ++t) {
+            update(a, wl.frames[t], orig, ra);
+            update(b, wl.frames[t], orig, rb);
+        }
+        std::printf("%s f=%3d  d(origA,origB)=", label, f);
+        std::printf(fmt, a.distance(b));
+        for (int k : {1, 2, 4, 8}) {
+            Model aux = makeInitial(wl, orig);
+            support::Xoshiro256 rx(300 + f + k);
+            for (int t = f - k + 1; t <= f; ++t)
+                update(aux, wl.frames[t], orig, rx);
+            std::printf("  d(aux k=%d)=", k);
+            std::printf(fmt, aux.distance(a));
+        }
+        std::printf("\n");
+    }
+}
+
+int
+runTolerances()
+{
+    {
+        using namespace stats::benchmarks::bodytrack;
+        const auto wl = makeWorkload(WorkloadKind::Representative, 1);
+        const FilterParams orig{5, 50, false};
+        measureTolerances<Workload, BodyModel>(
+            "bodytrack", "%.4f", wl, orig, {8, 24, 48, 90},
+            [](BodyModel &m, const auto &frame,
+               const FilterParams &p, support::Xoshiro256 &rng) {
+                updateModel(m, frame, p, rng);
+            },
+            &makeInitialModel);
+    }
+    {
+        using namespace stats::benchmarks::facedet;
+        const auto wl = makeWorkload(WorkloadKind::Representative, 1);
+        const FilterParams orig{60, 4, 6.0, false};
+        measureTolerances<Workload, FaceModel>(
+            "facedet  ", "%.3f", wl, orig, {8, 30, 60, 95},
+            [](FaceModel &m, const auto &frame,
+               const FilterParams &p, support::Xoshiro256 &rng) {
+                updateModel(m, frame, p, rng);
+            },
+            &makeInitialModel);
+    }
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: stats-probe <speedups|tolerances>\n"
+                 "  speedups    per-benchmark speedups, match rates, "
+                 "and quality for the three modes\n"
+                 "  tolerances  original-state spread vs "
+                 "auxiliary-state distance (bodytrack, facedet)\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2)
+        return usage();
+    if (std::strcmp(argv[1], "speedups") == 0)
+        return runSpeedups();
+    if (std::strcmp(argv[1], "tolerances") == 0)
+        return runTolerances();
+    return usage();
+}
