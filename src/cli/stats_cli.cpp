@@ -124,7 +124,15 @@ parseId(const Args &args)
         usage();
         std::exit(1);
     }
-    return std::stoull(args.positional[0]);
+    const std::string &word = args.positional[0];
+    try {
+        std::size_t used = 0;
+        const std::uint64_t id = std::stoull(word, &used);
+        if (used == word.size())
+            return id;
+    } catch (const std::exception &) {
+    }
+    std::exit(fail("bad request id '" + word + "'"));
 }
 
 int

@@ -756,7 +756,14 @@ cmdServe(const Args &args)
     serving::ServeArgs serve;
     serve.socketPath = args.option("socket", serve.socketPath);
     serve.runAnalysis = !args.options.count("no-analysis");
-    serve.quantum = std::stod(args.option("quantum", "1"));
+    try {
+        serve.quantum = std::stod(args.option("quantum", "1"));
+    } catch (const std::exception &) {
+        support::fatal("serve: --quantum wants a number, got '",
+                       args.option("quantum", "1"), "'");
+    }
+    if (!(serve.quantum > 0.0))
+        support::fatal("serve: --quantum must be positive");
     serve.defaultQuotaSpec = args.option("default-quota", "");
     serve.metricsPath = args.option("metrics", "");
     serve.trace = args.options.count("trace") != 0;

@@ -86,7 +86,17 @@ main(int argc, char **argv)
         } else if (key == "default-quota") {
             args.defaultQuotaSpec = value;
         } else if (key == "quantum") {
-            args.quantum = std::stod(value);
+            try {
+                args.quantum = std::stod(value);
+            } catch (const std::exception &) {
+                std::cerr << "statsd: --quantum wants a number, "
+                             "got '" << value << "'\n";
+                return 1;
+            }
+            if (!(args.quantum > 0.0)) {
+                std::cerr << "statsd: --quantum must be positive\n";
+                return 1;
+            }
         } else if (key == "no-analysis") {
             args.runAnalysis = false;
         } else if (key == "trace") {

@@ -11,6 +11,7 @@
 #include "ir/bytecode_verifier.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <set>
@@ -693,11 +694,13 @@ Checker::run()
     return _diags;
 }
 
-/** Process-wide auto-verify switch, seeded from the environment. */
-bool &
+/** Process-wide auto-verify switch, seeded from the environment.
+ *  Atomic: statsd toggles nothing, but admission-side verification
+ *  runs concurrently with dispatcher-side compiles. */
+std::atomic<bool> &
 autoVerifyFlag()
 {
-    static bool flag = [] {
+    static std::atomic<bool> flag = [] {
         const char *value = std::getenv("STATS_VERIFY_BYTECODE");
         if (value == nullptr)
             return true;
@@ -706,6 +709,10 @@ autoVerifyFlag()
     }();
     return flag;
 }
+
+/** Per-thread suppression depth — verifyCompiledModule() must not
+ *  switch auto-verify off for every OTHER thread's compiles. */
+thread_local int tlsAutoVerifySuppressed = 0;
 
 } // namespace
 
@@ -732,17 +739,16 @@ verifyModule(const BcModule &module)
 
 namespace {
 
-/** Restores the auto-verify flag even when compilation throws. */
+/** Suppresses auto-verify on THIS thread only (other threads keep
+ *  compiling with the guard on), restored even when compilation
+ *  throws. */
 class AutoVerifyDisabler
 {
   public:
-    AutoVerifyDisabler() : _previous(setAutoVerify(false)) {}
-    ~AutoVerifyDisabler() { setAutoVerify(_previous); }
+    AutoVerifyDisabler() { ++tlsAutoVerifySuppressed; }
+    ~AutoVerifyDisabler() { --tlsAutoVerifySuppressed; }
     AutoVerifyDisabler(const AutoVerifyDisabler &) = delete;
     AutoVerifyDisabler &operator=(const AutoVerifyDisabler &) = delete;
-
-  private:
-    bool _previous;
 };
 
 } // namespace
@@ -759,16 +765,15 @@ verifyCompiledModule(const Module &module)
 bool
 autoVerifyEnabled()
 {
-    return autoVerifyFlag();
+    return tlsAutoVerifySuppressed == 0 &&
+           autoVerifyFlag().load(std::memory_order_relaxed);
 }
 
 bool
 setAutoVerify(bool enabled)
 {
-    bool &flag = autoVerifyFlag();
-    const bool previous = flag;
-    flag = enabled;
-    return previous;
+    return autoVerifyFlag().exchange(enabled,
+                                     std::memory_order_relaxed);
 }
 
 } // namespace stats::ir::bc

@@ -64,7 +64,10 @@ verifyCompiledModule(const Module &module);
  */
 bool autoVerifyEnabled();
 
-/** Override the auto-verify switch; returns the previous setting. */
+/** Override the process-wide auto-verify switch; returns the
+ *  previous setting. Thread-safe, but prefer leaving it alone in
+ *  multi-threaded hosts: verifyCompiledModule() suppresses the
+ *  in-compile panic for its own thread only. */
 bool setAutoVerify(bool enabled);
 
 } // namespace stats::ir::bc

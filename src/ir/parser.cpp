@@ -69,12 +69,11 @@ parseOperand(const std::string &raw, std::size_t line)
         parseError(line, "empty operand");
     if (text[0] == '%')
         return Operand::temp(text.substr(1));
-    if (text.find('.') != std::string::npos ||
-        text.find('e') != std::string::npos ||
-        text.find("inf") != std::string::npos) {
-        return Operand::constFloat(std::stod(text));
-    }
     try {
+        if (text.find('.') != std::string::npos ||
+            text.find('e') != std::string::npos ||
+            text.find("inf") != std::string::npos)
+            return Operand::constFloat(std::stod(text));
         return Operand::constInt(std::stoll(text));
     } catch (...) {
         parseError(line, "bad operand '" + text + "'");

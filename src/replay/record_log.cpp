@@ -175,7 +175,9 @@ bool
 getString(const std::string &in, std::size_t &pos, std::string &value)
 {
     std::uint64_t size = 0;
-    if (!getVarint(in, pos, size) || pos + size > in.size())
+    // `size > in.size() - pos` instead of `pos + size > in.size()`:
+    // the latter wraps for a huge declared size.
+    if (!getVarint(in, pos, size) || size > in.size() - pos)
         return false;
     value.assign(in, pos, size);
     pos += size;

@@ -2,6 +2,8 @@
 
 #include <cerrno>
 #include <cstring>
+#include <exception>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -28,28 +30,29 @@ Daemon::Daemon(std::string socket_path, Server::Options options)
     std::strncpy(address.sun_path, _socketPath.c_str(),
                  sizeof(address.sun_path) - 1);
 
-    _listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (_listenFd < 0)
+    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0)
         support::panic("statsd: socket(): ", std::strerror(errno));
     ::unlink(_socketPath.c_str()); // Replace a stale socket file.
-    if (::bind(_listenFd,
+    if (::bind(listen_fd,
                reinterpret_cast<const sockaddr *>(&address),
                sizeof(address)) != 0)
         support::panic("statsd: bind('", _socketPath,
                        "'): ", std::strerror(errno));
-    if (::listen(_listenFd, 64) != 0)
+    if (::listen(listen_fd, 64) != 0)
         support::panic("statsd: listen(): ", std::strerror(errno));
+    _listenFd.store(listen_fd);
 }
 
 Daemon::~Daemon()
 {
     stop();
     {
-        std::lock_guard<std::mutex> lock(_workersMutex);
-        for (auto &worker : _workers)
-            if (worker.joinable())
-                worker.join();
-        _workers.clear();
+        // Connection threads are detached; wait for every one to
+        // retire before the Server (which they call into) goes away.
+        std::unique_lock<std::mutex> lock(_workersMutex);
+        _workersIdle.wait(lock,
+                          [this] { return _activeWorkers == 0; });
     }
     ::unlink(_socketPath.c_str());
 }
@@ -59,11 +62,11 @@ Daemon::stop()
 {
     if (_stopping.exchange(true))
         return;
-    if (_listenFd >= 0) {
+    const int fd = _listenFd.exchange(-1);
+    if (fd >= 0) {
         // Unblock accept().
-        ::shutdown(_listenFd, SHUT_RDWR);
-        ::close(_listenFd);
-        _listenFd = -1;
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
     }
 }
 
@@ -71,16 +74,101 @@ void
 Daemon::serveForever()
 {
     while (!_stopping.load(std::memory_order_relaxed)) {
-        const int fd = ::accept(_listenFd, nullptr, nullptr);
+        const int listen_fd = _listenFd.load();
+        if (listen_fd < 0)
+            break;
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
             break; // Listener closed (stop()) or fatal.
         }
-        std::lock_guard<std::mutex> lock(_workersMutex);
-        _workers.emplace_back(
-            [this, fd] { handleConnection(fd); });
+        {
+            std::lock_guard<std::mutex> lock(_workersMutex);
+            ++_activeWorkers;
+        }
+        try {
+            std::thread([this, fd] {
+                handleConnection(fd);
+                // notify under the lock: the destructor may destroy
+                // the condition variable as soon as the count hits 0.
+                std::lock_guard<std::mutex> lock(_workersMutex);
+                --_activeWorkers;
+                _workersIdle.notify_all();
+            }).detach();
+        } catch (...) {
+            ::close(fd);
+            std::lock_guard<std::mutex> lock(_workersMutex);
+            --_activeWorkers;
+            _workersIdle.notify_all();
+        }
     }
+}
+
+Frame
+Daemon::handleFrame(const Frame &frame, bool &drain_requested)
+{
+    Frame reply;
+    switch (frame.type) {
+      case MsgType::SubmitReq: {
+        const SubmitOutcome outcome =
+            _server->submit(frame.body);
+        if (outcome.admitted()) {
+            reply.type = MsgType::SubmitOk;
+            reply.body = encodeRequestId(outcome.requestId);
+        } else {
+            reply.type = MsgType::SubmitRejected;
+            reply.body = encodeSubmitRejected(outcome.verdict);
+        }
+        break;
+      }
+      case MsgType::StatusReq: {
+        std::uint64_t request_id = 0;
+        if (!decodeRequestId(frame.body, request_id)) {
+            reply.type = MsgType::ErrorResp;
+            reply.body = "malformed status request";
+            break;
+        }
+        reply.type = MsgType::StatusResp;
+        reply.body = encodeStatus(_server->status(request_id));
+        break;
+      }
+      case MsgType::ResultReq: {
+        std::uint64_t request_id = 0;
+        if (!decodeRequestId(frame.body, request_id)) {
+            reply.type = MsgType::ErrorResp;
+            reply.body = "malformed result request";
+            break;
+        }
+        reply.type = MsgType::ResultResp;
+        reply.body = encodeResult(_server->status(request_id));
+        break;
+      }
+      case MsgType::ReplayFetchReq: {
+        std::uint64_t request_id = 0;
+        if (!decodeRequestId(frame.body, request_id)) {
+            reply.type = MsgType::ErrorResp;
+            reply.body = "malformed replay-fetch request";
+            break;
+        }
+        reply.type = MsgType::ReplayFetchResp;
+        reply.body = _server->replayLog(request_id);
+        break;
+      }
+      case MsgType::DrainReq: {
+        const std::uint64_t completed = _server->drain();
+        reply.type = MsgType::DrainResp;
+        reply.body.clear();
+        replay::putVarint(reply.body, completed);
+        drain_requested = true;
+        break;
+      }
+      default:
+        reply.type = MsgType::ErrorResp;
+        reply.body = "unexpected message type";
+        break;
+    }
+    return reply;
 }
 
 void
@@ -89,64 +177,17 @@ Daemon::handleConnection(int fd)
     while (auto frame = readFrame(fd)) {
         Frame reply;
         bool drain_requested = false;
-        switch (frame->type) {
-          case MsgType::SubmitReq: {
-            const SubmitOutcome outcome =
-                _server->submit(frame->body);
-            if (outcome.admitted()) {
-                reply.type = MsgType::SubmitOk;
-                reply.body = encodeRequestId(outcome.requestId);
-            } else {
-                reply.type = MsgType::SubmitRejected;
-                reply.body = encodeSubmitRejected(outcome.verdict);
-            }
-            break;
-          }
-          case MsgType::StatusReq: {
-            std::uint64_t request_id = 0;
-            if (!decodeRequestId(frame->body, request_id)) {
-                reply.type = MsgType::ErrorResp;
-                reply.body = "malformed status request";
-                break;
-            }
-            reply.type = MsgType::StatusResp;
-            reply.body = encodeStatus(_server->status(request_id));
-            break;
-          }
-          case MsgType::ResultReq: {
-            std::uint64_t request_id = 0;
-            if (!decodeRequestId(frame->body, request_id)) {
-                reply.type = MsgType::ErrorResp;
-                reply.body = "malformed result request";
-                break;
-            }
-            reply.type = MsgType::ResultResp;
-            reply.body = encodeResult(_server->status(request_id));
-            break;
-          }
-          case MsgType::ReplayFetchReq: {
-            std::uint64_t request_id = 0;
-            if (!decodeRequestId(frame->body, request_id)) {
-                reply.type = MsgType::ErrorResp;
-                reply.body = "malformed replay-fetch request";
-                break;
-            }
-            reply.type = MsgType::ReplayFetchResp;
-            reply.body = _server->replayLog(request_id);
-            break;
-          }
-          case MsgType::DrainReq: {
-            const std::uint64_t completed = _server->drain();
-            reply.type = MsgType::DrainResp;
-            reply.body.clear();
-            replay::putVarint(reply.body, completed);
-            drain_requested = true;
-            break;
-          }
-          default:
+        try {
+            reply = handleFrame(*frame, drain_requested);
+        } catch (const std::exception &failure) {
+            // Untrusted bytes must never take the daemon down: any
+            // exception a request leaks becomes an error reply.
             reply.type = MsgType::ErrorResp;
-            reply.body = "unexpected message type";
-            break;
+            reply.body =
+                std::string("internal error: ") + failure.what();
+        } catch (...) {
+            reply.type = MsgType::ErrorResp;
+            reply.body = "internal error";
         }
         if (!writeFrame(fd, reply))
             break;

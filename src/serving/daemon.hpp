@@ -4,21 +4,25 @@
  * speaks the frame protocol (protocol.hpp) and forwards to the
  * in-process Server (server.hpp).
  *
- * One thread per accepted connection; each handles its frames
- * strictly in order. A DrainReq drains the server, answers, and then
- * stops the daemon — that is the clean-shutdown path `stats-cli
- * drain` uses. The socket file is unlinked on close.
+ * One detached thread per accepted connection; each handles its
+ * frames strictly in order and retires itself when the peer hangs
+ * up, so a long-lived daemon holds no per-finished-connection state.
+ * The destructor waits for every live connection thread before
+ * tearing the server down. A DrainReq drains the server, answers,
+ * and then stops the daemon — that is the clean-shutdown path
+ * `stats-cli drain` uses. The socket file is unlinked on close.
  */
 
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "serving/protocol.hpp"
 #include "serving/server.hpp"
 
 namespace stats::serving {
@@ -47,13 +51,15 @@ class Daemon
 
   private:
     void handleConnection(int fd);
+    Frame handleFrame(const Frame &frame, bool &drain_requested);
 
     std::string _socketPath;
     std::unique_ptr<Server> _server;
-    int _listenFd = -1;
+    std::atomic<int> _listenFd{-1};
     std::atomic<bool> _stopping{false};
     std::mutex _workersMutex;
-    std::vector<std::thread> _workers;
+    std::condition_variable _workersIdle;
+    std::size_t _activeWorkers = 0; ///< Guarded by _workersMutex.
 };
 
 } // namespace stats::serving

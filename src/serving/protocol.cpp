@@ -24,7 +24,9 @@ getString(const std::string &in, std::size_t &pos, std::string &value)
     std::uint64_t length = 0;
     if (!replay::getVarint(in, pos, length))
         return false;
-    if (pos + length > in.size())
+    // Overflow-safe: pos <= in.size() after getVarint, and a huge
+    // length must not wrap `pos + length` past the bounds check.
+    if (length > in.size() - pos)
         return false;
     value = in.substr(pos, length);
     pos += length;

@@ -135,7 +135,12 @@ PlanScheduler::nextBatch()
             for (auto it = state.queue.begin();
                  it != state.queue.end() &&
                  static_cast<int>(batch.size()) < cap;) {
-                if (head.canBatchWith(*it->plan)) {
+                // A candidate may only join if the batch, itself
+                // included, fits under the smallest lane cap among
+                // the members-so-far AND the candidate's own.
+                if (head.canBatchWith(*it->plan) &&
+                    static_cast<int>(batch.size()) <
+                        std::min(cap, it->plan->batchLanes)) {
                     cap = std::min(cap, it->plan->batchLanes);
                     batch.push_back(std::move(*it));
                     it = state.queue.erase(it);

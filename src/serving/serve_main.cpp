@@ -70,6 +70,10 @@ serveMain(const ServeArgs &args)
                            "(built with STATS_OBS_DISABLE)");
     }
 
+    if (!(args.quantum > 0.0))
+        support::fatal("quantum must be positive, got ",
+                       args.quantum);
+
     Server::Options options;
     options.runAnalysis = args.runAnalysis;
     options.quantum = args.quantum;

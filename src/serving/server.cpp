@@ -273,7 +273,14 @@ Server::dispatchLoop()
             request.state = request.result.ok ? RequestState::Done
                                               : RequestState::Failed;
             ++_completed;
+            _finishedOrder.push_back(batch[i].requestId);
         }
+        if (_options.maxRetainedResults > 0)
+            while (_finishedOrder.size() >
+                   _options.maxRetainedResults) {
+                _requests.erase(_finishedOrder.front());
+                _finishedOrder.pop_front();
+            }
         _running = 0;
         obs::MetricsRegistry::global()
             .counter("serving.requests_completed")

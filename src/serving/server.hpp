@@ -19,6 +19,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -73,6 +74,13 @@ class Server
         bool runAnalysis = true;
         /** WDRR quantum (plan units granted per tenant visit). */
         double quantum = 1.0;
+        /**
+         * Finished requests kept for status/result/replay-fetch.
+         * Beyond this, the oldest finished entries are evicted (their
+         * ids then answer Unknown), so a long-lived daemon's registry
+         * stays bounded. 0 means keep everything.
+         */
+        std::size_t maxRetainedResults = 4096;
         /** Monotonic seconds; injectable for deterministic tests. */
         std::function<double()> clock;
     };
@@ -129,6 +137,8 @@ class Server
     PlanScheduler _scheduler;
     PlanRunner _runner;
     std::map<std::uint64_t, Request> _requests;
+    /** Finished ids, oldest first — the eviction order. */
+    std::deque<std::uint64_t> _finishedOrder;
     std::uint64_t _nextRequestId = 1;
     std::uint64_t _completed = 0;
     std::size_t _running = 0;

@@ -92,6 +92,30 @@ TEST(IrParser, PrintParseRoundTrip)
     EXPECT_EQ(reparsed.functions.size(), module.functions.size());
 }
 
+TEST(IrParser, MalformedNumericOperandsFailCleanly)
+{
+    // Regression: float-looking operands used to call std::stod
+    // outside the try/catch, so '.', 'e9999…', etc. escaped as
+    // std::invalid_argument / std::out_of_range instead of the
+    // parser's own error. tryParseModule is the serving admission
+    // path — an untrusted module must never throw past it.
+    const char *broken[] = {".", "e", "1e999999", ".e.",
+                            "9999999999999999999999999"};
+    for (const char *operand : broken) {
+        const std::string text =
+            std::string("module \"bad\"\n"
+                        "func @f(i64 %x) -> i64 {\n"
+                        "entry:\n"
+                        "  %a = add i64 %x, ") +
+            operand + "\n  ret i64 %a\n}\n";
+        std::string error;
+        EXPECT_FALSE(tryParseModule(text, error).has_value())
+            << "operand: " << operand;
+        EXPECT_NE(error.find("bad operand"), std::string::npos)
+            << "operand: " << operand << " error: " << error;
+    }
+}
+
 TEST(IrParser, ParsesControlFlowAndPhi)
 {
     const char *text = R"(

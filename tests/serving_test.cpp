@@ -221,6 +221,19 @@ TEST(ExecutionPlanTest, BadMagicAndTruncationFailCleanly)
     EXPECT_FALSE(ExecutionPlan::load(good + "x", error).has_value());
 }
 
+TEST(ExecutionPlanTest, HugeDeclaredStringLengthFailsCleanly)
+{
+    // Regression: a string-length varint near UINT64_MAX used to
+    // wrap the decoder's `pos + size` bounds check. The decoder must
+    // fail fast, not proceed on a wrapped cursor.
+    std::string bytes = "STPL";
+    replay::putVarint(bytes, serving::kPlanSchemaVersion);
+    // Tenant string claiming UINT64_MAX bytes, none present.
+    replay::putVarint(bytes, ~std::uint64_t{0});
+    std::string error;
+    EXPECT_FALSE(ExecutionPlan::load(bytes, error).has_value());
+}
+
 TEST(ExecutionPlanTest, TextParserRejectsUnknownKeysWithLineNumbers)
 {
     std::string error;
@@ -450,6 +463,32 @@ TEST(SchedulerTest, BatchCapIsTheSmallestMemberLaneCount)
     EXPECT_EQ(scheduler.nextBatch().size(), 1u);
 }
 
+TEST(SchedulerTest, LateNarrowPlanCannotJoinAnOversizedBatch)
+{
+    // Regression: a candidate seen only after the batch had already
+    // grown past the candidate's own batchLanes used to be admitted
+    // anyway (the cap shrank only after the size check), giving a
+    // batch larger than one member's lane cap.
+    PlanScheduler scheduler;
+    ExecutionPlan wide = seqPlan(1);
+    wide.batchLanes = 8;
+    ExecutionPlan narrow = seqPlan(2);
+    narrow.batchLanes = 2;
+    scheduler.enqueue(1, std::make_shared<const ExecutionPlan>(wide));
+    scheduler.enqueue(2, std::make_shared<const ExecutionPlan>(wide));
+    scheduler.enqueue(3,
+                      std::make_shared<const ExecutionPlan>(narrow));
+
+    // The two wides fuse; narrow (cap 2) must not become lane 3.
+    const auto batch = scheduler.nextBatch();
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].requestId, 1u);
+    EXPECT_EQ(batch[1].requestId, 2u);
+    const auto rest = scheduler.nextBatch();
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest.front().requestId, 3u);
+}
+
 // ============================================================ Runner
 
 TEST(RunnerTest, FusedLanesAreByteIdenticalToSoloRuns)
@@ -633,6 +672,28 @@ TEST(ServerTest, RuntimeFailuresLandInFailedStateWithDetail)
     server.drain();
 }
 
+TEST(ServerTest, FinishedRequestRegistryIsBounded)
+{
+    Server::Options options;
+    options.maxRetainedResults = 2;
+    Server server(std::move(options));
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const auto outcome = server.submitPlan(seqPlan(seed));
+        ASSERT_TRUE(outcome.admitted()) << outcome.verdict.detail;
+        ids.push_back(outcome.requestId);
+    }
+    server.drain();
+
+    // Only the two newest finished requests stay queryable; the
+    // oldest were evicted so a long-lived server stays bounded.
+    EXPECT_EQ(server.status(ids[0]).state, RequestState::Unknown);
+    EXPECT_EQ(server.status(ids[1]).state, RequestState::Unknown);
+    EXPECT_EQ(server.status(ids[2]).state, RequestState::Done);
+    EXPECT_EQ(server.status(ids[3]).state, RequestState::Done);
+    EXPECT_EQ(server.completedCount(), 4u);
+}
+
 // ========================================================== Protocol
 
 TEST(ProtocolTest, BodyCodecsRoundTrip)
@@ -673,6 +734,18 @@ TEST(ProtocolTest, BodyCodecsRoundTrip)
 
     EXPECT_FALSE(serving::decodeResult("trunc", out));
     EXPECT_FALSE(serving::decodeRequestId("", id));
+}
+
+TEST(ProtocolTest, HugeDeclaredStringLengthFailsCleanly)
+{
+    // Regression: a detail-string length varint near UINT64_MAX used
+    // to wrap the decoder's `pos + length` bounds check.
+    std::string body;
+    replay::putVarint(body, 0); // reason
+    replay::putVarint(body, 0); // retry-after ms
+    replay::putVarint(body, ~std::uint64_t{0}); // detail length
+    AdmissionVerdict decoded;
+    EXPECT_FALSE(serving::decodeSubmitRejected(body, decoded));
 }
 
 TEST(ProtocolTest, FrameLayoutIsLengthPrefixed)
@@ -751,6 +824,21 @@ TEST(DaemonTest, MalformedSubmissionsAreRejectedNotFatal)
     EXPECT_FALSE(
         client.submit("not a plan", verdict, error).has_value());
     EXPECT_EQ(verdict.reason, RejectReason::MalformedPlan);
+
+    // Regression: a module operand like `1e999999` made std::stod
+    // throw std::out_of_range through the IR parser, past submit(),
+    // and std::terminate the daemon from the connection thread.
+    ExecutionPlan bad = seqPlan();
+    bad.moduleText = "module \"bad\"\n"
+                     "statedep SD0 compute=@f\n"
+                     "func @f(i64 %input, i64 %state) -> i64 {\n"
+                     "entry:\n"
+                     "  %a = add i64 %input, 1e999999\n"
+                     "  ret i64 %a\n"
+                     "}\n";
+    EXPECT_FALSE(
+        client.submit(bad.saveToString(), verdict, error).has_value());
+    EXPECT_EQ(verdict.reason, RejectReason::ParseError);
 
     // The connection survives a rejection.
     const auto request_id =
