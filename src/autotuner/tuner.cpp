@@ -76,7 +76,7 @@ Autotuner::tune(const Objective &objective, int budget,
             // reaches the cache, the bandit, and the techniques — the
             // tuner trains on systematically wrong observations.
             if (replay::sessionEngaged()) {
-                value = replay::ReplaySession::global()
+                value = replay::ReplaySession::current()
                             .mistrainObjective(value);
             }
             _results.emplace(config, value);

@@ -5,7 +5,9 @@
  * Subcommands:
  *   submit <plan.txt>     submit a text-form ExecutionPlan
  *                         (`-` reads stdin; --binary sends the file's
- *                         bytes as the wire form unchanged)
+ *                         bytes as the wire form unchanged;
+ *                         --no-cache bypasses the server's result
+ *                         cache for this request)
  *   status <id>           request lifecycle state
  *   result <id>           final result: state, summary numbers, and
  *                         the FNV-1a digest of the result bytes
@@ -74,7 +76,8 @@ usage()
     std::cerr
         << "usage: stats-cli <command> [--socket=PATH] [arguments]\n"
         << "commands:\n"
-        << "  submit <plan.txt|-> [--binary]   submit a plan\n"
+        << "  submit <plan.txt|-> [--binary] [--no-cache]\n"
+        << "                                   submit a plan\n"
         << "  status <id>                      request state\n"
         << "  result <id> [--blob=FILE]        finished result\n"
         << "  replay-fetch <id> [--out=FILE]   served RecordLog\n"
@@ -151,10 +154,11 @@ cmdSubmit(serving::Client &client, const Args &args)
         wire = contents;
     } else {
         std::string error;
-        const auto plan =
-            serving::ExecutionPlan::fromText(contents, error);
+        auto plan = serving::ExecutionPlan::fromText(contents, error);
         if (!plan)
             return fail("plan: " + error);
+        if (args.options.count("no-cache"))
+            plan->noCache = true;
         wire = plan->saveToString();
     }
 

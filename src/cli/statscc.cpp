@@ -765,6 +765,14 @@ cmdServe(const Args &args)
     if (!(serve.quantum > 0.0))
         support::fatal("serve: --quantum must be positive");
     serve.defaultQuotaSpec = args.option("default-quota", "");
+    try {
+        serve.executionWorkers = std::stoul(
+            args.option("execution-workers", "0"));
+    } catch (const std::exception &) {
+        support::fatal("serve: --execution-workers wants a number, "
+                       "got '",
+                       args.option("execution-workers", "0"), "'");
+    }
     serve.metricsPath = args.option("metrics", "");
     serve.trace = args.options.count("trace") != 0;
     // One --quota option; comma-separate multiple tenants.

@@ -11,7 +11,8 @@
  * Usage:
  *   statsd [--socket=PATH] [--quota=tenant:rate:burst:maxq:weight]...
  *          [--default-quota=rate:burst:maxq:weight] [--quantum=Q]
- *          [--no-analysis] [--trace] [--metrics=FILE]
+ *          [--execution-workers=N] [--no-analysis] [--trace]
+ *          [--metrics=FILE]
  *
  * `--quota` may repeat (and each accepts a comma-separated list).
  */
@@ -38,6 +39,8 @@ usage()
         << "                           (repeatable, comma-separable)\n"
         << "  --default-quota=R:B:Q:W  quota for unlisted tenants\n"
         << "  --quantum=Q              WDRR quantum (default 1)\n"
+        << "  --execution-workers=N    plan execution threads\n"
+        << "                           (default: half the cores)\n"
         << "  --no-analysis            skip the admission lint stage\n"
         << "  --trace                  enable the trace layer\n"
         << "  --metrics=FILE           dump metrics JSON on drain\n";
@@ -95,6 +98,19 @@ main(int argc, char **argv)
             }
             if (!(args.quantum > 0.0)) {
                 std::cerr << "statsd: --quantum must be positive\n";
+                return 1;
+            }
+        } else if (key == "execution-workers") {
+            try {
+                args.executionWorkers = std::stoul(value);
+            } catch (const std::exception &) {
+                std::cerr << "statsd: --execution-workers wants a "
+                             "number, got '" << value << "'\n";
+                return 1;
+            }
+            if (args.executionWorkers < 1) {
+                std::cerr << "statsd: --execution-workers must be "
+                             "at least 1\n";
                 return 1;
             }
         } else if (key == "no-analysis") {

@@ -104,7 +104,7 @@ ThreadExecutor::runRecord(TaskRecord *rec, bool cancelled)
         // engine's decision sequence; see docs/REPLAY.md §4).
         if (replay::sessionEngaged() &&
             task.tag.kind != obs::TaskKind::None) {
-            auto &session = replay::ReplaySession::global();
+            auto &session = replay::ReplaySession::current();
             const double stall = session.taskStallSeconds(
                 static_cast<int>(task.tag.kind), task.tag.group);
             if (stall > 0.0) {

@@ -41,6 +41,7 @@ eventTypeName(EventType type)
       case EventType::PlanDispatched:   return "PlanDispatched";
       case EventType::BatchFormed:      return "BatchFormed";
       case EventType::TenantThrottled:  return "TenantThrottled";
+      case EventType::CacheHit:         return "CacheHit";
     }
     support::panic("eventTypeName: unknown event type ",
                    static_cast<int>(type));
@@ -100,6 +101,7 @@ isServingEvent(EventType type)
       case EventType::PlanDispatched:
       case EventType::BatchFormed:
       case EventType::TenantThrottled:
+      case EventType::CacheHit:
         return true;
       default:
         return false;

@@ -106,10 +106,14 @@ enum class EventType : std::uint8_t
                      ///< tenants in the batch.
     TenantThrottled, ///< Tenant hit quota/queue bound (arg:
                      ///< RejectReason ordinal).
+    CacheHit,        ///< (schema v6) Request served from the (plan,
+                     ///< seed) result cache without executing
+                     ///< (inputBegin: request id, arg: resident
+                     ///< cache entries after the hit).
 };
 
-inline constexpr int kEventTypeCount = 30;
-inline constexpr int kSchemaVersion = 5;
+inline constexpr int kEventTypeCount = 31;
+inline constexpr int kSchemaVersion = 6;
 
 /** Stable name of an event type (as documented in the schema). */
 const char *eventTypeName(EventType type);

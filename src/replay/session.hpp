@@ -19,11 +19,25 @@
  * decisions *before* they are recorded or compared, so a faulty run
  * records — and replays, under the same plan — exactly.
  *
- * Threading contract: mode changes (start/finish/fault-plan setters)
- * are quiescent-time operations — call them only when no engine is
- * running. The engine-side hooks are invoked from executor-serialized
- * completion callbacks; the executor-side stall hook may be called
- * concurrently but only reads the (immutable-while-running) plan.
+ * Sessions are **scoped**: every instrumentation site resolves the
+ * active session through `ReplaySession::current()`, which returns a
+ * thread-locally installed session when one is present and the
+ * process-wide `global()` singleton otherwise. Code that wants an
+ * isolated record/replay scope (the serving plane runs one per plan)
+ * constructs its own ReplaySession and pins it to the executing
+ * thread with a `ScopedSessionInstall`; single-run tools (statscc
+ * --record/--replay, the oracle, the fuzzer) keep using `global()`
+ * unchanged. The engine runs its computation inline on the thread
+ * that owns the installation (SimExecutor's timing is virtual), so a
+ * thread-local is exactly the right scope.
+ *
+ * Threading contract: *within one session*, mode changes
+ * (start/finish/fault-plan setters) are quiescent-time operations —
+ * call them only when no engine is running against that session. The
+ * engine-side hooks are invoked from executor-serialized completion
+ * callbacks; the executor-side stall hook may be called concurrently
+ * but only reads the (immutable-while-running) plan. Distinct
+ * sessions installed on distinct threads are fully independent.
  */
 
 #pragma once
@@ -85,14 +99,28 @@ struct VerdictOutcome
 };
 
 /**
- * The global record/replay session. All engine hooks are safe to call
- * in any mode; in Off mode with no fault plan they reduce to one
- * relaxed atomic load.
+ * A record/replay session. All engine hooks are safe to call in any
+ * mode; in Off mode with no fault plan they reduce to one relaxed
+ * atomic load. Most callers reach the session through `current()`.
  */
 class ReplaySession
 {
   public:
+    ReplaySession() = default;
+    ReplaySession(const ReplaySession &) = delete;
+    ReplaySession &operator=(const ReplaySession &) = delete;
+
+    /** The process-wide default session. */
     static ReplaySession &global();
+
+    /** The session governing this thread: the thread-locally
+     *  installed one if present, else `global()`. */
+    static ReplaySession &current();
+
+    /** Install `session` as this thread's current session (nullptr
+     *  reverts to global()); returns the previous installation.
+     *  Prefer ScopedSessionInstall. */
+    static ReplaySession *installOnThread(ReplaySession *session);
 
     // ------------------------------------------------ lifecycle
     /** Begin recording into a fresh log pinned to `root_seed`. */
@@ -173,8 +201,6 @@ class ReplaySession
     double mistrainObjective(double objective);
 
   private:
-    ReplaySession() = default;
-
     /** Append in record mode / verify in replay mode. */
     bool step(RecordKind kind, std::int32_t group, std::int64_t a,
               std::int64_t b, std::vector<std::int64_t> payload,
@@ -205,11 +231,36 @@ class ReplaySession
     std::atomic<std::uint64_t> _mistrainEvaluations{0};
 };
 
-/** Cheap global gate for instrumentation sites. */
+/**
+ * RAII: pin `session` to the constructing thread for the object's
+ * lifetime, restoring the previous installation (usually none) on
+ * destruction. Hooks fired from this thread — and only this thread —
+ * route to `session` instead of the global singleton.
+ */
+class ScopedSessionInstall
+{
+  public:
+    explicit ScopedSessionInstall(ReplaySession &session)
+        : _previous(ReplaySession::installOnThread(&session))
+    {
+    }
+    ~ScopedSessionInstall()
+    {
+        ReplaySession::installOnThread(_previous);
+    }
+    ScopedSessionInstall(const ScopedSessionInstall &) = delete;
+    ScopedSessionInstall &
+    operator=(const ScopedSessionInstall &) = delete;
+
+  private:
+    ReplaySession *_previous;
+};
+
+/** Cheap per-thread gate for instrumentation sites. */
 inline bool
 sessionEngaged()
 {
-    return ReplaySession::global().engaged();
+    return ReplaySession::current().engaged();
 }
 
 } // namespace stats::replay

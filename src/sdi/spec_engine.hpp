@@ -186,7 +186,7 @@ class SpecEngine
             rc.innerThreads = _config.innerThreads;
             rc.inputCount = static_cast<std::int64_t>(_inputs.size());
             replayMark(
-                replay::ReplaySession::global().engineRunBegin(rc), 0,
+                replay::ReplaySession::current().engineRunBegin(rc), 0,
                 0, _inputs.size());
         }
 
@@ -219,7 +219,7 @@ class SpecEngine
             rs.squashedGroups = _stats.squashedGroups;
             rs.invocations = _stats.invocations;
             replayMark(
-                replay::ReplaySession::global().engineRunEnd(rs), 0, 0,
+                replay::ReplaySession::current().engineRunEnd(rs), 0, 0,
                 _inputs.size());
         }
         assembleOutputs();
@@ -337,7 +337,7 @@ class SpecEngine
         traceEvent(obs::EventType::ReplayDivergence, group, input_begin,
                    input_end,
                    static_cast<std::int64_t>(
-                       replay::ReplaySession::global()
+                       replay::ReplaySession::current()
                            .firstDivergence()
                            .epoch));
     }
@@ -483,7 +483,7 @@ class SpecEngine
         // initial state in place of the aux result, as if the
         // auxiliary code had learned nothing from its window.
         if (replay::sessionEngaged() &&
-            replay::ReplaySession::global().corruptSpecState(
+            replay::ReplaySession::current().corruptSpecState(
                 static_cast<std::int32_t>(j))) {
             g.specStart = _initialState;
             traceEvent(obs::EventType::FaultInjected, j, g.begin,
@@ -685,7 +685,7 @@ class SpecEngine
             traceEvent(obs::EventType::Commit, j, group.begin,
                        group.end);
             if (replay::sessionEngaged()) {
-                replayMark(replay::ReplaySession::global().commit(
+                replayMark(replay::ReplaySession::current().commit(
                                static_cast<std::int32_t>(j)),
                            j, group.begin, group.end);
             }
@@ -746,7 +746,7 @@ class SpecEngine
         // during replay — and the overridden value is what the rest of
         // the engine (and the ValidateMatch/Mismatch events) sees.
         if (replay::sessionEngaged()) {
-            auto &session = replay::ReplaySession::global();
+            auto &session = replay::ReplaySession::current();
             const replay::VerdictOutcome outcome = session.matchVerdict(
                 static_cast<std::int32_t>(j), matched);
             if (outcome.faultInjected) {
@@ -806,7 +806,7 @@ class SpecEngine
         traceEvent(obs::EventType::Rollback, p, producer.checkpointPos,
                    producer.end, producer.reexecsDone);
         if (replay::sessionEngaged()) {
-            replayMark(replay::ReplaySession::global().reexecution(
+            replayMark(replay::ReplaySession::current().reexecution(
                            static_cast<std::int32_t>(p),
                            producer.reexecsDone),
                        p, producer.checkpointPos, producer.end);
@@ -861,7 +861,7 @@ class SpecEngine
         traceEvent(obs::EventType::Abort, j, _groups[j].begin,
                    _inputs.size(), static_cast<std::int64_t>(j));
         if (replay::sessionEngaged()) {
-            replayMark(replay::ReplaySession::global().abortSpeculation(
+            replayMark(replay::ReplaySession::current().abortSpeculation(
                            static_cast<std::int32_t>(j)),
                        j, _groups[j].begin, _inputs.size());
         }
@@ -876,7 +876,7 @@ class SpecEngine
                            static_cast<std::int64_t>(j));
                 if (replay::sessionEngaged()) {
                     replayMark(
-                        replay::ReplaySession::global().squash(
+                        replay::ReplaySession::current().squash(
                             static_cast<std::int32_t>(g),
                             static_cast<std::int32_t>(j)),
                         g, _groups[g].begin, _groups[g].end);

@@ -202,7 +202,21 @@ ExecutionPlan::saveToString() const
     putString(out, benchWorkload);
     putString(out, faults);
     putVarint(out, recordChoices ? 1 : 0);
+    putVarint(out, noCache ? 1 : 0);
     return out;
+}
+
+std::string
+ExecutionPlan::resultCacheKey() const
+{
+    // Normalize away the fields that cannot influence the result
+    // bytes, then reuse the canonical binary encoding.
+    ExecutionPlan canon = *this;
+    canon.tenant = "default";
+    canon.priority = 0;
+    canon.batchLanes = 1;
+    canon.noCache = false;
+    return canon.saveToString();
 }
 
 std::optional<ExecutionPlan>
@@ -305,6 +319,9 @@ ExecutionPlan::load(const std::string &bytes, std::string &error)
     if (!getVarint(bytes, pos, u))
         return truncated();
     plan.recordChoices = u != 0;
+    if (!getVarint(bytes, pos, u))
+        return truncated();
+    plan.noCache = u != 0;
     if (pos != bytes.size()) {
         error = "trailing bytes after the execution plan";
         return std::nullopt;
@@ -325,6 +342,7 @@ ExecutionPlan::toText() const
     out << "batch-lanes " << batchLanes << "\n";
     out << "step-budget " << stepBudget << "\n";
     out << "record-choices " << (recordChoices ? 1 : 0) << "\n";
+    out << "no-cache " << (noCache ? 1 : 0) << "\n";
     out << "limits aux=" << (limits.useAuxiliary ? 1 : 0)
         << " group=" << limits.groupSize
         << " window=" << limits.auxWindow
@@ -417,6 +435,8 @@ ExecutionPlan::fromText(const std::string &text, std::string &error)
                 plan.stepBudget = std::stoull(value);
             } else if (key == "record-choices") {
                 plan.recordChoices = value != "0";
+            } else if (key == "no-cache") {
+                plan.noCache = value != "0";
             } else if (key == "limits") {
                 for (const auto &word :
                      support::splitWhitespace(value)) {

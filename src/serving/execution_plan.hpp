@@ -33,8 +33,9 @@
 
 namespace stats::serving {
 
-/** Bumped on any change to the plan fields or their encoding. */
-inline constexpr std::uint64_t kPlanSchemaVersion = 1;
+/** Bumped on any change to the plan fields or their encoding.
+ *  v2 added `noCache` (the result-cache escape hatch). */
+inline constexpr std::uint64_t kPlanSchemaVersion = 2;
 
 /** What kind of work a plan describes. */
 enum class JobKind : std::uint8_t
@@ -124,6 +125,11 @@ struct ExecutionPlan
     /** Capture a RecordLog while serving (needed by replay-fetch). */
     bool recordChoices = true;
 
+    /** Bypass the server's (plan, seed) result cache for this
+     *  request: never serve it from a cached result and never store
+     *  its result. The `stats-cli submit --no-cache` escape hatch. */
+    bool noCache = false;
+
     bool operator==(const ExecutionPlan &) const = default;
 
     /**
@@ -141,6 +147,17 @@ struct ExecutionPlan
 
     /** True when this plan and `other` may be fused into one batch. */
     bool canBatchWith(const ExecutionPlan &other) const;
+
+    /**
+     * Canonical byte string of every *result-affecting* field plus
+     * the root seed: the server's result-cache key. Routing and
+     * shaping fields that are invisible in the result bytes (tenant,
+     * priority, batchLanes, noCache itself) are excluded, so the same
+     * work submitted by different tenants — or at different fusion
+     * caps — shares one cache entry. Exact bytes, not a hash: a
+     * collision can never serve the wrong result.
+     */
+    std::string resultCacheKey() const;
 
     // ------------------------------------------------ serialization
     /** Deterministic binary encoding (schema-versioned). */

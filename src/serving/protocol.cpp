@@ -176,7 +176,7 @@ decodeResult(const std::string &body, RequestStatus &status)
     std::uint64_t final_state = 0;
     std::uint64_t invocations = 0;
     std::uint64_t lanes = 0;
-    if (!replay::getVarint(body, pos, state) || state > 4 ||
+    if (!replay::getVarint(body, pos, state) || state > 5 ||
         !replay::getVarint(body, pos, ok) ||
         !getString(body, pos, status.result.error) ||
         !getString(body, pos, status.result.resultBlob) ||
@@ -225,7 +225,7 @@ decodeStatus(const std::string &body, RequestState &state,
 {
     std::size_t pos = 0;
     std::uint64_t raw = 0;
-    if (!replay::getVarint(body, pos, raw) || raw > 4 ||
+    if (!replay::getVarint(body, pos, raw) || raw > 5 ||
         !getString(body, pos, tenant))
         return false;
     state = static_cast<RequestState>(raw);

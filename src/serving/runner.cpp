@@ -92,7 +92,20 @@ interpStep(ir::ExecutableModule &exec, const std::string &function,
         .asInt();
 }
 
-/** RAII record-mode scope around one engine run. */
+/**
+ * RAII per-run record/replay scope. Owns a *private* ReplaySession —
+ * engine, RecordLog, fault plan, and seed streams scoped to this one
+ * plan execution — and pins it to the constructing thread, so hooks
+ * fired while the plan runs route here instead of the process-global
+ * session. Concurrent plans on other worker threads each carry their
+ * own scope and never observe each other's mode flips. The captured
+ * log is harvested into the PlanResult on destruction.
+ *
+ * A plan that neither records nor injects faults installs nothing
+ * and runs under the thread's ambient session — which lets a caller
+ * replay a served log by putting its own session into Replay mode
+ * around runPlan (RunnerTest pins this).
+ */
 class RecordScope
 {
   public:
@@ -100,7 +113,8 @@ class RecordScope
                 std::string &error)
         : _result(result)
     {
-        auto &session = replay::ReplaySession::global();
+        if (plan.recordChoices || !plan.faults.empty())
+            _install.emplace(_session);
         if (!plan.faults.empty()) {
             std::string fault_error;
             auto fault_plan =
@@ -109,15 +123,14 @@ class RecordScope
                 error = "fault plan: " + fault_error;
                 return;
             }
-            session.setFaultPlan(*fault_plan);
-            _faultsInstalled = true;
+            _session.setFaultPlan(*fault_plan);
         }
         if (plan.recordChoices) {
-            session.startRecording(plan.rootSeed);
-            session.setMetadata("tenant", plan.tenant);
-            session.setMetadata("kind", jobKindName(plan.kind));
-            session.setMetadata("seed",
-                                std::to_string(plan.rootSeed));
+            _session.startRecording(plan.rootSeed);
+            _session.setMetadata("tenant", plan.tenant);
+            _session.setMetadata("kind", jobKindName(plan.kind));
+            _session.setMetadata("seed",
+                                 std::to_string(plan.rootSeed));
             _recording = true;
         }
         _armed = true;
@@ -125,40 +138,95 @@ class RecordScope
 
     bool armed() const { return _armed; }
 
+    /** The scoped session (for extra metadata). */
+    replay::ReplaySession &session() { return _session; }
+
     ~RecordScope()
     {
-        auto &session = replay::ReplaySession::global();
         if (_recording)
             _result.recordLog =
-                session.finishRecording().saveToString();
-        if (_faultsInstalled)
-            session.setFaultPlan(replay::FaultPlan{});
+                _session.finishRecording().saveToString();
     }
 
   private:
     PlanResult &_result;
+    replay::ReplaySession _session;
+    std::optional<replay::ScopedSessionInstall> _install;
     bool _recording = false;
-    bool _faultsInstalled = false;
     bool _armed = false;
 };
 
 } // namespace
 
-/** One compiled configuration, shared by every plan with the same
- *  compatibility key. */
+/**
+ * One compiled configuration, shared by every plan with the same
+ * compatibility key. The frozen module is immutable and shared; the
+ * ExecutableModules over it are not synchronized, so idle instances
+ * sit in a pool and each dispatch leases one exclusively.
+ */
 struct PlanRunner::Compiled
 {
-    backend::Executable executable;
+    std::shared_ptr<const ir::Module> module;
+    ir::ExecTier execTier = ir::ExecTier::Auto;
+    std::uint64_t stepBudget = 0;
     std::string computeFn;
     std::string auxFn;
+
+    std::mutex poolMutex;
+    std::vector<std::shared_ptr<ir::ExecutableModule>> pool;
+};
+
+/** RAII exclusive lease of one ExecutableModule instance. */
+class PlanRunner::ExecLease
+{
+  public:
+    explicit ExecLease(std::shared_ptr<Compiled> entry)
+        : _entry(std::move(entry))
+    {
+        {
+            std::lock_guard<std::mutex> lock(_entry->poolMutex);
+            if (!_entry->pool.empty()) {
+                _exec = std::move(_entry->pool.back());
+                _entry->pool.pop_back();
+            }
+        }
+        if (!_exec) {
+            // Pool dry: stand up another instance over the shared
+            // frozen module (deterministic, so instances are
+            // interchangeable).
+            _exec = std::make_shared<ir::ExecutableModule>(
+                *_entry->module, _entry->execTier);
+            _exec->setStepBudget(_entry->stepBudget);
+        }
+    }
+
+    ~ExecLease()
+    {
+        std::lock_guard<std::mutex> lock(_entry->poolMutex);
+        _entry->pool.push_back(std::move(_exec));
+    }
+
+    ExecLease(const ExecLease &) = delete;
+    ExecLease &operator=(const ExecLease &) = delete;
+
+    ir::ExecutableModule &operator*() { return *_exec; }
+
+  private:
+    std::shared_ptr<Compiled> _entry;
+    std::shared_ptr<ir::ExecutableModule> _exec;
 };
 
 std::shared_ptr<PlanRunner::Compiled>
 PlanRunner::compiled(const ExecutionPlan &plan, std::string &error)
 {
+    // Compilation is serialized under the cache mutex: the lock is
+    // held across parse → middle-end → instantiate so two workers
+    // racing on the same key never compile twice. Execution (the
+    // expensive part) runs outside any runner lock.
     const std::uint64_t key = plan.compatibilityKey();
+    std::lock_guard<std::mutex> lock(_cacheMutex);
     if (const auto it = _cache.find(key); it != _cache.end()) {
-        ++_cacheHits;
+        _cacheHits.fetch_add(1, std::memory_order_relaxed);
         obs::MetricsRegistry::global()
             .counter("serving.compile_cache_hits")
             .add();
@@ -183,11 +251,16 @@ PlanRunner::compiled(const ExecutionPlan &plan, std::string &error)
         if (!dep.auxFn.empty())
             config.auxiliaryDeps.insert(dep.name);
 
+    backend::Executable executable =
+        backend::instantiateExecutable(*module, config);
+    executable.exec->setStepBudget(plan.stepBudget);
+
     auto entry = std::make_shared<Compiled>();
-    entry->executable = backend::instantiateExecutable(*module, config);
-    entry->executable.exec->setStepBudget(plan.stepBudget);
-    const ir::StateDepMeta &dep =
-        entry->executable.module->stateDeps.front();
+    entry->module = executable.module;
+    entry->execTier = plan.execTier;
+    entry->stepBudget = plan.stepBudget;
+    entry->pool.push_back(std::move(executable.exec));
+    const ir::StateDepMeta &dep = entry->module->stateDeps.front();
     entry->computeFn = dep.computeFn;
     entry->auxFn = dep.auxFn.empty() ? dep.computeFn : dep.auxFn;
 
@@ -231,7 +304,8 @@ PlanRunner::runBatch(const std::vector<QueuedPlan> &batch)
         return results;
     }
 
-    ir::ExecutableModule &exec = *entry->executable.exec;
+    ExecLease lease(entry);
+    ir::ExecutableModule &exec = *lease;
     const std::string &fn = entry->computeFn;
 
     const std::size_t lanes = batch.size();
@@ -320,7 +394,8 @@ PlanRunner::runSpeculative(const ExecutionPlan &plan)
         result.error = error;
         return result;
     }
-    ir::ExecutableModule &exec = *entry->executable.exec;
+    ExecLease lease(entry);
+    ir::ExecutableModule &exec = *lease;
     const std::string compute_fn = entry->computeFn;
     const std::string aux_fn = entry->auxFn;
 
@@ -430,7 +505,7 @@ PlanRunner::runBenchmark(const ExecutionPlan &plan)
         return result;
     }
     if (plan.recordChoices) {
-        auto &session = replay::ReplaySession::global();
+        auto &session = scope.session();
         session.setMetadata("benchmark", bench->name());
         session.setMetadata("mode", plan.benchMode);
         session.setMetadata("threads",

@@ -23,20 +23,26 @@
  *    function of the plan).
  *
  * The runner owns a compile cache keyed by the plan compatibility
- * key: parse → middle-end → instantiate → ExecutableModule happens
- * once per distinct (module text, configuration, tier, budget).
+ * key: parse → middle-end → instantiate happens once per distinct
+ * (module text, configuration, tier, budget). Because an
+ * ExecutableModule is not internally synchronized, each cache entry
+ * keeps a *pool* of instances over the shared frozen module; a
+ * worker leases one for the duration of a dispatch and returns it,
+ * so same-key plans still execute concurrently.
  *
- * Threading contract: `runPlan`/`runBatch` must be called from one
- * thread at a time (the server's dispatcher). The global
- * ReplaySession's mode changes are quiescent-time operations, so
- * served engine runs are inherently serialized.
+ * Threading contract: `runPlan`/`runBatch` are safe to call from any
+ * number of server worker threads concurrently. Record/replay state
+ * is scoped per run — each execution installs its own thread-local
+ * ReplaySession (RecordScope), so no global mode flips occur.
  */
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -88,11 +94,19 @@ class PlanRunner
     runBatch(const std::vector<QueuedPlan> &batch);
 
     /** Compile-cache statistics (serving.* metrics mirror these). */
-    std::size_t cacheSize() const { return _cache.size(); }
-    std::uint64_t cacheHits() const { return _cacheHits; }
+    std::size_t cacheSize() const
+    {
+        std::lock_guard<std::mutex> lock(_cacheMutex);
+        return _cache.size();
+    }
+    std::uint64_t cacheHits() const
+    {
+        return _cacheHits.load(std::memory_order_relaxed);
+    }
 
   private:
     struct Compiled;
+    class ExecLease;
 
     std::shared_ptr<Compiled> compiled(const ExecutionPlan &plan,
                                        std::string &error);
@@ -100,8 +114,9 @@ class PlanRunner
     PlanResult runSpeculative(const ExecutionPlan &plan);
     PlanResult runBenchmark(const ExecutionPlan &plan);
 
+    mutable std::mutex _cacheMutex;
     std::map<std::uint64_t, std::shared_ptr<Compiled>> _cache;
-    std::uint64_t _cacheHits = 0;
+    std::atomic<std::uint64_t> _cacheHits{0};
 };
 
 } // namespace stats::serving

@@ -84,27 +84,62 @@ PlanScheduler::totalQueued() const
     return total;
 }
 
-std::vector<QueuedPlan>
-PlanScheduler::nextBatch()
+bool
+PlanScheduler::isBlocked(const ExecutionPlan &plan,
+                         const std::set<std::uint64_t> &blocked_keys)
 {
-    if (totalQueued() == 0 || _rotation.empty())
+    // Only batchable plans yield to an in-flight same-key batch:
+    // holding them back lets same-key arrivals accumulate into one
+    // bigger fusion. Non-batchable plans run concurrently freely
+    // (the runner leases a private ExecutableModule per dispatch).
+    return !blocked_keys.empty() && plan.canBatchWith(plan) &&
+           blocked_keys.count(plan.compatibilityKey()) != 0;
+}
+
+bool
+PlanScheduler::dispatchable(
+    const std::set<std::uint64_t> &blocked_keys) const
+{
+    for (const auto &[tenant, state] : _tenants)
+        for (const auto &queued : state.queue)
+            if (!isBlocked(*queued.plan, blocked_keys))
+                return true;
+    return false;
+}
+
+std::vector<QueuedPlan>
+PlanScheduler::nextBatch(const std::set<std::uint64_t> &blocked_keys)
+{
+    if (!dispatchable(blocked_keys))
         return {};
 
     // Classical DRR selection with unit plan cost: grant the quantum
     // once per visit, spend one unit per dispatched plan, move on
-    // when the deficit runs dry. An idle tenant forfeits its deficit.
+    // when the deficit runs dry. An idle tenant forfeits its deficit;
+    // a tenant whose only work is key-blocked is passed over without
+    // forfeiting (it is not idle by choice) and without charge.
     //
     // The loop is unbounded by design: a tenant's deficit can be
     // finitely negative (cross-tenant batch members are charged to
-    // their own tenant), but some queue is non-empty here and every
-    // full pass over the rotation grants quantum * weight >= quantum
-    // to each non-empty tenant, so a selection is always reached.
+    // their own tenant), but some dispatchable plan exists here and
+    // every full pass over the rotation grants quantum * weight >=
+    // quantum to its tenant, so a selection is always reached.
     TenantState *selected = nullptr;
+    std::deque<QueuedPlan>::iterator selected_plan;
     while (selected == nullptr) {
         TenantState &state = _tenants.at(_rotation[_rrIndex]);
         if (state.queue.empty()) {
             state.deficit = 0.0;
             state.charged = false;
+            _rrIndex = (_rrIndex + 1) % _rotation.size();
+            continue;
+        }
+        const auto eligible = std::find_if(
+            state.queue.begin(), state.queue.end(),
+            [&](const QueuedPlan &queued) {
+                return !isBlocked(*queued.plan, blocked_keys);
+            });
+        if (eligible == state.queue.end()) {
             _rrIndex = (_rrIndex + 1) % _rotation.size();
             continue;
         }
@@ -114,6 +149,7 @@ PlanScheduler::nextBatch()
         }
         if (state.deficit >= 1.0) {
             selected = &state;
+            selected_plan = eligible;
             break;
         }
         state.charged = false;
@@ -121,8 +157,8 @@ PlanScheduler::nextBatch()
     }
 
     std::vector<QueuedPlan> batch;
-    batch.push_back(std::move(selected->queue.front()));
-    selected->queue.pop_front();
+    batch.push_back(std::move(*selected_plan));
+    selected->queue.erase(selected_plan);
     selected->deficit -= 1.0;
 
     const ExecutionPlan &head = *batch.front().plan;

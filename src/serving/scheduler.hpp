@@ -19,9 +19,16 @@
  * loop. Cross-tenant members are charged against their own tenant's
  * deficit (it may go briefly negative: they were served early).
  *
+ * Multi-worker dispatch: `nextBatch` takes the set of compatibility
+ * keys currently in flight on other workers. A *batchable* head whose
+ * key is already running is skipped — letting same-key arrivals
+ * accumulate into one bigger fusion instead of racing it — while
+ * plans under other keys (and all non-batchable plans) dispatch
+ * normally. A skip never charges the tenant's deficit.
+ *
  * Not internally synchronized — the server owns the lock (the
- * scheduler runs on the dispatcher thread plus, for enqueue, the
- * connection threads, never on the engine's hot path).
+ * scheduler runs on the server's worker threads plus, for enqueue,
+ * the connection threads, never on the engine's hot path).
  */
 
 #pragma once
@@ -31,6 +38,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -77,12 +85,22 @@ class PlanScheduler
     /**
      * Select the next dispatch unit: one plan, or several compatible
      * sequential plans fused into a batch (emits PlanDispatched per
-     * member and BatchFormed when fusion happened). Empty when no
-     * plan is queued.
+     * member and BatchFormed when fusion happened). Batchable plans
+     * whose compatibility key appears in `blocked_keys` are passed
+     * over (see the file comment). Empty when nothing is
+     * dispatchable right now.
      */
-    std::vector<QueuedPlan> nextBatch();
+    std::vector<QueuedPlan>
+    nextBatch(const std::set<std::uint64_t> &blocked_keys = {});
+
+    /** Would nextBatch(blocked_keys) return a non-empty unit? */
+    bool
+    dispatchable(const std::set<std::uint64_t> &blocked_keys) const;
 
   private:
+    /** True when `plan` must yield to an in-flight same-key batch. */
+    static bool isBlocked(const ExecutionPlan &plan,
+                          const std::set<std::uint64_t> &blocked_keys);
     struct TenantState
     {
         std::deque<QueuedPlan> queue;

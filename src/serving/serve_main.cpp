@@ -77,6 +77,7 @@ serveMain(const ServeArgs &args)
     Server::Options options;
     options.runAnalysis = args.runAnalysis;
     options.quantum = args.quantum;
+    options.executionWorkers = args.executionWorkers;
     if (!args.defaultQuotaSpec.empty()) {
         std::string error;
         if (!parseQuotaSpec(args.defaultQuotaSpec,
@@ -100,7 +101,8 @@ serveMain(const ServeArgs &args)
 
     std::cout << "statsd: serving on " << daemon.socketPath()
               << " (analysis "
-              << (args.runAnalysis ? "on" : "off") << ")\n";
+              << (args.runAnalysis ? "on" : "off") << ", "
+              << daemon.server().workerCount() << " worker(s))\n";
     daemon.serveForever();
 
     std::cout << "statsd: drained after "

@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@ struct ServeArgs
     std::string defaultQuotaSpec;
     /** Per-tenant specs: "tenant:rate:burst:maxQueued:weight". */
     std::vector<std::string> quotaSpecs;
+    /** Execution worker threads; 0 = hw_concurrency/2 (min 1). */
+    std::size_t executionWorkers = 0;
     /** Enable the trace layer and dump serving metrics on exit. */
     std::string metricsPath;
     bool trace = false;

@@ -43,6 +43,13 @@ countRejection(std::uint64_t request_id, const AdmissionVerdict &v,
     }
 }
 
+std::size_t
+defaultWorkerCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 2 ? hw / 2 : 1;
+}
+
 } // namespace
 
 const char *
@@ -54,6 +61,7 @@ requestStateName(RequestState state)
       case RequestState::Done:    return "done";
       case RequestState::Failed:  return "failed";
       case RequestState::Unknown: return "unknown";
+      case RequestState::Expired: return "expired";
     }
     return "?";
 }
@@ -69,7 +77,12 @@ Server::Server(Options options)
                  _options.clock ? _options.clock
                                 : std::function<double()>(steadySeconds))
 {
-    _dispatcher = std::thread([this] { dispatchLoop(); });
+    const std::size_t workers = _options.executionWorkers > 0
+                                    ? _options.executionWorkers
+                                    : defaultWorkerCount();
+    _workers.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
 }
 
 Server::~Server()
@@ -80,8 +93,9 @@ Server::~Server()
         _stop = true;
     }
     _wake.notify_all();
-    if (_dispatcher.joinable())
-        _dispatcher.join();
+    for (auto &worker : _workers)
+        if (worker.joinable())
+            worker.join();
 }
 
 void
@@ -139,7 +153,17 @@ Server::submitPlan(const ExecutionPlan &plan)
         return outcome;
     }
 
+    // The cache key is computed outside the lock too (it serializes
+    // the plan); it is only consulted for cacheable plans.
+    const bool cacheable =
+        !plan.noCache && _options.resultCacheCapacity > 0;
+    std::string cache_key;
+    if (cacheable)
+        cache_key = plan.resultCacheKey();
+
     std::uint64_t request_id = 0;
+    bool cache_hit = false;
+    std::size_t cache_entries = 0;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         if (_draining) {
@@ -153,14 +177,33 @@ Server::submitPlan(const ExecutionPlan &plan)
             request_id = _nextRequestId++;
             auto shared =
                 std::make_shared<const ExecutionPlan>(plan);
-            Request request;
-            request.state = RequestState::Queued;
-            request.plan = shared;
-            _requests.emplace(request_id, std::move(request));
-            _scheduler.enqueue(request_id, std::move(shared));
-            obs::MetricsRegistry::global()
-                .gauge("serving.queue_depth")
-                .set(static_cast<double>(_scheduler.totalQueued()));
+            if (cacheable) {
+                if (const PlanResult *hit = cacheLookup(cache_key)) {
+                    // Served from cache: the request completes at
+                    // admission time, byte-identical to a recompute
+                    // (the cached entry holds result and RecordLog
+                    // bytes of an actual execution).
+                    Request request;
+                    request.plan = shared;
+                    _requests.emplace(request_id,
+                                      std::move(request));
+                    finishRequest(request_id, *hit);
+                    cache_hit = true;
+                    ++_cacheHits;
+                    cache_entries = _cacheLru.size();
+                }
+            }
+            if (!cache_hit) {
+                Request request;
+                request.state = RequestState::Queued;
+                request.plan = shared;
+                _requests.emplace(request_id, std::move(request));
+                _scheduler.enqueue(request_id, std::move(shared));
+                obs::MetricsRegistry::global()
+                    .gauge("serving.queue_depth")
+                    .set(static_cast<double>(
+                        _scheduler.totalQueued()));
+            }
         }
     }
     if (!outcome.verdict.admitted()) {
@@ -169,16 +212,28 @@ Server::submitPlan(const ExecutionPlan &plan)
     }
 
     outcome.requestId = request_id;
-    obs::MetricsRegistry::global()
-        .counter("serving.requests_admitted")
-        .add();
-    if (obs::traceActive())
+    auto &metrics = obs::MetricsRegistry::global();
+    metrics.counter("serving.requests_admitted").add();
+    if (cacheable)
+        metrics
+            .counter(cache_hit ? "serving.cache.hits"
+                               : "serving.cache.misses")
+            .add();
+    if (obs::traceActive()) {
         obs::Trace::global().record(
             obs::EventType::RequestAdmitted, -1,
             static_cast<std::int64_t>(request_id), -1, now,
             obs::kFrontierTrack,
             static_cast<std::int64_t>(queueDepth()));
-    _wake.notify_all();
+        if (cache_hit)
+            obs::Trace::global().record(
+                obs::EventType::CacheHit, -1,
+                static_cast<std::int64_t>(request_id), -1, now,
+                obs::kFrontierTrack,
+                static_cast<std::int64_t>(cache_entries));
+    }
+    if (!cache_hit)
+        _wake.notify_all();
     return outcome;
 }
 
@@ -188,8 +243,14 @@ Server::status(std::uint64_t request_id) const
     std::lock_guard<std::mutex> lock(_mutex);
     RequestStatus status;
     const auto it = _requests.find(request_id);
-    if (it == _requests.end())
+    if (it == _requests.end()) {
+        // Every issued id enters the registry at admission and only
+        // leaves by FIFO eviction, so an absent id below the
+        // allocation watermark was necessarily evicted.
+        if (request_id >= 1 && request_id < _nextRequestId)
+            status.state = RequestState::Expired;
         return status;
+    }
     status.state = it->second.state;
     status.tenant = it->second.plan->tenant;
     if (status.state == RequestState::Done ||
@@ -213,7 +274,7 @@ Server::drain()
     _draining = true;
     _wake.notify_all();
     _idle.wait(lock, [this] {
-        return _scheduler.empty() && _running == 0;
+        return _scheduler.empty() && _runningPlans == 0;
     });
     return _completed;
 }
@@ -239,54 +300,128 @@ Server::completedCount() const
     return _completed;
 }
 
+std::size_t
+Server::resultCacheSize() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _cacheLru.size();
+}
+
+std::uint64_t
+Server::resultCacheHits() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _cacheHits;
+}
+
+const PlanResult *
+Server::cacheLookup(const std::string &key)
+{
+    const auto it = _cacheIndex.find(key);
+    if (it == _cacheIndex.end())
+        return nullptr;
+    _cacheLru.splice(_cacheLru.begin(), _cacheLru, it->second);
+    return &it->second->second;
+}
+
 void
-Server::dispatchLoop()
+Server::cacheStore(const std::string &key, const PlanResult &result)
+{
+    if (const auto it = _cacheIndex.find(key);
+        it != _cacheIndex.end()) {
+        // A concurrent worker (or an earlier lane of this batch)
+        // already filled the entry; results are deterministic, so
+        // just refresh recency.
+        _cacheLru.splice(_cacheLru.begin(), _cacheLru, it->second);
+        return;
+    }
+    _cacheLru.emplace_front(key, result);
+    _cacheIndex.emplace(key, _cacheLru.begin());
+    while (_cacheLru.size() > _options.resultCacheCapacity) {
+        _cacheIndex.erase(_cacheLru.back().first);
+        _cacheLru.pop_back();
+        obs::MetricsRegistry::global()
+            .counter("serving.cache.evictions")
+            .add();
+    }
+    obs::MetricsRegistry::global()
+        .gauge("serving.cache.size")
+        .set(static_cast<double>(_cacheLru.size()));
+}
+
+void
+Server::finishRequest(std::uint64_t request_id, PlanResult result)
+{
+    Request &request = _requests.at(request_id);
+    request.result = std::move(result);
+    request.state = request.result.ok ? RequestState::Done
+                                      : RequestState::Failed;
+    ++_completed;
+    _finishedOrder.push_back(request_id);
+    if (_options.maxRetainedResults > 0)
+        while (_finishedOrder.size() > _options.maxRetainedResults) {
+            _requests.erase(_finishedOrder.front());
+            _finishedOrder.pop_front();
+        }
+}
+
+void
+Server::workerLoop()
 {
     std::unique_lock<std::mutex> lock(_mutex);
     for (;;) {
         _wake.wait(lock, [this] {
-            return _stop || !_scheduler.empty();
+            return (_stop && _scheduler.empty()) ||
+                   _scheduler.dispatchable(_inFlightKeys);
         });
         if (_scheduler.empty()) {
             if (_stop)
                 return;
             continue;
         }
-        std::vector<QueuedPlan> batch = _scheduler.nextBatch();
+        std::vector<QueuedPlan> batch =
+            _scheduler.nextBatch(_inFlightKeys);
+        if (batch.empty())
+            continue; // Lost a race to another worker; re-wait.
         for (const auto &member : batch)
             _requests.at(member.requestId).state =
                 RequestState::Running;
-        _running = batch.size();
+        const ExecutionPlan &head = *batch.front().plan;
+        const bool key_held = head.canBatchWith(head);
+        const std::uint64_t key =
+            key_held ? head.compatibilityKey() : 0;
+        if (key_held)
+            _inFlightKeys.insert(key);
+        _runningPlans += batch.size();
         obs::MetricsRegistry::global()
             .gauge("serving.queue_depth")
             .set(static_cast<double>(_scheduler.totalQueued()));
 
-        // Execute outside the lock: submits and status reads stay
-        // responsive while the (single) dispatcher runs plans.
+        // Execute outside the lock: submits, status reads, and the
+        // other workers stay live while this batch runs.
         lock.unlock();
         std::vector<PlanResult> results = _runner.runBatch(batch);
         lock.lock();
 
+        if (key_held)
+            _inFlightKeys.erase(key);
+        _runningPlans -= batch.size();
         for (std::size_t i = 0; i < batch.size(); ++i) {
-            Request &request = _requests.at(batch[i].requestId);
-            request.result = std::move(results[i]);
-            request.state = request.result.ok ? RequestState::Done
-                                              : RequestState::Failed;
-            ++_completed;
-            _finishedOrder.push_back(batch[i].requestId);
+            const ExecutionPlan &plan = *batch[i].plan;
+            if (results[i].ok && !plan.noCache &&
+                _options.resultCacheCapacity > 0)
+                cacheStore(plan.resultCacheKey(), results[i]);
+            finishRequest(batch[i].requestId,
+                          std::move(results[i]));
         }
-        if (_options.maxRetainedResults > 0)
-            while (_finishedOrder.size() >
-                   _options.maxRetainedResults) {
-                _requests.erase(_finishedOrder.front());
-                _finishedOrder.pop_front();
-            }
-        _running = 0;
         obs::MetricsRegistry::global()
             .counter("serving.requests_completed")
             .add(static_cast<std::int64_t>(batch.size()));
-        if (_scheduler.empty())
+        if (_scheduler.empty() && _runningPlans == 0)
             _idle.notify_all();
+        // Finishing released this batch's key (and possibly the last
+        // obstacle before _stop): re-arm the other workers.
+        _wake.notify_all();
     }
 }
 

@@ -5,14 +5,25 @@
  * request registry `status`/`result`/`replay-fetch` read from.
  *
  * The daemon (daemon.hpp) is a thin socket front-end over this class;
- * tests drive it directly. One background *dispatcher thread* owns
- * all plan execution, which keeps the global ReplaySession's
- * quiescent-time contract: served engine runs are serialized, each
- * wrapped in its own record scope.
+ * tests drive it directly. A pool of *execution workers*
+ * (`Options.executionWorkers`) pulls fused batches from the
+ * scheduler; record/replay state is scoped per run (each execution
+ * installs its own thread-local ReplaySession), so independent plans
+ * execute concurrently without mode-flip races. A compatibility-aware
+ * in-flight limit keeps two batchable same-key dispatches from
+ * running at once — late same-key arrivals accumulate into one
+ * bigger fusion instead.
+ *
+ * Results of cacheable plans land in a bounded LRU **result cache**
+ * keyed by (plan fingerprint, root seed): a later submission of the
+ * same work completes at admission time, byte-identical to a
+ * recompute (replay-fetch bytes included). Plans opt out with
+ * `noCache` (`stats-cli submit --no-cache`).
  *
  * Request lifecycle: Queued → Running → Done | Failed; a rejected
  * request never enters the registry (the verdict travels back in the
- * submit response).
+ * submit response). Finished entries evicted by the registry bound
+ * answer Expired; ids never issued answer Unknown.
  */
 
 #pragma once
@@ -21,11 +32,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "serving/admission.hpp"
 #include "serving/execution_plan.hpp"
@@ -40,7 +55,8 @@ enum class RequestState : std::uint8_t
     Running,
     Done,
     Failed,
-    Unknown, ///< No such request id.
+    Unknown, ///< No such request id was ever issued.
+    Expired, ///< Finished, then aged out of the bounded registry.
 };
 
 const char *requestStateName(RequestState state);
@@ -77,17 +93,28 @@ class Server
         /**
          * Finished requests kept for status/result/replay-fetch.
          * Beyond this, the oldest finished entries are evicted (their
-         * ids then answer Unknown), so a long-lived daemon's registry
+         * ids then answer Expired), so a long-lived daemon's registry
          * stays bounded. 0 means keep everything.
          */
         std::size_t maxRetainedResults = 4096;
+        /**
+         * Execution worker threads pulling batches from the
+         * scheduler. 0 picks the default: half the hardware
+         * concurrency, at least 1.
+         */
+        std::size_t executionWorkers = 0;
+        /**
+         * Bound on resident (plan fingerprint, root seed) result-
+         * cache entries, evicted LRU. 0 disables the cache.
+         */
+        std::size_t resultCacheCapacity = 256;
         /** Monotonic seconds; injectable for deterministic tests. */
         std::function<double()> clock;
     };
 
     Server();
     explicit Server(Options options);
-    /** Drains in-flight work, then stops the dispatcher. */
+    /** Drains in-flight work, then stops the workers. */
     ~Server();
 
     /** Configure one tenant (quota + scheduler weight). */
@@ -99,7 +126,7 @@ class Server
     /** Admit an already-decoded plan. */
     SubmitOutcome submitPlan(const ExecutionPlan &plan);
 
-    /** Registry lookup (Unknown state for a bad id). */
+    /** Registry lookup (Unknown/Expired state for a bad id). */
     RequestStatus status(std::uint64_t request_id) const;
 
     /** Serialized RecordLog of a finished request; "" when absent. */
@@ -119,6 +146,15 @@ class Server
 
     std::uint64_t completedCount() const;
 
+    /** Worker threads actually running (for tests/diagnostics). */
+    std::size_t workerCount() const { return _workers.size(); }
+
+    /** Resident result-cache entries. */
+    std::size_t resultCacheSize() const;
+
+    /** Requests answered from the result cache so far. */
+    std::uint64_t resultCacheHits() const;
+
   private:
     struct Request
     {
@@ -127,11 +163,19 @@ class Server
         PlanResult result;
     };
 
-    void dispatchLoop();
+    using CacheList = std::list<std::pair<std::string, PlanResult>>;
+
+    void workerLoop();
+    /** Registry bookkeeping for one finished request (lock held). */
+    void finishRequest(std::uint64_t request_id, PlanResult result);
+    /** LRU lookup; nullptr on miss (lock held). */
+    const PlanResult *cacheLookup(const std::string &key);
+    /** LRU insert/update + eviction (lock held). */
+    void cacheStore(const std::string &key, const PlanResult &result);
 
     Options _options;
     mutable std::mutex _mutex;
-    std::condition_variable _wake;     ///< Dispatcher wake-up.
+    std::condition_variable _wake;     ///< Worker wake-up.
     std::condition_variable _idle;     ///< drain() waits here.
     AdmissionController _admission;
     PlanScheduler _scheduler;
@@ -139,12 +183,21 @@ class Server
     std::map<std::uint64_t, Request> _requests;
     /** Finished ids, oldest first — the eviction order. */
     std::deque<std::uint64_t> _finishedOrder;
+
+    /** MRU-first result cache + index into it. */
+    CacheList _cacheLru;
+    std::unordered_map<std::string, CacheList::iterator> _cacheIndex;
+    std::uint64_t _cacheHits = 0;
+
+    /** Compatibility keys of in-flight *batchable* dispatches. */
+    std::set<std::uint64_t> _inFlightKeys;
+
     std::uint64_t _nextRequestId = 1;
     std::uint64_t _completed = 0;
-    std::size_t _running = 0;
+    std::size_t _runningPlans = 0;
     bool _draining = false;
     bool _stop = false;
-    std::thread _dispatcher;
+    std::vector<std::thread> _workers;
 };
 
 } // namespace stats::serving

@@ -88,7 +88,8 @@ registeredLabels()
         pos += 7;
         std::string label;
         while (pos < cmake.size() &&
-               (std::isalnum(cmake[pos]) || cmake[pos] == '_'))
+               (std::isalnum(cmake[pos]) || cmake[pos] == '_' ||
+                cmake[pos] == '-'))
             label += cmake[pos++];
         if (!label.empty() &&
             std::find(labels.begin(), labels.end(), label) ==

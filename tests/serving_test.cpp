@@ -37,6 +37,8 @@
 #include "serving/scheduler.hpp"
 #include "serving/server.hpp"
 
+#include "serving_test_util.hpp"
+
 namespace {
 
 using namespace stats;
@@ -132,6 +134,7 @@ goldenPlan()
     plan.maxNoise = 2;
     plan.faults = "mismatch@g3";
     plan.recordChoices = false;
+    plan.noCache = true;
     return plan;
 }
 
@@ -236,14 +239,16 @@ TEST(ExecutionPlanTest, HugeDeclaredStringLengthFailsCleanly)
 
 TEST(ExecutionPlanTest, TextParserRejectsUnknownKeysWithLineNumbers)
 {
+    const std::string header =
+        "plan v" + std::to_string(serving::kPlanSchemaVersion);
     std::string error;
     EXPECT_FALSE(ExecutionPlan::fromText(
-                     "plan v1\nflavor vanilla\n", error)
+                     header + "\nflavor vanilla\n", error)
                      .has_value());
     EXPECT_NE(error.find("line 2"), std::string::npos) << error;
     EXPECT_FALSE(
         ExecutionPlan::fromText("kind ir-seq\n", error).has_value());
-    EXPECT_NE(error.find("missing the 'plan v1' header"),
+    EXPECT_NE(error.find("missing the '" + header + "' header"),
               std::string::npos)
         << error;
 }
@@ -672,6 +677,22 @@ TEST(ServerTest, RuntimeFailuresLandInFailedStateWithDetail)
     server.drain();
 }
 
+TEST(ServerTest, StatusObservesAsynchronousCompletion)
+{
+    // The worker pool completes requests without drain(): status()
+    // must transition to Done on its own, observed via the shared
+    // poll helper rather than a free-running sleep.
+    Server server;
+    const auto outcome = server.submitPlan(seqPlan(91));
+    ASSERT_TRUE(outcome.admitted()) << outcome.verdict.detail;
+    EXPECT_TRUE(serving_testing::pollUntil([&] {
+        return server.status(outcome.requestId).state ==
+               RequestState::Done;
+    }));
+    EXPECT_FALSE(server.draining()); // No drain was needed.
+    server.drain();
+}
+
 TEST(ServerTest, FinishedRequestRegistryIsBounded)
 {
     Server::Options options;
@@ -687,10 +708,14 @@ TEST(ServerTest, FinishedRequestRegistryIsBounded)
 
     // Only the two newest finished requests stay queryable; the
     // oldest were evicted so a long-lived server stays bounded.
-    EXPECT_EQ(server.status(ids[0]).state, RequestState::Unknown);
-    EXPECT_EQ(server.status(ids[1]).state, RequestState::Unknown);
+    // Evicted ids answer the distinct Expired state — they *were*
+    // served — while ids never issued stay Unknown.
+    EXPECT_EQ(server.status(ids[0]).state, RequestState::Expired);
+    EXPECT_EQ(server.status(ids[1]).state, RequestState::Expired);
     EXPECT_EQ(server.status(ids[2]).state, RequestState::Done);
     EXPECT_EQ(server.status(ids[3]).state, RequestState::Done);
+    EXPECT_EQ(server.status(0).state, RequestState::Unknown);
+    EXPECT_EQ(server.status(ids[3] + 1).state, RequestState::Unknown);
     EXPECT_EQ(server.completedCount(), 4u);
 }
 
@@ -877,7 +902,8 @@ TEST(ServingDocsTest, DocsNameEveryPlanTextKeyAndTheMagic)
     EXPECT_NE(doc.find("`STPL`"), std::string::npos);
     for (const char *key :
          {"kind", "tenant", "priority", "seed", "exec-tier",
-          "batch-lanes", "step-budget", "record-choices", "limits",
+          "batch-lanes", "step-budget", "record-choices", "no-cache",
+         "limits",
           "inputs", "initial-state", "noisy-percent", "max-noise",
           "config", "faults", "benchmark", "bench-mode",
           "bench-threads", "bench-workload", "module"})

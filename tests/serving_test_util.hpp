@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the serving test suites (serving_test,
+ * serving_concurrency_test): condition-variable gates and bounded
+ * poll-until loops, so tests that observe the server's asynchronous
+ * worker pool never free-sleep or spin unbounded.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace stats::serving_testing {
+
+/**
+ * Re-evaluate `done` (with a short nap between tries) until it holds
+ * or `timeout` elapses. Returns whether it held — callers assert on
+ * the result so a wedged server fails the test instead of hanging it.
+ */
+inline bool
+pollUntil(const std::function<bool()> &done,
+          std::chrono::milliseconds timeout =
+              std::chrono::milliseconds(10000))
+{
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!done()) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return done();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+}
+
+/**
+ * A one-shot start gate: threads park in wait() until open() fires,
+ * so N submitter threads hit the server at the same instant instead
+ * of serializing on their own startup.
+ */
+class Gate
+{
+  public:
+    void
+    open()
+    {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _open = true;
+        }
+        _cv.notify_all();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _cv.wait(lock, [this] { return _open; });
+    }
+
+  private:
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    bool _open = false;
+};
+
+} // namespace stats::serving_testing
